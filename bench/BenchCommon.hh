@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/table benchmark binaries.  Each
+ * binary regenerates one table or figure of the paper's evaluation
+ * (see DESIGN.md experiment index) and prints the corresponding rows;
+ * EXPERIMENTS.md records paper-vs-measured for each.
+ */
+
+#ifndef AIM_BENCH_BENCHCOMMON_HH
+#define AIM_BENCH_BENCHCOMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "aim/Aim.hh"
+#include "quant/QatTrainer.hh"
+#include "util/Table.hh"
+#include "workload/WeightSynth.hh"
+
+namespace aim::bench
+{
+
+/** Default synthesis config for bench runs (smaller layer samples). */
+inline workload::SynthConfig
+benchSynth()
+{
+    workload::SynthConfig cfg;
+    cfg.maxElementsPerLayer = 8192;
+    return cfg;
+}
+
+/** Synthesize + baseline-quantize a model. */
+inline quant::QatResult
+baselineQuant(const workload::ModelSpec &model,
+              std::vector<quant::FloatLayer> *layers_out = nullptr)
+{
+    auto layers = workload::synthesizeWeights(model, benchSynth());
+    auto res = quant::quantizeBaseline(layers, 8);
+    if (layers_out)
+        *layers_out = std::move(layers);
+    return res;
+}
+
+/** Synthesize + LHR-quantize a model. */
+inline quant::QatResult
+lhrQuant(const workload::ModelSpec &model,
+         std::vector<quant::FloatLayer> *layers_out = nullptr,
+         double lambda = 2.0)
+{
+    auto layers = workload::synthesizeWeights(model, benchSynth());
+    quant::QatConfig cfg;
+    cfg.lambda = lambda;
+    auto res = quant::QatTrainer(cfg).run(layers);
+    if (layers_out)
+        *layers_out = std::move(layers);
+    return res;
+}
+
+/** Print a one-line banner for the experiment. */
+inline void
+banner(const char *id, const char *what)
+{
+    std::printf("=== %s: %s ===\n", id, what);
+}
+
+} // namespace aim::bench
+
+#endif // AIM_BENCH_BENCHCOMMON_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Paper Figure 4: correlation of IR-drop and peak Rtog across macros.
+ * 40 macros are loaded with tiles of different HR, driven by the
+ * exact bit-serial engine; the per-macro peak Rtog is compared with
+ * the drop/current of the Equation-2 model.  The paper reports
+ * r = 0.977 for the 7nm DPIM and r = 0.998 for the 28nm APIM.
+ */
+
+#include "BenchCommon.hh"
+
+#include "pim/InputStream.hh"
+#include "pim/Macro.hh"
+#include "util/Stats.hh"
+
+using namespace aim;
+using namespace aim::bench;
+
+namespace
+{
+
+double
+macroPeakRtog(double hr_target, uint64_t seed)
+{
+    pim::PimConfig cfg;
+    cfg.rows = 64;
+    cfg.banks = 16;
+    pim::Macro macro(cfg);
+
+    // Weights whose HR lands near the target: mix zeros and dense
+    // values.
+    util::Rng rng(seed);
+    std::vector<int32_t> w(static_cast<size_t>(cfg.rows) * cfg.banks);
+    for (auto &v : w)
+        v = rng.bernoulli(hr_target * 2.0)
+                ? static_cast<int32_t>(rng.uniformInt(-128, 127))
+                : 0;
+    macro.loadWeights(w, cfg.rows, cfg.banks);
+
+    pim::StreamSpec spec;
+    spec.sigmaLsb = 40.0;
+    pim::InputStreamGen gen(spec, rng.fork(1));
+    std::vector<int32_t> inputs;
+    for (int v = 0; v < 24; ++v) {
+        const auto vec = gen.next(cfg.rows);
+        inputs.insert(inputs.end(), vec.begin(), vec.end());
+    }
+    return macro.run(inputs, cfg.rows).peakRtog();
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 4", "correlation of IR-drop and Rtog");
+
+    const auto cal = power::defaultCalibration();
+    const power::IrModel ir(cal);
+    util::Rng noise(99);
+
+    for (auto flavor : {power::MacroFlavor::Dpim,
+                        power::MacroFlavor::Apim}) {
+        std::vector<double> rtogs;
+        std::vector<double> drops;
+        std::vector<double> currents;
+        for (int m = 0; m < 40; ++m) {
+            const double target = 0.1 + 0.5 * m / 39.0;
+            const double rtog = macroPeakRtog(target, 100 + m);
+            const double drop =
+                ir.noisyDropMv(cal.vddNominal, cal.fNominal, rtog,
+                               noise, flavor);
+            rtogs.push_back(rtog);
+            drops.push_back(drop);
+            currents.push_back(ir.demandCurrentA(drop));
+        }
+        const double r = util::pearson(rtogs, drops);
+        const auto fit = util::fitLine(rtogs, drops);
+        std::printf("%s: pearson r = %.3f (paper %s), "
+                    "fit drop = %.1f * Rtog + %.1f mV\n",
+                    flavor == power::MacroFlavor::Dpim ? "DPIM"
+                                                       : "APIM",
+                    r,
+                    flavor == power::MacroFlavor::Dpim ? "0.977"
+                                                       : "0.998",
+                    fit.slope, fit.intercept);
+
+        util::Table t(flavor == power::MacroFlavor::Dpim
+                          ? "DPIM macros (every 5th shown)"
+                          : "APIM macros (every 5th shown)");
+        t.setHeader({"Macro", "peak Rtog", "IR-drop mV",
+                     "peak current A"});
+        for (int m = 0; m < 40; m += 5)
+            t.addRow({std::to_string(m),
+                      util::Table::pct(rtogs[m], 1),
+                      util::Table::fmt(drops[m], 1),
+                      util::Table::fmt(currents[m], 2)});
+        t.print();
+    }
+    return 0;
+}

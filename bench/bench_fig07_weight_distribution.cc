@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Paper Figure 7: (a) the LHR-trained weight distribution aligns with
+ * local minima of the hamming function (-8, 0, 8); (b) interpolated
+ * HR anchor points (-0.62 -> 0.62 with descent gradient 1; 6.4 -> 0.3
+ * with descent gradient -0.125).
+ */
+
+#include "BenchCommon.hh"
+
+#include <map>
+
+#include "quant/Hamming.hh"
+
+#include "quant/Lhr.hh"
+
+using namespace aim;
+using namespace aim::bench;
+
+int
+main()
+{
+    banner("Figure 7", "weight distribution with LHR vs HR minima");
+
+    // (b) interpolation anchors.
+    const auto a1 = quant::interpolatedHr(-0.62, 8);
+    const auto a2 = quant::interpolatedHr(6.4, 8);
+    std::printf("interp HR(-0.62) = %.2f, descent gradient = %+.3f "
+                "(paper: 0.62, +1)\n",
+                a1.value, -a1.slope);
+    std::printf("interp HR(6.4)   = %.2f, descent gradient = %+.3f "
+                "(paper: 0.30, -0.125)\n\n",
+                a2.value, -a2.slope);
+
+    // (a) value histogram of ResNet18 weights, baseline vs LHR.
+    const auto model = workload::resnet18();
+    const auto base = baselineQuant(model);
+    const auto lhr = lhrQuant(model);
+
+    auto count = [](const quant::QatResult &res) {
+        std::map<int, long> hist;
+        for (const auto &layer : res.layers)
+            for (int32_t v : layer.values)
+                if (v >= -16 && v <= 16)
+                    ++hist[v];
+        return hist;
+    };
+    const auto h_base = count(base);
+    const auto h_lhr = count(lhr);
+
+    util::Table t("Weight counts near zero (HR of code in brackets)");
+    t.setHeader({"value", "HR(code)", "baseline", "w/ LHR",
+                 "ratio"});
+    for (int v = -16; v <= 16; v += 2) {
+        const long b = h_base.count(v) ? h_base.at(v) : 0;
+        const long l = h_lhr.count(v) ? h_lhr.at(v) : 0;
+        t.addRow({std::to_string(v),
+                  util::Table::fmt(quant::hrOfInt(v, 8), 3),
+                  std::to_string(b), std::to_string(l),
+                  b > 0 ? util::Table::fmt(
+                              static_cast<double>(l) / b, 2)
+                        : "-"});
+    }
+    t.print();
+
+    auto minima_share = [&](const std::map<int, long> &h) {
+        long minima = 0;
+        long total = 0;
+        for (const auto &[v, c] : h) {
+            total += c;
+            if (v == -8 || v == 0 || v == 8)
+                minima += c;
+        }
+        return total > 0 ? static_cast<double>(minima) / total : 0.0;
+    };
+    std::printf("share of near-zero weights on {-8, 0, 8}: baseline "
+                "%s -> LHR %s (paper: spikes appear at the minima)\n",
+                util::Table::pct(minima_share(h_base)).c_str(),
+                util::Table::pct(minima_share(h_lhr)).c_str());
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Paper Figure 13: HR decrease vs accuracy influence for
+ * (a) baseline [64], (b) +LHR, (c) +WDS(8), (d) +WDS(16) on all six
+ * models.  Key shape: large HR drops at sub-point accuracy cost; ViT
+ * and Llama3 slightly improve.
+ */
+
+#include "BenchCommon.hh"
+
+#include "quant/Wds.hh"
+#include "workload/AccuracyProxy.hh"
+
+using namespace aim;
+using namespace aim::bench;
+
+int
+main()
+{
+    banner("Figure 13", "HR decrease and accuracy influence");
+
+    util::Table t("HRaverage and metric per configuration");
+    t.setHeader({"Model", "metric", "(a) base HR/acc",
+                 "(b) +LHR HR/acc", "(c) +WDS(8) HR/acc",
+                 "(d) +WDS(16) HR/acc"});
+
+    for (const auto &model : workload::allModels()) {
+        std::vector<quant::FloatLayer> base_layers;
+        const auto base = baselineQuant(model, &base_layers);
+        std::vector<quant::FloatLayer> lhr_layers;
+        const auto lhr = lhrQuant(model, &lhr_layers);
+
+        auto cell = [&](const quant::QatResult &res,
+                        const std::vector<quant::FloatLayer> &ref,
+                        double clamped) {
+            workload::AccuracyExtras extras;
+            extras.wdsClampedFraction = clamped;
+            const auto acc =
+                workload::evaluateAccuracy(model, res, ref, extras);
+            double aver = 0.0;
+            for (const auto &l : res.layers)
+                aver += l.hr();
+            aver /= static_cast<double>(res.layers.size());
+            return util::Table::fmt(aver, 3) + "/" +
+                   util::Table::fmt(acc.metric, 2);
+        };
+
+        auto wds_result = [&](int delta, double *clamped) {
+            quant::QatResult shifted = lhr;
+            size_t c = 0;
+            size_t n = 0;
+            for (auto &layer : shifted.layers) {
+                const auto st = quant::applyWds(layer, delta);
+                c += st.clamped;
+                n += st.total;
+            }
+            *clamped = n ? static_cast<double>(c) / n : 0.0;
+            return shifted;
+        };
+        double c8 = 0.0;
+        double c16 = 0.0;
+        const auto wds8 = wds_result(8, &c8);
+        const auto wds16 = wds_result(16, &c16);
+
+        t.addRow({model.name,
+                  model.metricIsPerplexity ? "ppl" : "acc%",
+                  cell(base, base_layers, 0.0),
+                  cell(lhr, lhr_layers, 0.0),
+                  cell(wds8, lhr_layers, c8),
+                  cell(wds16, lhr_layers, c16)});
+    }
+    t.print();
+    std::printf("Shape: HR falls (a)>(b)>(c)>(d); accuracy cost "
+                "sub-point; ViT/Llama3 improve slightly under LHR.\n");
+    return 0;
+}

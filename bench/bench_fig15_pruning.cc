@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Paper Figure 15: comparison and combination of LHR/WDS with gradual
+ * magnitude pruning on ResNet18 and ViT at sparsity targets 10%-50%.
+ * Key shape: pruning lowers HR but costs accuracy as sparsity grows;
+ * pruning+LHR dominates pruning alone; LHR(+WDS) sits at the
+ * high-accuracy end of the frontier.
+ */
+
+#include "BenchCommon.hh"
+
+#include "quant/Pruning.hh"
+#include "quant/Wds.hh"
+#include "workload/AccuracyProxy.hh"
+
+using namespace aim;
+using namespace aim::bench;
+
+namespace
+{
+
+void
+sweepModel(const char *name)
+{
+    const auto model = workload::modelByName(name);
+    util::Table t(std::string(name) +
+                  ": accuracy vs HR frontier");
+    t.setHeader({"config", "sparsity", "HRaver", "metric"});
+
+    auto add = [&](const std::string &cfg_name, double sparsity,
+                   const quant::QatResult &res,
+                   const std::vector<quant::FloatLayer> &ref) {
+        workload::AccuracyExtras extras;
+        extras.pruneSparsity = sparsity;
+        const auto acc =
+            workload::evaluateAccuracy(model, res, ref, extras);
+        t.addRow({cfg_name, util::Table::pct(sparsity, 0),
+                  util::Table::fmt(res.hrAverage(), 3),
+                  util::Table::fmt(acc.metric, 2)});
+    };
+
+    for (double sp : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+        // Pruning alone.
+        auto pruned =
+            workload::synthesizeWeights(model, benchSynth());
+        quant::PruneConfig pcfg;
+        pcfg.sparsity = sp;
+        quant::applyGmp(pruned, pcfg);
+        const auto pruned_q = quant::quantizeBaseline(pruned, 8);
+        add("Pruning", sp, pruned_q, pruned);
+
+        // Pruning + LHR.
+        auto combo = workload::synthesizeWeights(model, benchSynth());
+        quant::applyGmp(combo, pcfg);
+        quant::QatConfig qcfg;
+        qcfg.lambda = 2.0;
+        const auto combo_q = quant::QatTrainer(qcfg).run(combo);
+        add("Pruning+LHR", sp, combo_q, combo);
+    }
+
+    // LHR and LHR+WDS (dense).
+    std::vector<quant::FloatLayer> lhr_layers;
+    auto lhr = lhrQuant(model, &lhr_layers);
+    add("LHR", 0.0, lhr, lhr_layers);
+    for (auto &layer : lhr.layers)
+        quant::applyWds(layer, 8);
+    for (size_t i = 0; i < lhr.layers.size(); ++i)
+        lhr.layerHr[i] = lhr.layers[i].hr();
+    add("LHR+WDS(8)", 0.0, lhr, lhr_layers);
+
+    t.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 15", "LHR/WDS vs and with pruning");
+    sweepModel("ResNet18");
+    sweepModel("ViT");
+    std::printf("Shape: pruning+LHR < pruning in HR at equal "
+                "sparsity; accuracy falls with sparsity; LHR keeps "
+                "accuracy.\n");
+    return 0;
+}

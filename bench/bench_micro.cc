@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hot simulator kernels:
+ * the bit-serial MAC + Rtog engine, the HR kernel, the LHR gradient,
+ * the PDN mesh solve and the annealing mapper.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mapping/Mappers.hh"
+#include "pim/Macro.hh"
+#include "power/PdnMesh.hh"
+#include "quant/Hamming.hh"
+#include "quant/Lhr.hh"
+#include "util/Rng.hh"
+
+using namespace aim;
+
+namespace
+{
+
+void
+BM_BitSerialMacroPass(benchmark::State &state)
+{
+    pim::PimConfig cfg;
+    cfg.rows = static_cast<int>(state.range(0));
+    cfg.banks = 32;
+    pim::Macro macro(cfg);
+    util::Rng rng(1);
+    std::vector<int32_t> w(
+        static_cast<size_t>(cfg.rows) * cfg.banks);
+    for (auto &v : w)
+        v = static_cast<int32_t>(rng.uniformInt(-128, 127));
+    macro.loadWeights(w, cfg.rows, cfg.banks);
+    std::vector<int32_t> x(cfg.rows);
+    for (auto &v : x)
+        v = static_cast<int32_t>(rng.uniformInt(-128, 127));
+    for (auto _ : state) {
+        auto out = macro.run(x, cfg.rows);
+        benchmark::DoNotOptimize(out.outputs.data());
+    }
+    state.SetItemsProcessed(state.iterations() * cfg.rows *
+                            cfg.banks);
+}
+BENCHMARK(BM_BitSerialMacroPass)->Arg(64)->Arg(128);
+
+void
+BM_HammingRate(benchmark::State &state)
+{
+    util::Rng rng(2);
+    std::vector<int32_t> v(state.range(0));
+    for (auto &x : v)
+        x = static_cast<int32_t>(rng.uniformInt(-128, 127));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(quant::hammingRate(v, 8));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HammingRate)->Arg(1 << 12)->Arg(1 << 16);
+
+void
+BM_LhrGradient(benchmark::State &state)
+{
+    util::Rng rng(3);
+    std::vector<double> u(4096);
+    for (auto &x : u)
+        x = rng.normal(0.0, 40.0);
+    for (auto _ : state) {
+        double acc = 0.0;
+        for (double x : u)
+            acc += quant::interpolatedHr(x, 8).slope;
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * u.size());
+}
+BENCHMARK(BM_LhrGradient);
+
+void
+BM_PdnMeshSolve(benchmark::State &state)
+{
+    power::PdnMeshConfig cfg;
+    cfg.size = static_cast<int>(state.range(0));
+    power::PdnMesh mesh(cfg);
+    mesh.addBlockLoad(cfg.size / 4, cfg.size / 4, cfg.size / 2,
+                      cfg.size / 2, 3.0);
+    for (auto _ : state) {
+        auto sol = mesh.solve();
+        benchmark::DoNotOptimize(sol.voltage.data());
+    }
+}
+BENCHMARK(BM_PdnMeshSolve)->Arg(24)->Arg(48);
+
+void
+BM_HrAwareAnnealing(benchmark::State &state)
+{
+    pim::PimConfig cfg;
+    power::VfTable table(power::defaultCalibration());
+    power::PowerModel pm(power::defaultCalibration());
+    mapping::MappingEvaluator eval(cfg, table, pm,
+                                   mapping::Objective::Sprint, 5);
+    std::vector<mapping::Task> tasks;
+    util::Rng rng(7);
+    for (int i = 0; i < 48; ++i) {
+        mapping::Task t;
+        t.layerName = "t";
+        t.setId = i / 8;
+        t.hr = rng.uniform(0.2, 0.6);
+        t.macs = 1'000'000;
+        tasks.push_back(t);
+    }
+    for (auto _ : state) {
+        auto m = mapping::mapHrAware(tasks, cfg, eval);
+        benchmark::DoNotOptimize(m.taskOfMacro.data());
+    }
+}
+BENCHMARK(BM_HrAwareAnnealing);
+
+} // namespace
+
+BENCHMARK_MAIN();

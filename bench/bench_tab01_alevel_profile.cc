@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Paper Table 1 plus the Section 5.5.1 sensitivity analysis behind
+ * it: the safe-level -> initial-a-level table, and the effect of the
+ * level range and step on achievable mitigation (narrowing the range
+ * by 5% costs >17%; steps of 6%+ cost >8%).
+ */
+
+#include "BenchCommon.hh"
+
+#include "booster/LevelPolicy.hh"
+
+using namespace aim;
+using namespace aim::bench;
+
+namespace
+{
+
+/**
+ * Mitigation capability proxy of a level grid: mean over a workload
+ * HR distribution of the dynamic-drop saving unlocked by the best
+ * available level (vs signoff Rtog = 100%).
+ */
+double
+gridCapability(int lo, int hi, int step)
+{
+    const auto cal = power::defaultCalibration();
+    const power::IrModel ir(cal);
+    // Representative post-LHR safe-HR distribution across groups.
+    const double hrs[] = {0.22, 0.27, 0.31, 0.34, 0.38,
+                          0.43, 0.48, 0.55, 0.62};
+    double acc = 0.0;
+    for (double hr : hrs) {
+        // Nearest level at or above HR on this grid; DVFS if none.
+        int level = 100;
+        for (int l = lo; l <= hi; l += step)
+            if (hr * 100.0 <= l) {
+                level = l;
+                break;
+            }
+        const double drop =
+            ir.dropMv(cal.vddNominal, cal.fNominal, level / 100.0);
+        acc += 1.0 - drop / ir.signoffWorstMv();
+    }
+    return acc / std::size(hrs);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table 1", "safe level -> initial aggressive level");
+
+    util::Table t("Table 1 (paper values, validated by tests)");
+    t.setHeader({"safe level %", "a-level0 %"});
+    for (int safe : {100, 60, 55, 50, 45, 40, 35, 30, 25, 20})
+        t.addRow({std::to_string(safe),
+                  std::to_string(booster::initialALevel(safe))});
+    t.print();
+
+    util::Table s("Section 5.5.1 sensitivity: level range and step");
+    s.setHeader({"grid", "pairs", "capability", "vs default"});
+    const double base = gridCapability(20, 60, 5);
+    struct Grid
+    {
+        const char *name;
+        int lo, hi, step;
+    };
+    const Grid grids[] = {
+        {"20-60 step 5 (paper)", 20, 60, 5},
+        {"25-60 step 5 (narrower low end)", 25, 60, 5},
+        {"20-55 step 5 (narrower high end)", 20, 55, 5},
+        {"20-60 step 6", 20, 60, 6},
+        {"20-60 step 10", 20, 60, 10},
+        {"20-60 step 2 (costly: 100+ pairs)", 20, 60, 2},
+    };
+    for (const auto &g : grids) {
+        const double cap = gridCapability(g.lo, g.hi, g.step);
+        const int levels = (g.hi - g.lo) / g.step + 1;
+        s.addRow({g.name, std::to_string(levels * 5),
+                  util::Table::pct(cap, 1),
+                  util::Table::pct(cap / base - 1.0, 1)});
+    }
+    s.print();
+    std::printf("Paper: narrowing the range by 5%% loses >17%% "
+                "capability; 6%%+ steps lose >8%%; <5%% steps gain "
+                "~6%% but need 36+ validated pairs.\n");
+    return 0;
+}

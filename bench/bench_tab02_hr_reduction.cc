@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Paper Table 2: HRaverage and HRmax reduction over the baseline [64]
+ * for +LHR, +WDS(8) and +WDS(16) across the six evaluation models.
+ * (WDS rows apply the shift on top of LHR, as in the paper.)
+ */
+
+#include "BenchCommon.hh"
+
+#include "quant/Wds.hh"
+
+using namespace aim;
+using namespace aim::bench;
+
+namespace
+{
+
+struct HrPair
+{
+    double aver;
+    double max;
+};
+
+HrPair
+hrOf(const quant::QatResult &res)
+{
+    return {res.hrAverage(), res.hrMax()};
+}
+
+HrPair
+withWds(const quant::QatResult &lhr, int delta)
+{
+    quant::QatResult shifted = lhr;
+    for (auto &layer : shifted.layers) {
+        quant::applyWds(layer, delta);
+    }
+    double aver = 0.0;
+    double mx = 0.0;
+    for (const auto &layer : shifted.layers) {
+        const double hr = layer.hr();
+        aver += hr;
+        mx = std::max(mx, hr);
+    }
+    aver /= static_cast<double>(shifted.layers.size());
+    return {aver, mx};
+}
+
+std::string
+red(double base, double opt)
+{
+    return util::Table::pct(1.0 - opt / base, 1);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table 2",
+           "HRaverage / HRmax reduction over baseline [64]");
+
+    util::Table aver("HRaverage reduction (higher is better)");
+    util::Table hmax("HRmax reduction (higher is better)");
+    aver.setHeader({"Model", "baseline HR", "+LHR", "+WDS(d=8)",
+                    "+WDS(d=16)"});
+    hmax.setHeader({"Model", "baseline HR", "+LHR", "+WDS(d=8)",
+                    "+WDS(d=16)"});
+
+    for (const auto &model : workload::allModels()) {
+        const auto base = hrOf(baselineQuant(model));
+        const auto lhr_res = lhrQuant(model);
+        const auto lhr = hrOf(lhr_res);
+        const auto wds8 = withWds(lhr_res, 8);
+        const auto wds16 = withWds(lhr_res, 16);
+        aver.addRow({model.name, util::Table::fmt(base.aver, 3),
+                     red(base.aver, lhr.aver),
+                     red(base.aver, wds8.aver),
+                     red(base.aver, wds16.aver)});
+        hmax.addRow({model.name, util::Table::fmt(base.max, 3),
+                     red(base.max, lhr.max), red(base.max, wds8.max),
+                     red(base.max, wds16.max)});
+    }
+    aver.print();
+    hmax.print();
+    std::printf("Paper: HRaver reductions 23%%-45.6%% (LHR..WDS16); "
+                "shape: LHR < +WDS(8) < +WDS(16) for every model.\n");
+    return 0;
+}

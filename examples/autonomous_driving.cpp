@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Autonomous-driving scenario (paper Sections 1 and 5.6): perception
+ * stacks such as UniAD / BEVFormer mix conv backbones with
+ * transformer heads, so operators with very different HR run on the
+ * chip *concurrently*.  This example builds such a mixed round
+ * (YOLOv5 conv tiles + ViT attention tiles) and shows why HR-aware
+ * task mapping matters: naive mappings pin whole macro groups to the
+ * worst task's V-f level.
+ *
+ * Build & run:  ./build/examples/autonomous_driving
+ */
+
+#include <cstdio>
+
+#include "quant/QatTrainer.hh"
+#include "sim/Compiler.hh"
+#include "sim/Runtime.hh"
+#include "workload/WeightSynth.hh"
+
+int
+main()
+{
+    using namespace aim;
+
+    pim::PimConfig chip;
+    const auto cal = power::defaultCalibration();
+
+    // Detection backbone tiles: LHR+WDS-optimized conv weights.
+    const auto det = workload::yolov5s();
+    auto det_layers = workload::synthesizeWeights(det);
+    quant::QatConfig qcfg;
+    qcfg.lambda = 2.0;
+    auto det_q = quant::QatTrainer(qcfg).run(det_layers);
+
+    // Planner head: ViT attention (QKT/SV are input-determined and
+    // cannot be pre-optimized).
+    const auto vit = workload::vitB16();
+
+    sim::Round round;
+    int set_id = 0;
+    // 8 conv operators from the backbone...
+    for (int i = 0; i < 8; ++i) {
+        const auto tasks = sim::tileOperator(
+            det.layers[5 + i], &det_q.layers[5 + i], chip, set_id++,
+            4, 100 + i);
+        round.tasks.insert(round.tasks.end(), tasks.begin(),
+                           tasks.end());
+    }
+    // ...plus 4 attention operators from the planner.
+    int added = 0;
+    for (const auto &spec : vit.layers) {
+        if (!workload::isInputDetermined(spec.type) || added >= 4)
+            continue;
+        const auto tasks = sim::tileOperator(spec, nullptr, chip,
+                                             set_id++, 4, 200 + added);
+        round.tasks.insert(round.tasks.end(), tasks.begin(),
+                           tasks.end());
+        ++added;
+    }
+    std::printf("mixed perception round: %zu tasks, %d operators\n",
+                round.tasks.size(), set_id);
+
+    // Latency matters in driving: sprint mode, compare mappings.
+    std::printf("\n%-12s %10s %12s %10s %9s\n", "mapping", "TOPS",
+                "macro mW", "failures", "util");
+    for (auto kind :
+         {mapping::MapperKind::Sequential, mapping::MapperKind::Zigzag,
+          mapping::MapperKind::Random, mapping::MapperKind::HrAware}) {
+        sim::RunConfig rcfg;
+        rcfg.mapper = kind;
+        rcfg.boost.mode = booster::BoostMode::Sprint;
+        sim::Runtime rt(chip, cal, rcfg);
+        const auto rep = rt.run({round}, det.stream);
+        std::printf("%-12s %10.1f %12.3f %10ld %8.1f%%\n",
+                    mapping::mapperName(kind), rep.tops,
+                    rep.macroPowerMw, rep.failures,
+                    100.0 * rep.utilization());
+    }
+    std::printf("\nHR-aware mapping isolates the attention tiles "
+                "(safe level 100%%) from the optimized conv tiles, "
+                "so conv groups keep their aggressive V-f levels.\n");
+    return 0;
+}

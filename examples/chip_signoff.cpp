@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Hardware-engineer flow: explore the chip's electrical envelope the
+ * way the signoff team validates the IR-Booster IP (paper Section
+ * 5.5.1).  Prints the timing law, the signoff corner, the validated
+ * V-f pair sets per Rtog level, and the IR monitor's transfer
+ * characteristics.
+ *
+ * Build & run:  ./build/examples/chip_signoff
+ */
+
+#include <cstdio>
+
+#include "power/IrModel.hh"
+#include "power/IrMonitor.hh"
+#include "power/VfTable.hh"
+#include "util/Table.hh"
+
+int
+main()
+{
+    using namespace aim;
+
+    const auto cal = power::defaultCalibration();
+    const power::IrModel ir(cal);
+    const power::VfTable table(cal);
+
+    std::printf("signoff corner: VDD %.2f V, worst-case IR-drop "
+                "%.0f mV (Rtog = 100%%), timing closes at %.2f GHz\n",
+                cal.vddNominal, ir.signoffWorstMv(),
+                table.fMax(cal.vddNominal -
+                           ir.signoffWorstMv() / 1000.0));
+
+    // Timing law across the supply range.
+    util::Table timing("alpha-power timing law");
+    timing.setHeader({"V_eff (V)", "f_max (GHz)"});
+    for (double v = 0.50; v <= 0.76; v += 0.05)
+        timing.addRow({util::Table::fmt(v, 2),
+                       util::Table::fmt(table.fMax(v), 3)});
+    timing.print();
+
+    // Validated pair sets per level (Figure 9).
+    util::Table pairs("validated V-f pairs per Rtog level");
+    pairs.setHeader({"level %", "#pairs", "sprint pick",
+                     "low-power pick"});
+    for (int level : table.levels()) {
+        const auto sprint = table.sprintPair(level);
+        const auto lp = table.lowPowerPair(level);
+        char s[64];
+        char l[64];
+        std::snprintf(s, sizeof(s), "%.3fV @ %.2fGHz", sprint.v,
+                      sprint.fGhz);
+        std::snprintf(l, sizeof(l), "%.3fV @ %.2fGHz", lp.v, lp.fGhz);
+        pairs.addRow({std::to_string(level),
+                      std::to_string(table.pairsAt(level).size()), s,
+                      l});
+    }
+    pairs.print();
+
+    // Monitor characteristics.
+    power::IrMonitor mon(cal, util::Rng(1));
+    std::printf("IR monitor: %.2f mV/LSB, VCO %.2f GHz at nominal "
+                "supply, %.2f GHz at the signoff corner\n",
+                cal.monitorLsbMv, mon.vcoFrequency(cal.vddNominal),
+                mon.vcoFrequency(cal.vddNominal -
+                                 ir.signoffWorstMv() / 1000.0));
+
+    // What IR-Booster buys at each level vs DVFS.
+    util::Table gains("headroom unlocked per level (vs DVFS)");
+    gains.setHeader({"level %", "drop mV", "sprint f gain",
+                     "low-power V saving"});
+    for (int level : table.levels()) {
+        if (level == 100)
+            continue;
+        const double drop = ir.dropMv(cal.vddNominal, cal.fNominal,
+                                      level / 100.0);
+        gains.addRow(
+            {std::to_string(level), util::Table::fmt(drop, 1),
+             util::Table::pct(table.sprintPair(level).fGhz /
+                                  cal.fNominal -
+                              1.0),
+             util::Table::fmt(
+                 (cal.vddNominal - table.lowPowerPair(level).v) *
+                     1000.0,
+                 0) +
+                 " mV"});
+    }
+    gains.print();
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * LLM-serving scenario (paper Section 1: d-Matrix Corsair, Houmo
+ * MoMagic): run Llama3.2-1B and GPT-2 through the full AIM stack and
+ * compare the two IR-Booster operating modes.  Transformers lean on
+ * IR-Booster because QKT/SV in-memory data is produced at runtime --
+ * LHR/WDS cannot touch it (paper Section 6.8).
+ *
+ * Build & run:  ./build/examples/llm_serving
+ */
+
+#include <cstdio>
+
+#include "aim/Aim.hh"
+
+int
+main()
+{
+    using namespace aim;
+
+    pim::PimConfig chip;
+    AimPipeline pipeline(chip, power::defaultCalibration());
+
+    for (const char *name : {"GPT2", "Llama3"}) {
+        const auto model = workload::modelByName(name);
+        std::printf("=== %s (baseline perplexity %.2f) ===\n",
+                    model.name.c_str(), model.baselineMetric);
+
+        auto base_opts = AimOptions::dvfsBaseline();
+        base_opts.workScale = 0.02;
+        const auto base = pipeline.run(model, base_opts);
+
+        AimOptions sprint;
+        sprint.mode = booster::BoostMode::Sprint;
+        sprint.workScale = 0.02;
+        const auto fast = pipeline.run(model, sprint);
+
+        AimOptions lp;
+        lp.mode = booster::BoostMode::LowPower;
+        lp.workScale = 0.02;
+        const auto cool = pipeline.run(model, lp);
+
+        std::printf("%-14s %9s %9s %9s\n", "", "DVFS", "sprint",
+                    "low-power");
+        std::printf("%-14s %9.1f %9.1f %9.1f\n", "TOPS",
+                    base.run.tops, fast.run.tops, cool.run.tops);
+        std::printf("%-14s %9.3f %9.3f %9.3f\n", "macro mW",
+                    base.run.macroPowerMw, fast.run.macroPowerMw,
+                    cool.run.macroPowerMw);
+        std::printf("%-14s %9.1f %9.1f %9.1f\n", "IR worst mV",
+                    base.run.irWorstMv, fast.run.irWorstMv,
+                    cool.run.irWorstMv);
+        std::printf("%-14s %9.2f %9.2f %9.2f\n", "perplexity",
+                    base.accuracy.metric, fast.accuracy.metric,
+                    cool.accuracy.metric);
+        std::printf("%-14s %9s %9ld %9ld\n", "IRFailures", "-",
+                    fast.run.failures, cool.run.failures);
+        std::printf("\nsprint: throughput for batch serving "
+                    "(%.2fx speedup); low-power: tokens/joule for "
+                    "edge deployment (%.2fx efficiency).\n\n",
+                    fast.run.tops / base.run.tops,
+                    base.run.macroPowerMw / cool.run.macroPowerMw);
+    }
+    return 0;
+}

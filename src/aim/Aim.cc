@@ -1,0 +1,131 @@
+#include "aim/Aim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/Wds.hh"
+#include "sim/Compiler.hh"
+#include "util/Logging.hh"
+#include "workload/WeightSynth.hh"
+
+namespace aim
+{
+
+AimOptions
+AimOptions::dvfsBaseline()
+{
+    AimOptions o;
+    o.useLhr = false;
+    o.useWds = false;
+    o.useBooster = false;
+    o.mapper = mapping::MapperKind::Sequential;
+    return o;
+}
+
+AimPipeline::AimPipeline(const pim::PimConfig &cfg,
+                         const power::Calibration &cal)
+    : cfg(cfg), cal(cal)
+{
+}
+
+AimPipeline::OfflineResult
+AimPipeline::runOffline(const workload::ModelSpec &model,
+                        const AimOptions &opts) const
+{
+    OfflineResult out;
+    workload::SynthConfig synth;
+    synth.seed = opts.seed;
+    out.floatLayers = workload::synthesizeWeights(model, synth);
+
+    if (opts.useLhr) {
+        quant::QatConfig qcfg;
+        qcfg.bits = opts.bits;
+        qcfg.lambda = opts.lambda;
+        qcfg.seed = opts.seed ^ 0x5bd1e995ULL;
+        out.quantized = quant::QatTrainer(qcfg).run(out.floatLayers);
+    } else {
+        out.quantized =
+            quant::quantizeBaseline(out.floatLayers, opts.bits);
+    }
+
+    if (opts.useWds) {
+        size_t clamped = 0;
+        size_t total = 0;
+        for (auto &layer : out.quantized.layers) {
+            const auto stats =
+                quant::applyWds(layer, opts.wdsDelta);
+            clamped += stats.clamped;
+            total += stats.total;
+        }
+        // Refresh per-layer HR after the shift.
+        for (size_t i = 0; i < out.quantized.layers.size(); ++i)
+            out.quantized.layerHr[i] = out.quantized.layers[i].hr();
+        out.wdsClampedFraction =
+            total > 0 ? static_cast<double>(clamped) / total : 0.0;
+    }
+    return out;
+}
+
+AimReport
+AimPipeline::run(const workload::ModelSpec &model,
+                 const AimOptions &opts) const
+{
+    AimReport rep;
+
+    // Offline software passes.
+    OfflineResult offline = runOffline(model, opts);
+    rep.hrAverage = offline.quantized.hrAverage();
+    rep.hrMax = offline.quantized.hrMax();
+    rep.wdsClampedFraction = offline.wdsClampedFraction;
+
+    // Reference baseline HR of the identical pretrained weights.
+    {
+        workload::SynthConfig synth;
+        synth.seed = opts.seed;
+        auto base_layers = workload::synthesizeWeights(model, synth);
+        const auto base =
+            quant::quantizeBaseline(base_layers, opts.bits);
+        rep.baselineHrAverage = base.hrAverage();
+        rep.baselineHrMax = base.hrMax();
+    }
+
+    // Accuracy proxy.
+    workload::AccuracyExtras extras;
+    extras.wdsClampedFraction = offline.wdsClampedFraction;
+    rep.accuracy = workload::evaluateAccuracy(
+        model, offline.quantized, offline.floatLayers, extras);
+
+    // Compile and execute.
+    sim::CompilerConfig ccfg;
+    ccfg.seed = opts.seed ^ 0xc2b2ae35ULL;
+    auto rounds =
+        sim::compileModel(model, offline.quantized.layers, cfg, ccfg);
+    if (opts.workScale < 1.0) {
+        for (auto &round : rounds)
+            for (auto &task : round.tasks)
+                task.macs = std::max<long>(
+                    static_cast<long>(task.macs * opts.workScale),
+                    static_cast<long>(cfg.macsPerMacroPerPass()));
+    }
+
+    sim::RunConfig rcfg;
+    rcfg.useBooster = opts.useBooster;
+    rcfg.boost.beta = opts.beta;
+    rcfg.boost.mode = opts.mode;
+    rcfg.boost.aggressiveAdjustment = opts.aggressiveAdjustment;
+    rcfg.mapper = opts.mapper;
+    rcfg.seed = opts.seed ^ 0x9e3779b9ULL;
+    sim::Runtime runtime(cfg, cal, rcfg);
+    rep.run = runtime.run(rounds, model.stream);
+
+    const power::IrModel ir(cal);
+    rep.irMitigationVsSignoff =
+        1.0 - rep.run.irWorstMv / ir.signoffWorstMv();
+    rep.efficiencyGain =
+        rep.run.macroPowerMw > 0.0
+            ? cal.macroPowerBaselineMw / rep.run.macroPowerMw
+            : 0.0;
+    return rep;
+}
+
+} // namespace aim

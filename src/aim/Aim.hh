@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Public facade of the AIM stack: the end-to-end flow of paper
+ * Section 5.2.2.
+ *
+ *   offline:  synthesize / load weights -> quantize with LHR ->
+ *             WDS shift -> compile (tile + HR) -> HR-aware mapping
+ *   runtime:  per-group IR monitors + IR-Booster V-f adjustment with
+ *             IRFailure-driven recomputing
+ *
+ * A single AimPipeline::run() executes the whole flow for one model
+ * and returns quantization, accuracy, and chip-level results; every
+ * stage can be disabled independently for ablations (Figure 19).
+ */
+
+#ifndef AIM_AIM_AIM_HH
+#define AIM_AIM_AIM_HH
+
+#include "booster/GroupBooster.hh"
+#include "mapping/Mappers.hh"
+#include "power/Calibration.hh"
+#include "sim/Runtime.hh"
+#include "workload/AccuracyProxy.hh"
+#include "workload/ModelZoo.hh"
+
+namespace aim
+{
+
+/** Feature toggles and tuning of a pipeline run. */
+struct AimOptions
+{
+    /** Enable the LHR regularizer during quantization (S5.3). */
+    bool useLhr = true;
+    /** LHR strength lambda. */
+    double lambda = 2.0;
+    /** Enable the weight distribution shift (S5.4). */
+    bool useWds = true;
+    /** WDS shift amount (power of two; 8 or 16 for INT8). */
+    int wdsDelta = 16;
+    /** Enable IR-Booster (false = DVFS baseline, S5.5). */
+    bool useBooster = true;
+    /** Enable Algorithm-2 aggressive adjustment (false = safe-level
+     * only operation, the Figure 18/19 reference). */
+    bool aggressiveAdjustment = true;
+    /** IR-Booster operating mode. */
+    booster::BoostMode mode = booster::BoostMode::Sprint;
+    /** Algorithm-2 beta. */
+    int beta = 50;
+    /** Task mapping strategy (S5.6). */
+    mapping::MapperKind mapper = mapping::MapperKind::HrAware;
+    /** Quantization bit width. */
+    int bits = 8;
+    /** Fraction of the full inference workload simulated. */
+    double workScale = 0.2;
+    /** Master seed. */
+    uint64_t seed = 7;
+
+    /** The conventional chip: no AIM component active. */
+    static AimOptions dvfsBaseline();
+};
+
+/** Everything a pipeline run produces. */
+struct AimReport
+{
+    /** HRaverage of the deployed weights. */
+    double hrAverage = 0.0;
+    /** HRmax across layers. */
+    double hrMax = 0.0;
+    /** Baseline ([64] quantization) HRaverage of the same weights. */
+    double baselineHrAverage = 0.0;
+    /** Baseline HRmax. */
+    double baselineHrMax = 0.0;
+    /** Fraction of weights clamped by WDS. */
+    double wdsClampedFraction = 0.0;
+    /** Accuracy proxy result. */
+    workload::AccuracyReport accuracy;
+    /** Chip-level execution result. */
+    sim::RunReport run;
+
+    /** IR-drop mitigation vs the signoff worst case (fraction). */
+    double irMitigationVsSignoff = 0.0;
+    /** Energy-efficiency gain vs the 4.2978 mW baseline macro. */
+    double efficiencyGain = 0.0;
+};
+
+/** End-to-end AIM flow on the modelled chip. */
+class AimPipeline
+{
+  public:
+    AimPipeline(const pim::PimConfig &cfg,
+                const power::Calibration &cal);
+
+    /** Execute the full offline + runtime flow for one model. */
+    AimReport run(const workload::ModelSpec &model,
+                  const AimOptions &opts) const;
+
+    /** Offline stages only: quantized layers + clamp stats. */
+    struct OfflineResult
+    {
+        std::vector<quant::FloatLayer> floatLayers;
+        quant::QatResult quantized;
+        double wdsClampedFraction = 0.0;
+    };
+    OfflineResult runOffline(const workload::ModelSpec &model,
+                             const AimOptions &opts) const;
+
+    const pim::PimConfig &pimConfig() const { return cfg; }
+    const power::Calibration &calibration() const { return cal; }
+
+  private:
+    pim::PimConfig cfg;
+    power::Calibration cal;
+};
+
+} // namespace aim
+
+#endif // AIM_AIM_AIM_HH

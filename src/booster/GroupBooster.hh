@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Per-Macro-Group IR-Booster controller implementing paper
+ * Algorithm 2 (IRFailure-aware aggressive level adjustment):
+ *
+ *   - start at the aggressive level derived from the safe level
+ *     (Table 1);
+ *   - on IRFailure, retreat to the safe level; a failure arriving
+ *     within 0.2*beta cycles of the previous one demotes the
+ *     aggressive level;
+ *   - a frequency synchronization event from the logical Set pins the
+ *     level and resets the counter;
+ *   - after beta failure-free cycles, return to the aggressive level;
+ *     after 2*beta, promote it one step.
+ */
+
+#ifndef AIM_BOOSTER_GROUPBOOSTER_HH
+#define AIM_BOOSTER_GROUPBOOSTER_HH
+
+#include "booster/LevelPolicy.hh"
+#include "power/VfTable.hh"
+
+namespace aim::booster
+{
+
+/** IR-Booster operating mode (paper Section 5.5.1). */
+enum class BoostMode
+{
+    Sprint,   ///< high-V high-f pairs: maximize throughput
+    LowPower, ///< low-V pairs at iso-frequency: minimize power
+};
+
+/** Controller tuning. */
+struct BoosterConfig
+{
+    /** Safe-cycle horizon beta of Algorithm 2. */
+    int beta = 50;
+    /** Operating mode. */
+    BoostMode mode = BoostMode::Sprint;
+    /** Disable aggressive adjustment (run at the safe level only). */
+    bool aggressiveAdjustment = true;
+};
+
+/** Per-cycle decision emitted by the controller. */
+struct BoostDecision
+{
+    /** Current Rtog level [%]. */
+    int level = 100;
+    /** Selected V-f pair for that level. */
+    power::VfPair pair;
+    /** A recompute of the failed pass is required this cycle. */
+    bool recompute = false;
+    /** The V-f pair changed this cycle (switch penalty applies). */
+    bool vfSwitched = false;
+};
+
+/** Algorithm-2 state machine for one macro group. */
+class GroupBooster
+{
+  public:
+    /**
+     * @param table validated V-f pairs
+     * @param cfg   controller tuning
+     * @param safeLevelPct software-determined safe level (from the
+     *        worst HR in the group, Section 5.5.1)
+     */
+    GroupBooster(const power::VfTable &table, const BoosterConfig &cfg,
+                 int safeLevelPct);
+
+    /**
+     * Advance one cycle.
+     *
+     * @param irFailure    monitor raised IRFailure this cycle
+     * @param setFreqSync  a Set peer forced a frequency change; the
+     *                     pinned level follows @p setLevelPct
+     * @param setLevelPct  level imposed by the Set (ignored unless
+     *                     setFreqSync)
+     */
+    BoostDecision step(bool irFailure, bool setFreqSync = false,
+                       int setLevelPct = 100);
+
+    /** Current Rtog level [%]. */
+    int level() const { return curLevel; }
+
+    /** Current aggressive level [%]. */
+    int aLevel() const { return aggrLevel; }
+
+    /** Safe level [%]. */
+    int safeLevel() const { return safe; }
+
+    /** Current V-f pair. */
+    power::VfPair pair() const { return curPair; }
+
+    /** Failure-free cycle counter. */
+    long safeCounter() const { return counter; }
+
+    /** Total IRFailures seen. */
+    long failures() const { return failCount; }
+
+    /** Total a-level demotions (over-aggressive events). */
+    long demotions() const { return demoteCount; }
+
+    /** Total a-level promotions. */
+    long promotions() const { return promoteCount; }
+
+  private:
+    power::VfPair pairFor(int levelPct) const;
+
+    const power::VfTable &table;
+    BoosterConfig cfg;
+    int safe;
+    int aggrLevel;
+    int curLevel;
+    power::VfPair curPair;
+    long counter = 0;
+    long failCount = 0;
+    long demoteCount = 0;
+    long promoteCount = 0;
+};
+
+} // namespace aim::booster
+
+#endif // AIM_BOOSTER_GROUPBOOSTER_HH

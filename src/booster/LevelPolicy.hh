@@ -1,0 +1,44 @@
+/**
+ * @file
+ * IR-Booster level policy: paper Table 1 (safe level -> initial
+ * aggressive level) and the level up/down moves of Algorithm 2.
+ *
+ * A *level* is the Rtog percentage a V-f pair subset is validated
+ * for.  "Level up" means assuming *less* activity (numerically lower
+ * Rtog), unlocking lower voltage or higher frequency; "level down"
+ * retreats toward the safe level.  Safe level 100 is the DVFS signoff.
+ */
+
+#ifndef AIM_BOOSTER_LEVELPOLICY_HH
+#define AIM_BOOSTER_LEVELPOLICY_HH
+
+#include "power/Calibration.hh"
+
+namespace aim::booster
+{
+
+/**
+ * Initial aggressive level for a safe level (paper Table 1):
+ *
+ *   safe  : 100 60 55 50 45 40 35 30 25 20
+ *   a0    :  60 40 35 35 35 30 30 25 20 20
+ */
+int initialALevel(int safeLevelPct);
+
+/** One step more aggressive (Rtog pct down, floor at levelMin). */
+int levelUp(int levelPct, const power::Calibration &cal);
+
+/**
+ * One step more conservative (Rtog pct up).  Clamped at the safe
+ * level; a safe level of 100 means the retreat path ends at the
+ * top validated level and then reverts to DVFS (returns 100).
+ */
+int levelDown(int levelPct, int safeLevelPct,
+              const power::Calibration &cal);
+
+/** True when @p pct is a validated level (20..60 step 5, or 100). */
+bool isValidLevel(int pct, const power::Calibration &cal);
+
+} // namespace aim::booster
+
+#endif // AIM_BOOSTER_LEVELPOLICY_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Task-to-macro mapping strategies.  Sequential and zigzag are the
+ * traditional baselines (paper Section 6.9, citing TANGRAM-style
+ * mapping); random is the naive reference; HR-aware is the paper's
+ * simulated-annealing mapper (Algorithm 3) that accounts for the
+ * group-level V-f coupling IR-Booster introduces.
+ */
+
+#ifndef AIM_MAPPING_MAPPERS_HH
+#define AIM_MAPPING_MAPPERS_HH
+
+#include "mapping/MappingScore.hh"
+#include "mapping/Task.hh"
+#include "util/Rng.hh"
+
+namespace aim::mapping
+{
+
+/** Mapping strategy selector. */
+enum class MapperKind
+{
+    Sequential,
+    Zigzag,
+    Random,
+    HrAware,
+};
+
+/** Printable name of a mapper. */
+const char *mapperName(MapperKind kind);
+
+/** Simulated-annealing tuning (paper Section 5.6 values). */
+struct AnnealConfig
+{
+    /** Iteration limit. */
+    int steps = 500;
+    /**
+     * Initial normalized temperature T0.  The paper's normalized-
+     * exponential acceptor exp(-dS / (0.5 S0 T)) assumes score
+     * deltas comparable to S0; our mapping scores differ by a
+     * fraction of a percent between candidates, so the same
+     * normalization is folded into T0 (T0 = 1 on the paper's scale
+     * corresponds to ~0.01 here).
+     */
+    double t0 = 0.01;
+    /** Temperature reduction coefficient q. */
+    double q = 0.95;
+    /** Early-stop after this many consecutive rejections. */
+    int patience = 10;
+    /** RNG seed of the transition chain. */
+    uint64_t seed = 5;
+};
+
+/** Fill macros in index order. */
+Mapping mapSequential(const std::vector<Task> &tasks,
+                      const pim::PimConfig &cfg);
+
+/** Fill macros boustrophedon across groups (TANGRAM-style zigzag). */
+Mapping mapZigzag(const std::vector<Task> &tasks,
+                  const pim::PimConfig &cfg);
+
+/** Random permutation of macros. */
+Mapping mapRandom(const std::vector<Task> &tasks,
+                  const pim::PimConfig &cfg, util::Rng &rng);
+
+/**
+ * HR-aware mapping (Algorithm 3): simulated annealing over pairwise
+ * swaps of macros from different groups (vacant macros participate,
+ * enabling the "empty macro" escape for HR outliers), scored by the
+ * lightweight evaluator, with the normalized-exponential acceptor
+ * exp(-dS / (0.5 S0 T)).
+ */
+Mapping mapHrAware(const std::vector<Task> &tasks,
+                   const pim::PimConfig &cfg,
+                   const MappingEvaluator &evaluator,
+                   const AnnealConfig &anneal = AnnealConfig{});
+
+/** Dispatch by kind (HrAware uses the provided evaluator). */
+Mapping mapWith(MapperKind kind, const std::vector<Task> &tasks,
+                const pim::PimConfig &cfg,
+                const MappingEvaluator &evaluator,
+                uint64_t seed = 5);
+
+} // namespace aim::mapping
+
+#endif // AIM_MAPPING_MAPPERS_HH

@@ -1,0 +1,150 @@
+#include "mapping/MappingScore.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "booster/LevelPolicy.hh"
+#include "util/Logging.hh"
+#include "util/Rng.hh"
+
+namespace aim::mapping
+{
+
+MappingEvaluator::MappingEvaluator(const pim::PimConfig &cfg,
+                                   const power::VfTable &table,
+                                   const power::PowerModel &pm,
+                                   Objective objective, uint64_t seed)
+    : cfg(cfg), table(table), pm(pm), mode(objective)
+{
+    // The paper's evaluator draws a 100-step input flip sequence from
+    // a normal distribution (Section 5.6).
+    util::Rng rng(seed);
+    flipSeq.reserve(100);
+    for (int i = 0; i < 100; ++i)
+        flipSeq.push_back(
+            std::clamp(rng.normal(0.55, 0.18), 0.0, 1.0));
+}
+
+ScoreBreakdown
+MappingEvaluator::evaluate(const Mapping &mapping,
+                           const std::vector<Task> &tasks) const
+{
+    aim_assert(mapping.macros() == cfg.macros(),
+               "mapping size != chip macros");
+
+    const auto worst_hr = groupWorstHr(mapping, tasks, cfg);
+
+    // Group operating points: the worst task pins the safe level; the
+    // evaluator assumes the initial aggressive level (Table 1), which
+    // is what the group will mostly run at.
+    const auto &cal = table.calibration();
+    std::vector<int> group_level(cfg.groups, 0);
+    std::vector<power::VfPair> group_pair(cfg.groups);
+    for (int g = 0; g < cfg.groups; ++g) {
+        if (worst_hr[g] <= 0.0)
+            continue; // vacant group: powered down
+        const int safe = table.safeLevelFor(worst_hr[g]);
+        const int level = booster::initialALevel(safe);
+        group_level[g] = level;
+        group_pair[g] = mode == Objective::Sprint
+                            ? table.sprintPair(level)
+                            : table.lowPowerPair(level);
+    }
+
+    // Per-set work and frequency (sets sync to their slowest group).
+    std::map<int, double> set_cycles;
+    std::map<int, double> set_freq;
+    std::map<int, std::set<int>> set_groups;
+    const double macs_per_cycle =
+        static_cast<double>(cfg.macsPerMacroPerPass()) / cfg.inputBits;
+    for (int m = 0; m < mapping.macros(); ++m) {
+        const int t = mapping.taskOfMacro[m];
+        if (t < 0)
+            continue;
+        const int g = Mapping::groupOf(m, cfg);
+        const int s = tasks[t].setId;
+        const double cycles =
+            static_cast<double>(tasks[t].macs) / macs_per_cycle;
+        set_cycles[s] = std::max(set_cycles[s], cycles);
+        const double f = group_pair[g].fGhz;
+        auto it = set_freq.find(s);
+        set_freq[s] = it == set_freq.end() ? f : std::min(it->second, f);
+        set_groups[s].insert(g);
+    }
+
+    // Expected IRFailure stalls: replay the flip sequence; a group
+    // whose worst task exceeds its level stalls every set it hosts.
+    std::map<int, double> set_stalls;
+    for (int g = 0; g < cfg.groups; ++g) {
+        if (worst_hr[g] <= 0.0)
+            continue;
+        int failures = 0;
+        const double limit =
+            static_cast<double>(group_level[g]) / 100.0;
+        for (double flip : flipSeq)
+            if (worst_hr[g] * flip > limit)
+                ++failures;
+        if (failures == 0)
+            continue;
+        const double stall =
+            static_cast<double>(failures) / flipSeq.size();
+        for (auto &[s, groups] : set_groups)
+            if (groups.count(g))
+                set_stalls[s] +=
+                    stall * cal.recomputePenaltyCycles;
+    }
+
+    ScoreBreakdown out;
+    for (auto &[s, cycles] : set_cycles) {
+        const double f = std::max(set_freq[s], 1e-9);
+        const double stall_frac =
+            set_stalls.count(s)
+                ? set_stalls[s] / cal.recomputePenaltyCycles
+                : 0.0;
+        const double eff_cycles =
+            cycles * (1.0 + stall_frac) +
+            (set_stalls.count(s) ? set_stalls[s] : 0.0);
+        out.makespanCycles =
+            std::max(out.makespanCycles, eff_cycles / f);
+        out.stallCycles += set_stalls.count(s) ? set_stalls[s] : 0.0;
+    }
+
+    // Energy: active groups burn their operating-point power for the
+    // time their sets keep them busy.
+    double power_acc = 0.0;
+    int active_groups = 0;
+    for (int g = 0; g < cfg.groups; ++g) {
+        if (worst_hr[g] <= 0.0)
+            continue;
+        // Mean Rtog of the group's tasks under the flip sequence.
+        double hr_acc = 0.0;
+        int hosted = 0;
+        for (int m = g * cfg.macrosPerGroup;
+             m < (g + 1) * cfg.macrosPerGroup; ++m) {
+            const int t = mapping.taskOfMacro[m];
+            if (t < 0)
+                continue;
+            hr_acc += tasks[t].inputDetermined ? 0.55 : tasks[t].hr;
+            ++hosted;
+        }
+        const double mean_rtog =
+            hosted > 0 ? 0.55 * hr_acc / hosted : 0.0;
+        const double p = pm.macroPowerMw(
+            group_pair[g].v, group_pair[g].fGhz, mean_rtog);
+        power_acc += p * hosted;
+        ++active_groups;
+        out.energy += p * hosted * out.makespanCycles;
+    }
+    out.meanGroupPowerMw =
+        active_groups > 0 ? power_acc / active_groups : 0.0;
+
+    out.score = mode == Objective::Sprint
+                    ? out.makespanCycles * (1.0 + 1e-6 * out.energy)
+                    : out.energy * (1.0 + 0.05 * out.makespanCycles /
+                                              (out.makespanCycles + 1.0));
+    return out;
+}
+
+} // namespace aim::mapping

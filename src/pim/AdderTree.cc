@@ -1,0 +1,69 @@
+#include "pim/AdderTree.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/Logging.hh"
+
+namespace aim::pim
+{
+
+AdderTree::AdderTree(int leaves, int leafBits, double carryGrowth)
+    : leaves(leaves), leafBits(leafBits), carryGrowth(carryGrowth)
+{
+    aim_assert(leaves >= 2, "adder tree needs at least two leaves");
+    aim_assert(leafBits >= 1, "leafBits must be positive");
+    nLevels = 0;
+    int span = 1;
+    while (span < leaves) {
+        span *= 2;
+        ++nLevels;
+    }
+}
+
+double
+AdderTree::totalAdderBits() const
+{
+    double total = 0.0;
+    for (int l = 1; l <= nLevels; ++l) {
+        const double adders =
+            std::ceil(static_cast<double>(leaves) / std::pow(2.0, l));
+        total += adders * (leafBits + l);
+    }
+    return total;
+}
+
+TreeActivity
+AdderTree::propagate(double leafToggleFraction) const
+{
+    leafToggleFraction = std::clamp(leafToggleFraction, 0.0, 1.0);
+    TreeActivity act;
+    act.togglesPerLevel.reserve(nLevels);
+
+    // Toggled operand bits entering level 1 (from the leaves).
+    double incoming = leafToggleFraction *
+                      static_cast<double>(leaves) * leafBits;
+    double total = 0.0;
+    for (int l = 1; l <= nLevels; ++l) {
+        // Each adder merges two operands; toggles survive the merge
+        // and carry chains add a growth factor.
+        const double level_toggles = incoming * 0.5 * carryGrowth;
+        act.togglesPerLevel.push_back(level_toggles);
+        total += level_toggles;
+        incoming = level_toggles;
+    }
+    const double denom = totalAdderBits();
+    act.normalizedActivity = denom > 0.0 ? total / denom : 0.0;
+    return act;
+}
+
+double
+AdderTree::cycleEnergy(double leafToggleFraction) const
+{
+    const double full = propagate(1.0).normalizedActivity;
+    if (full <= 0.0)
+        return 0.0;
+    return propagate(leafToggleFraction).normalizedActivity / full;
+}
+
+} // namespace aim::pim

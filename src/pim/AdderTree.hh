@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Structural model of the bit-serial adder tree inside a DPIM bank.
+ * Used two ways: (1) to scale dynamic switching energy with activity,
+ * and (2) standalone for paper Figure 22-(b), which evaluates AIM on a
+ * "pure adder tree" to argue applicability to TPUs/GPUs.
+ *
+ * A binary reduction tree over n leaves has n/2^l adders at level l,
+ * each of width (q + l) bits.  Toggle activity injected at the leaves
+ * propagates upward; carry chains amplify single-bit flips by an
+ * empirical growth factor while the halving of adder count attenuates
+ * total activity per level.
+ */
+
+#ifndef AIM_PIM_ADDERTREE_HH
+#define AIM_PIM_ADDERTREE_HH
+
+#include <vector>
+
+namespace aim::pim
+{
+
+/** Per-level activity estimate of one reduction. */
+struct TreeActivity
+{
+    /** Estimated toggled full-adder bit positions per level. */
+    std::vector<double> togglesPerLevel;
+    /** Sum over levels, normalized by total adder bits (0..~1). */
+    double normalizedActivity = 0.0;
+};
+
+/** Binary adder-tree activity/energy model. */
+class AdderTree
+{
+  public:
+    /**
+     * @param leaves       number of tree inputs (bank rows)
+     * @param leafBits     operand width at the leaves (weight bits)
+     * @param carryGrowth  toggles created per input toggle by carry
+     *                     propagation at each level (empirical ~1.15)
+     */
+    AdderTree(int leaves, int leafBits, double carryGrowth = 1.15);
+
+    /** Number of reduction levels (ceil log2 of leaves). */
+    int levels() const { return nLevels; }
+
+    /** Total full-adder bit positions in the tree. */
+    double totalAdderBits() const;
+
+    /**
+     * Propagate leaf activity through the tree.
+     *
+     * @param leafToggleFraction fraction of leaf bits toggling this
+     *        cycle (the bank Rtog of Equation 1)
+     */
+    TreeActivity propagate(double leafToggleFraction) const;
+
+    /**
+     * Relative dynamic energy of one cycle at the given leaf activity,
+     * normalized to all-leaves-toggling == 1.
+     */
+    double cycleEnergy(double leafToggleFraction) const;
+
+  private:
+    int leaves;
+    int leafBits;
+    int nLevels;
+    double carryGrowth;
+};
+
+} // namespace aim::pim
+
+#endif // AIM_PIM_ADDERTREE_HH

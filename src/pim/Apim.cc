@@ -1,0 +1,151 @@
+#include "pim/Apim.hh"
+
+#include <cmath>
+
+#include "util/BitOps.hh"
+#include "util/Logging.hh"
+
+namespace aim::pim
+{
+
+PimConfig
+apimDefaultConfig()
+{
+    PimConfig cfg;
+    cfg.rows = 128;
+    cfg.banks = 32;
+    cfg.weightBits = 8;
+    cfg.inputBits = 8;
+    return cfg;
+}
+
+ApimMacro::ApimMacro(const PimConfig &cfg) : cfg(cfg)
+{
+    weights.assign(cfg.banks, std::vector<int32_t>(cfg.rows, 0));
+}
+
+void
+ApimMacro::loadWeights(std::span<const int32_t> w, int rows,
+                       int bank_count)
+{
+    aim_assert(bank_count <= cfg.banks && rows <= cfg.rows,
+               "APIM load exceeds geometry");
+    aim_assert(w.size() == static_cast<size_t>(rows) * bank_count,
+               "weight matrix size mismatch");
+    for (int b = 0; b < cfg.banks; ++b)
+        for (int k = 0; k < cfg.rows; ++k)
+            weights[b][k] =
+                (b < bank_count && k < rows)
+                    ? w[static_cast<size_t>(k) * bank_count + b]
+                    : 0;
+    nActiveBanks = bank_count;
+    activeRows = rows;
+}
+
+ApimRunStats
+ApimMacro::run(std::span<const int32_t> inputs, int vectorLength,
+               double supplyRatio, util::Rng &rng, double noiseLsb)
+{
+    aim_assert(vectorLength > 0 &&
+                   inputs.size() % static_cast<size_t>(vectorLength) == 0,
+               "input stream is not a whole number of vectors");
+    const int qa = cfg.inputBits;
+    const int qw = cfg.weightBits;
+    const size_t n_vecs = inputs.size() / vectorLength;
+
+    ApimRunStats stats;
+    std::vector<uint8_t> last_bits(cfg.rows, 0);
+    const double denom = static_cast<double>(cfg.rows) * qw;
+
+    double err_acc = 0.0;
+    size_t err_n = 0;
+    for (size_t v = 0; v < n_vecs; ++v) {
+        const auto vec =
+            inputs.subspan(v * vectorLength, vectorLength);
+        std::vector<int64_t> adc_out(nActiveBanks, 0);
+        std::vector<int64_t> exact_out(nActiveBanks, 0);
+
+        for (int t = 0; t < qa; ++t) {
+            // Word-line bits for this cycle plus Equation-1 toggles.
+            uint64_t toggled_bits = 0;
+            std::vector<uint8_t> bits(cfg.rows, 0);
+            for (int k = 0; k < cfg.rows; ++k) {
+                const int32_t x =
+                    k < static_cast<int>(vec.size()) ? vec[k] : 0;
+                bits[k] =
+                    static_cast<uint8_t>(util::bitOfTc(x, t, qa));
+                if (bits[k] != last_bits[k]) {
+                    // Toggling word lines read all q cells of the row
+                    // in every active bank; average over banks below.
+                    uint64_t pc = 0;
+                    for (int b = 0; b < nActiveBanks; ++b)
+                        pc += static_cast<uint64_t>(
+                            util::popcountTc(weights[b][k], qw));
+                    toggled_bits += pc;
+                }
+                last_bits[k] = bits[k];
+            }
+            stats.rtogPerCycle.push_back(
+                nActiveBanks > 0
+                    ? static_cast<double>(toggled_bits) /
+                          (denom * nActiveBanks)
+                    : 0.0);
+
+            const int64_t input_sign = (t == qa - 1) ? -1 : 1;
+            for (int b = 0; b < nActiveBanks; ++b) {
+                for (int i = 0; i < qw; ++i) {
+                    // Bit-line count: conducting cells on plane i.
+                    int count = 0;
+                    for (int k = 0; k < cfg.rows; ++k)
+                        if (bits[k] &&
+                            util::bitOfTc(weights[b][k], i, qw))
+                            ++count;
+                    // The bit-line swing compresses with the supply;
+                    // the ADC references do not track it, so the code
+                    // reads low and noisy.
+                    const double sensed =
+                        count * supplyRatio + rng.normal(0.0, noiseLsb);
+                    const auto code = static_cast<int64_t>(
+                        std::llround(std::max(sensed, 0.0)));
+                    const int64_t weight_sign =
+                        (i == qw - 1) ? -1 : 1;
+                    const int64_t plane =
+                        weight_sign * input_sign *
+                        (int64_t{1} << (i + t));
+                    adc_out[b] += plane * code;
+                    exact_out[b] += plane * count;
+                }
+            }
+        }
+        for (int b = 0; b < nActiveBanks; ++b) {
+            stats.outputs.push_back(adc_out[b]);
+            stats.exact.push_back(exact_out[b]);
+            const double e =
+                static_cast<double>(adc_out[b] - exact_out[b]);
+            err_acc += e * e;
+            ++err_n;
+        }
+        stats.cycles += qa;
+    }
+    stats.rmsError =
+        err_n > 0 ? std::sqrt(err_acc / static_cast<double>(err_n))
+                  : 0.0;
+    return stats;
+}
+
+double
+ApimMacro::hr() const
+{
+    if (nActiveBanks == 0)
+        return 0.0;
+    uint64_t hm = 0;
+    for (int b = 0; b < nActiveBanks; ++b)
+        for (int k = 0; k < cfg.rows; ++k)
+            hm += static_cast<uint64_t>(
+                util::popcountTc(weights[b][k], cfg.weightBits));
+    return static_cast<double>(hm) /
+           (static_cast<double>(nActiveBanks) * cfg.rows *
+            cfg.weightBits);
+}
+
+} // namespace aim::pim

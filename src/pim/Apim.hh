@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Analog PIM (APIM) macro model, paper Figure 1-(a) and Section 7.
+ * Products accumulate as an analog bit-line voltage proportional to the
+ * count of conducting cells and are digitized by an ADC.  IR-drop
+ * lowers the effective supply, compressing the bit-line swing: the ADC
+ * then misreads counts, which is how IR-drop costs APIM *computational
+ * accuracy* (Section 3.1), unlike DPIM where it costs timing margin.
+ *
+ * The defaults model the paper's 28nm 128x32 APIM macro (Figure 22-(a)).
+ */
+
+#ifndef AIM_PIM_APIM_HH
+#define AIM_PIM_APIM_HH
+
+#include <span>
+#include <vector>
+
+#include "pim/PimConfig.hh"
+#include "util/Rng.hh"
+
+namespace aim::pim
+{
+
+/** Result of streaming inputs through the analog macro. */
+struct ApimRunStats
+{
+    /** ADC-reconstructed outputs (row-major: vector x bank). */
+    std::vector<int64_t> outputs;
+    /** Exact reference outputs for error analysis. */
+    std::vector<int64_t> exact;
+    /** Macro-average Rtog of every processed cycle (Equation 1). */
+    std::vector<double> rtogPerCycle;
+    /** RMS of (output - exact) over all results. */
+    double rmsError = 0.0;
+    long cycles = 0;
+};
+
+/** Analog SRAM-PIM macro with bit-line/ADC non-idealities. */
+class ApimMacro
+{
+  public:
+    /**
+     * @param cfg geometry; the paper's APIM testbench uses rows=128,
+     *            banks=32
+     */
+    explicit ApimMacro(const PimConfig &cfg);
+
+    /** Load weights (rows x banks, row-major), as in Macro. */
+    void loadWeights(std::span<const int32_t> w, int rows, int banks);
+
+    /**
+     * Stream input vectors, digitizing each bit-plane count through
+     * the ADC at the given effective supply ratio.
+     *
+     * @param inputs        concatenated input vectors
+     * @param vectorLength  rows consumed per vector
+     * @param supplyRatio   V_eff / V_nominal (1.0 = no IR-drop)
+     * @param rng           thermal/comparator noise source
+     * @param noiseLsb      ADC input-referred noise in count LSBs
+     */
+    ApimRunStats run(std::span<const int32_t> inputs, int vectorLength,
+                     double supplyRatio, util::Rng &rng,
+                     double noiseLsb = 0.3);
+
+    /** HR of the stored weights. */
+    double hr() const;
+
+  private:
+    PimConfig cfg;
+    /** Stored weights, bank-major [bank][row]. */
+    std::vector<std::vector<int32_t>> weights;
+    int nActiveBanks = 0;
+    int activeRows = 0;
+};
+
+/** Geometry of the paper's 28nm APIM evaluation macro. */
+PimConfig apimDefaultConfig();
+
+} // namespace aim::pim
+
+#endif // AIM_PIM_APIM_HH

@@ -1,0 +1,102 @@
+#include "pim/Bank.hh"
+
+#include "util/BitOps.hh"
+#include "util/Logging.hh"
+
+namespace aim::pim
+{
+
+Bank::Bank(const PimConfig &cfg)
+    : cfg(cfg),
+      weights(cfg.rows, 0),
+      weightPopcount(cfg.rows, 0),
+      lastBits(cfg.rows, 0)
+{
+    aim_assert(cfg.rows > 0 && cfg.weightBits > 0 && cfg.inputBits > 0,
+               "invalid PIM geometry");
+}
+
+void
+Bank::loadWeights(std::span<const int32_t> w)
+{
+    aim_assert(w.size() <= static_cast<size_t>(cfg.rows),
+               "bank overflow: ", w.size(), " weights > ", cfg.rows,
+               " rows");
+    const int64_t lo = util::intMin(cfg.weightBits);
+    const int64_t hi = util::intMax(cfg.weightBits);
+    for (int k = 0; k < cfg.rows; ++k) {
+        int32_t v = 0;
+        if (k < static_cast<int>(w.size())) {
+            v = w[k];
+            aim_assert(v >= lo && v <= hi, "weight ", v,
+                       " exceeds ", cfg.weightBits, " bits");
+        }
+        weights[k] = v;
+        weightPopcount[k] = util::popcountTc(v, cfg.weightBits);
+    }
+}
+
+MacTrace
+Bank::macBitSerial(std::span<const int32_t> inputs)
+{
+    aim_assert(inputs.size() <= static_cast<size_t>(cfg.rows),
+               "input vector longer than bank rows");
+    const int qa = cfg.inputBits;
+    const double denom =
+        static_cast<double>(cfg.rows) * cfg.weightBits;
+
+    MacTrace trace;
+    trace.rtogPerCycle.reserve(qa);
+
+    for (int t = 0; t < qa; ++t) {
+        int64_t partial = 0;
+        uint64_t toggled_bits = 0;
+        for (int k = 0; k < cfg.rows; ++k) {
+            const int32_t x =
+                k < static_cast<int>(inputs.size()) ? inputs[k] : 0;
+            const uint8_t bit =
+                static_cast<uint8_t>(util::bitOfTc(x, t, qa));
+            if (bit)
+                partial += weights[k];
+            // Equation 1: cells with a stored 1 whose word line flips
+            // between consecutive cycles contribute to Rtog.
+            if (bit != lastBits[k])
+                toggled_bits +=
+                    static_cast<uint64_t>(weightPopcount[k]);
+            lastBits[k] = bit;
+        }
+        // Signed bit-serial accumulation: the MSB lane carries weight
+        // -2^(qa-1) in two's complement.
+        if (t == qa - 1)
+            trace.result -= partial << t;
+        else
+            trace.result += partial << t;
+        trace.rtogPerCycle.push_back(
+            static_cast<double>(toggled_bits) / denom);
+    }
+    return trace;
+}
+
+double
+Bank::hr() const
+{
+    return static_cast<double>(hammingValue()) /
+           (static_cast<double>(cfg.rows) * cfg.weightBits);
+}
+
+uint64_t
+Bank::hammingValue() const
+{
+    uint64_t hm = 0;
+    for (int pc : weightPopcount)
+        hm += static_cast<uint64_t>(pc);
+    return hm;
+}
+
+void
+Bank::resetStreamState()
+{
+    std::fill(lastBits.begin(), lastBits.end(), 0);
+}
+
+} // namespace aim::pim

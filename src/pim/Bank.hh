@@ -1,0 +1,85 @@
+/**
+ * @file
+ * One PIM bank: a column of SRAM cells holding q-bit weights that are
+ * multiplied in situ against a bit-serially applied input vector and
+ * accumulated through an adder tree (paper Figure 1-(b)).
+ *
+ * The bank computes functionally exact signed MACs *and* accounts the
+ * per-cycle toggle activity of Equation 1:
+ *
+ *   Rtog(t) = sum_k sum_i W_{k,i} AND (I_{k,t} XOR I_{k,t+1}) / (n q)
+ *
+ * which the power model consumes as the architecture-level IR-drop
+ * indicator.
+ */
+
+#ifndef AIM_PIM_BANK_HH
+#define AIM_PIM_BANK_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pim/PimConfig.hh"
+
+namespace aim::pim
+{
+
+/** Per-input-vector result of a bit-serial MAC pass. */
+struct MacTrace
+{
+    /** Signed accumulated dot product. */
+    int64_t result = 0;
+    /** Rtog of each of the inputBits cycles of the pass. */
+    std::vector<double> rtogPerCycle;
+};
+
+/** A single PIM bank with exact bit-serial arithmetic and toggles. */
+class Bank
+{
+  public:
+    explicit Bank(const PimConfig &cfg);
+
+    /**
+     * Load in-memory data (weights).  Values must fit the configured
+     * weight bit width.
+     *
+     * @param w one weight per word line; size() <= cfg.rows (missing
+     *          rows are zero-filled, i.e. unused cells)
+     */
+    void loadWeights(std::span<const int32_t> w);
+
+    /**
+     * Apply one input vector bit-serially (LSB first, sign bit last)
+     * and return the exact signed dot product plus the per-cycle Rtog.
+     * Word-line state persists across calls so toggles at vector
+     * boundaries are accounted, matching a streaming workload.
+     *
+     * @param inputs one signed input per word line (<= cfg.rows)
+     */
+    MacTrace macBitSerial(std::span<const int32_t> inputs);
+
+    /** Hamming rate of the stored weights (Equation 3). */
+    double hr() const;
+
+    /** Hamming value (total set bits) of the stored weights. */
+    uint64_t hammingValue() const;
+
+    /** Stored weight at word line @p k. */
+    int32_t weight(int k) const { return weights.at(k); }
+
+    /** Reset word-line toggle history (e.g. after power gating). */
+    void resetStreamState();
+
+  private:
+    PimConfig cfg;
+    std::vector<int32_t> weights;
+    /** Cached popcount of each weight's q-bit encoding. */
+    std::vector<int> weightPopcount;
+    /** Word-line bit applied in the previous cycle. */
+    std::vector<uint8_t> lastBits;
+};
+
+} // namespace aim::pim
+
+#endif // AIM_PIM_BANK_HH

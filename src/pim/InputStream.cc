@@ -1,0 +1,52 @@
+#include "pim/InputStream.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/BitOps.hh"
+#include "util/Logging.hh"
+
+namespace aim::pim
+{
+
+InputStreamGen::InputStreamGen(StreamSpec spec, util::Rng rng)
+    : streamSpec(spec), rng(rng)
+{
+    aim_assert(spec.bits >= 2 && spec.bits <= 16,
+               "unsupported stream bit width ", spec.bits);
+    aim_assert(spec.density >= 0.0 && spec.density <= 1.0,
+               "density out of range");
+    aim_assert(spec.temporalCorr >= 0.0 && spec.temporalCorr <= 1.0,
+               "temporalCorr out of range");
+}
+
+int32_t
+InputStreamGen::draw()
+{
+    if (!rng.bernoulli(streamSpec.density))
+        return 0;
+    double x = rng.normal(0.0, streamSpec.sigmaLsb);
+    if (streamSpec.nonNegative)
+        x = std::fabs(x);
+    const auto lo = static_cast<double>(util::intMin(streamSpec.bits));
+    const auto hi = static_cast<double>(util::intMax(streamSpec.bits));
+    x = std::clamp(x, lo, hi);
+    return static_cast<int32_t>(std::llround(x));
+}
+
+std::vector<int32_t>
+InputStreamGen::next(int n)
+{
+    std::vector<int32_t> out(n);
+    const bool have_prev = prev.size() == static_cast<size_t>(n);
+    for (int i = 0; i < n; ++i) {
+        if (have_prev && rng.bernoulli(streamSpec.temporalCorr))
+            out[i] = prev[i];
+        else
+            out[i] = draw();
+    }
+    prev = out;
+    return out;
+}
+
+} // namespace aim::pim

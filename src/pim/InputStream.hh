@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Synthetic activation-stream generators.  The paper profiles Rtog
+ * with real images/text; offline we synthesize input vectors whose
+ * statistics (sparsity after ReLU, magnitude spread, frame-to-frame
+ * temporal correlation) match each workload family, which is what
+ * drives the toggle behaviour of Equation 1.
+ */
+
+#ifndef AIM_PIM_INPUTSTREAM_HH
+#define AIM_PIM_INPUTSTREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/Rng.hh"
+
+namespace aim::pim
+{
+
+/** Statistical description of an activation stream. */
+struct StreamSpec
+{
+    /** Activation bit width (bit-serial cycles per vector). */
+    int bits = 8;
+    /** Fraction of nonzero activations (ReLU sparsity ~ 0.5). */
+    double density = 1.0;
+    /** Standard deviation of nonzero values in LSBs. */
+    double sigmaLsb = 30.0;
+    /** Probability an element repeats from the previous vector. */
+    double temporalCorr = 0.0;
+    /** Clamp to non-negative values (post-ReLU feature maps). */
+    bool nonNegative = false;
+};
+
+/** Generates successive input vectors with the given statistics. */
+class InputStreamGen
+{
+  public:
+    InputStreamGen(StreamSpec spec, util::Rng rng);
+
+    /** Produce the next activation vector of length @p n. */
+    std::vector<int32_t> next(int n);
+
+    /** The spec this generator draws from. */
+    const StreamSpec &spec() const { return streamSpec; }
+
+  private:
+    int32_t draw();
+
+    StreamSpec streamSpec;
+    util::Rng rng;
+    std::vector<int32_t> prev;
+};
+
+} // namespace aim::pim
+
+#endif // AIM_PIM_INPUTSTREAM_HH

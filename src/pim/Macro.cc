@@ -1,0 +1,152 @@
+#include "pim/Macro.hh"
+
+#include <algorithm>
+
+#include "util/Logging.hh"
+
+namespace aim::pim
+{
+
+double
+MacroRunStats::peakRtog() const
+{
+    double hi = 0.0;
+    for (double r : rtogPerCycle)
+        hi = std::max(hi, r);
+    return hi;
+}
+
+double
+MacroRunStats::meanRtog() const
+{
+    if (rtogPerCycle.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double r : rtogPerCycle)
+        acc += r;
+    return acc / static_cast<double>(rtogPerCycle.size());
+}
+
+Macro::Macro(const PimConfig &cfg)
+    : cfg(cfg), compensator(0)
+{
+    banks.reserve(cfg.banks);
+    for (int b = 0; b < cfg.banks; ++b)
+        banks.emplace_back(cfg);
+}
+
+void
+Macro::loadWeights(std::span<const int32_t> w, int rows, int bank_count,
+                   int wds_delta)
+{
+    aim_assert(bank_count <= cfg.banks, "macro has only ", cfg.banks,
+               " banks, tried to load ", bank_count);
+    aim_assert(rows <= cfg.rows, "macro has only ", cfg.rows,
+               " rows, tried to load ", rows);
+    aim_assert(w.size() == static_cast<size_t>(rows) * bank_count,
+               "weight matrix size mismatch");
+
+    std::vector<int32_t> column(rows);
+    for (int b = 0; b < cfg.banks; ++b) {
+        if (b < bank_count) {
+            for (int k = 0; k < rows; ++k)
+                column[k] = w[static_cast<size_t>(k) * bank_count + b];
+            banks[b].loadWeights(column);
+        } else {
+            banks[b].loadWeights({});
+        }
+    }
+    nActiveBanks = bank_count;
+    compensator = ShiftCompensator(wds_delta);
+}
+
+void
+Macro::loadLayer(const quant::QuantizedLayer &layer)
+{
+    // QuantizedLayer is rows(out) x cols(in); the macro stores the
+    // transpose so word lines run along the reduction dimension.
+    std::vector<int32_t> transposed(layer.values.size());
+    for (int r = 0; r < layer.rows; ++r)
+        for (int c = 0; c < layer.cols; ++c)
+            transposed[static_cast<size_t>(c) * layer.rows + r] =
+                layer.values[static_cast<size_t>(r) * layer.cols + c];
+    loadWeights(transposed, layer.cols, layer.rows, layer.wdsDelta);
+}
+
+MacroRunStats
+Macro::run(std::span<const int32_t> inputs, int vectorLength)
+{
+    aim_assert(vectorLength > 0 &&
+                   inputs.size() % static_cast<size_t>(vectorLength) == 0,
+               "input stream is not a whole number of vectors");
+    const size_t n_vecs = inputs.size() / vectorLength;
+
+    MacroRunStats stats;
+    stats.outputs.reserve(n_vecs * nActiveBanks);
+
+    std::vector<int64_t> raw(nActiveBanks, 0);
+    for (size_t v = 0; v < n_vecs; ++v) {
+        const auto vec = inputs.subspan(v * vectorLength,
+                                        vectorLength);
+
+        // The compensator observes the same input stream as the banks
+        // and produces the correction one cycle later (Figure 8).
+        compensator.observeInputs(vec);
+
+        std::vector<double> cycle_rtog;
+        for (int b = 0; b < nActiveBanks; ++b) {
+            MacTrace trace = banks[b].macBitSerial(vec);
+            raw[b] = trace.result;
+            if (b == 0) {
+                cycle_rtog = std::move(trace.rtogPerCycle);
+            } else {
+                for (size_t t = 0; t < cycle_rtog.size(); ++t)
+                    cycle_rtog[t] += trace.rtogPerCycle[t];
+            }
+        }
+        // Average Rtog over banks: they share word lines, so each
+        // cycle's chip activity is the bank mean.
+        for (double &r : cycle_rtog)
+            r /= std::max(nActiveBanks, 1);
+        stats.rtogPerCycle.insert(stats.rtogPerCycle.end(),
+                                  cycle_rtog.begin(), cycle_rtog.end());
+
+        // Apply the (pipelined) WDS correction for this pass.  The
+        // register delay is modelled in the cycle count, not the math:
+        // the correction for pass v lands while pass v+1 computes.
+        compensator.clock();
+        const int64_t corr = compensator.correction();
+        for (int b = 0; b < nActiveBanks; ++b)
+            stats.outputs.push_back(raw[b] + corr);
+
+        stats.cycles += cfg.inputBits;
+    }
+    if (compensator.delta() != 0 && n_vecs > 0)
+        stats.cycles += ShiftCompensator::latency; // pipeline drain
+    return stats;
+}
+
+double
+Macro::hr() const
+{
+    if (nActiveBanks == 0)
+        return 0.0;
+    uint64_t hm = 0;
+    for (int b = 0; b < nActiveBanks; ++b)
+        hm += banks[b].hammingValue();
+    const double total_bits = static_cast<double>(nActiveBanks) *
+                              cfg.rows * cfg.weightBits;
+    return static_cast<double>(hm) / total_bits;
+}
+
+std::vector<double>
+Macro::bankHr() const
+{
+    std::vector<double> out;
+    out.reserve(nActiveBanks);
+    for (int b = 0; b < nActiveBanks; ++b)
+        out.push_back(banks[b].hr());
+    return out;
+}
+
+} // namespace aim::pim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A digital PIM macro: a set of banks that share bit-serial input
+ * streams, plus one Shift Compensator.  The macro computes exact
+ * integer GEMMs over its SRAM-resident weight matrix while recording
+ * the per-cycle Rtog of Equation 1, averaged over banks -- the
+ * architecture-level signal driving the IR-drop model.
+ */
+
+#ifndef AIM_PIM_MACRO_HH
+#define AIM_PIM_MACRO_HH
+
+#include <span>
+#include <vector>
+
+#include "pim/Bank.hh"
+#include "pim/PimConfig.hh"
+#include "pim/ShiftCompensator.hh"
+#include "quant/Quantizer.hh"
+
+namespace aim::pim
+{
+
+/** Result of streaming input vectors through a macro. */
+struct MacroRunStats
+{
+    /** Outputs: one row per input vector, one column per bank. */
+    std::vector<int64_t> outputs;
+    /** Macro-average Rtog of every processed cycle. */
+    std::vector<double> rtogPerCycle;
+    /** Total cycles consumed (inputBits per vector + pipeline fill). */
+    long cycles = 0;
+
+    /** Peak cycle Rtog observed. */
+    double peakRtog() const;
+    /** Mean cycle Rtog observed. */
+    double meanRtog() const;
+};
+
+/** A digital PIM macro with functional bit-serial arithmetic. */
+class Macro
+{
+  public:
+    explicit Macro(const PimConfig &cfg);
+
+    /**
+     * Load a weight matrix: rows x banks, row-major.  Rows beyond the
+     * matrix are zero.  @p wds_delta is the WDS shift already applied
+     * to the stored values (0 = none); the compensator restores
+     * numerical correctness.
+     */
+    void loadWeights(std::span<const int32_t> w, int rows, int banks,
+                     int wds_delta = 0);
+
+    /** Load from a quantized layer tile (delta taken from the layer). */
+    void loadLayer(const quant::QuantizedLayer &layer);
+
+    /**
+     * Stream input vectors through the macro.  Each vector of length
+     * <= rows is applied bit-serially; outputs are corrected for WDS.
+     *
+     * @param inputs       concatenated input vectors
+     * @param vectorLength rows consumed per vector
+     */
+    MacroRunStats run(std::span<const int32_t> inputs, int vectorLength);
+
+    /** HR of all stored weights (Equation 3 over the macro). */
+    double hr() const;
+
+    /** Per-bank HR values. */
+    std::vector<double> bankHr() const;
+
+    /** Geometry. */
+    const PimConfig &config() const { return cfg; }
+
+    /** Number of active banks (those with loaded weights). */
+    int activeBanks() const { return nActiveBanks; }
+
+  private:
+    PimConfig cfg;
+    std::vector<Bank> banks;
+    ShiftCompensator compensator;
+    int nActiveBanks = 0;
+};
+
+} // namespace aim::pim
+
+#endif // AIM_PIM_MACRO_HH

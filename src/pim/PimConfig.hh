@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Geometry of the modelled PIM chip.  Defaults reproduce the paper's
+ * evaluation platform: a 7nm 256-TOPS SRAM DPIM accelerator with two
+ * RISC-V control cores and 16 macro groups of four macros each
+ * (Section 6.1); every macro computes bit-serial in-situ MACs over its
+ * SRAM-resident weights.
+ */
+
+#ifndef AIM_PIM_PIMCONFIG_HH
+#define AIM_PIM_PIMCONFIG_HH
+
+namespace aim::pim
+{
+
+/** Static geometry of banks, macros and groups. */
+struct PimConfig
+{
+    /** Word lines per bank: cells accumulated per output (n in Eq. 1). */
+    int rows = 128;
+    /** Banks (output columns) per macro. */
+    int banks = 128;
+    /** Weight bit width q (two's complement). */
+    int weightBits = 8;
+    /** Input bit width; one bit per cycle is applied (bit-serial). */
+    int inputBits = 8;
+    /** Macros per group (shared supply and frequency). */
+    int macrosPerGroup = 4;
+    /** Macro groups on the chip. */
+    int groups = 16;
+
+    /** Total macros on the chip. */
+    int macros() const { return macrosPerGroup * groups; }
+
+    /** Signed MAC operations completed per macro per inputBits cycles. */
+    long macsPerMacroPerPass() const
+    {
+        return static_cast<long>(rows) * banks;
+    }
+};
+
+} // namespace aim::pim
+
+#endif // AIM_PIM_PIMCONFIG_HH

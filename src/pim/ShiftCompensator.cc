@@ -1,0 +1,41 @@
+#include "pim/ShiftCompensator.hh"
+
+#include "util/BitOps.hh"
+#include "util/Logging.hh"
+
+namespace aim::pim
+{
+
+ShiftCompensator::ShiftCompensator(int delta)
+    : deltaVal(delta), shift(0)
+{
+    if (delta != 0) {
+        aim_assert(util::isPowerOfTwo(delta),
+                   "compensator delta ", delta,
+                   " must be a power of two");
+        shift = util::log2Exact(delta);
+    }
+}
+
+void
+ShiftCompensator::observeInputs(std::span<const int32_t> inputs)
+{
+    if (deltaVal == 0) {
+        pending = 0;
+        return;
+    }
+    int64_t sum = 0;
+    for (int32_t x : inputs)
+        sum += x;
+    // Correction = ~(PSUM') + 1 with PSUM' = sum << k  (Figure 8):
+    // i.e. the two's-complement negation of the shifted input sum.
+    pending = -(sum << shift);
+}
+
+void
+ShiftCompensator::clock()
+{
+    ready = pending;
+}
+
+} // namespace aim::pim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The WDS Shift Compensator (paper Figure 8).  Sits next to the macro
+ * banks, shares their input stream, and removes the numerical error
+ * introduced by the weight distribution shift:
+ *
+ *   1. Correction calculation: sum the inputs, multiply by delta
+ *      (a power of two, so a bit shift), and negate.
+ *   2. Broadcast: all banks of a macro share input streams and delta,
+ *      so one correction term serves the whole macro.
+ *   3. Pipelined correcting: a register after the correction adder lets
+ *      the MAC proceed concurrently; the correction lands on the PSUM
+ *      one cycle later via a pipelined binary add.
+ */
+
+#ifndef AIM_PIM_SHIFTCOMPENSATOR_HH
+#define AIM_PIM_SHIFTCOMPENSATOR_HH
+
+#include <cstdint>
+#include <span>
+
+namespace aim::pim
+{
+
+/** Pipelined correction-term generator shared by a macro's banks. */
+class ShiftCompensator
+{
+  public:
+    /** @param delta WDS shift; must be a power of two (0 disables). */
+    explicit ShiftCompensator(int delta);
+
+    /**
+     * Feed the input vector of the current pass.  The correction term
+     * becomes available at the *next* call to correction() -- one
+     * pipeline stage behind the MAC, as in the hardware.
+     */
+    void observeInputs(std::span<const int32_t> inputs);
+
+    /**
+     * Correction term for the pass whose inputs were observed in the
+     * previous call (i.e. PSUM' = PSUM + correction()).
+     */
+    int64_t correction() const { return ready; }
+
+    /** Advance the pipeline register. */
+    void clock();
+
+    /** Shift amount (0 when WDS is disabled). */
+    int delta() const { return deltaVal; }
+
+    /** Pipeline latency in cycles (always 1, by construction). */
+    static constexpr int latency = 1;
+
+  private:
+    int deltaVal;
+    int shift;
+    int64_t pending = 0;
+    int64_t ready = 0;
+};
+
+} // namespace aim::pim
+
+#endif // AIM_PIM_SHIFTCOMPENSATOR_HH

@@ -1,0 +1,67 @@
+#include "pim/ToggleModel.hh"
+
+#include <algorithm>
+
+#include "util/BitOps.hh"
+#include "util/Logging.hh"
+#include "util/Stats.hh"
+
+namespace aim::pim
+{
+
+ToggleStats
+estimateToggleStats(const StreamSpec &spec, int rows, int vectors,
+                    uint64_t seed)
+{
+    aim_assert(rows > 0 && vectors > 0, "bad toggle estimation params");
+    InputStreamGen gen(spec, util::Rng(seed));
+
+    util::RunningStats rs;
+    std::vector<uint8_t> last(rows, 0);
+    for (int v = 0; v < vectors; ++v) {
+        const auto vec = gen.next(rows);
+        for (int t = 0; t < spec.bits; ++t) {
+            int toggles = 0;
+            for (int k = 0; k < rows; ++k) {
+                const auto bit = static_cast<uint8_t>(
+                    util::bitOfTc(vec[k], t, spec.bits));
+                if (bit != last[k])
+                    ++toggles;
+                last[k] = bit;
+            }
+            rs.add(static_cast<double>(toggles) /
+                   static_cast<double>(rows));
+        }
+    }
+    ToggleStats stats;
+    stats.mean = rs.mean();
+    stats.stddev = rs.stddev();
+    stats.peak = rs.max();
+    return stats;
+}
+
+RtogSampler::RtogSampler(double hr, ToggleStats stats, util::Rng rng)
+    : hr(hr), stats(stats), rng(rng)
+{
+    aim_assert(hr >= 0.0 && hr <= 1.0, "HR ", hr, " out of range");
+}
+
+double
+RtogSampler::sample()
+{
+    if (stats.burstProb > 0.0 && rng.bernoulli(stats.burstProb)) {
+        const double lo = std::clamp(stats.peak, 0.0, 1.0);
+        return hr * rng.uniform(lo, 1.0);
+    }
+    const double frac =
+        std::clamp(rng.normal(stats.mean, stats.stddev), 0.0, 1.0);
+    return hr * frac;
+}
+
+double
+RtogSampler::mean() const
+{
+    return hr * std::clamp(stats.mean, 0.0, 1.0);
+}
+
+} // namespace aim::pim

@@ -1,0 +1,85 @@
+#include "power/IrModel.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/Logging.hh"
+
+namespace aim::power
+{
+
+IrModel::IrModel(const Calibration &cal) : cal(cal)
+{
+    aim_assert(cal.vddNominal > cal.vth,
+               "supply below threshold voltage");
+}
+
+double
+IrModel::staticDropMv(double v) const
+{
+    return cal.staticDropMv * (v / cal.vddNominal);
+}
+
+double
+IrModel::dynamicDropMv(double v, double fGhz, double rtog,
+                       MacroFlavor flavor) const
+{
+    rtog = std::clamp(rtog, 0.0, 1.0);
+    double activity = rtog;
+    if (flavor == MacroFlavor::Apim) {
+        // Bit-line precharge and ADC currents flow regardless of
+        // toggling: only part of the analog dynamic current tracks
+        // Rtog, capping the reachable mitigation (~50%, Fig. 22-(a)).
+        activity = cal.apimActivityFloor +
+                   (1.0 - cal.apimActivityFloor) * rtog;
+    }
+    // I_sw ~ C V f A  =>  drop ~ R C V f A, normalized to the
+    // calibrated full-activity drop at nominal V-f.
+    return cal.dynDropFullMv * (v / cal.vddNominal) *
+           (fGhz / cal.fNominal) * activity;
+}
+
+double
+IrModel::dropMv(double v, double fGhz, double rtog,
+                MacroFlavor flavor) const
+{
+    return staticDropMv(v) + dynamicDropMv(v, fGhz, rtog, flavor);
+}
+
+double
+IrModel::noisyDropMv(double v, double fGhz, double rtog,
+                     util::Rng &rng, MacroFlavor flavor) const
+{
+    const double noise_mv = flavor == MacroFlavor::Apim
+                                ? cal.apimNoiseMv
+                                : cal.dpimNoiseMv;
+    const double d =
+        dropMv(v, fGhz, rtog, flavor) + rng.normal(0.0, noise_mv);
+    return std::max(d, 0.0);
+}
+
+double
+IrModel::vEff(double v, double fGhz, double rtog,
+              MacroFlavor flavor) const
+{
+    return v - dropMv(v, fGhz, rtog, flavor) / 1000.0;
+}
+
+double
+IrModel::signoffWorstMv() const
+{
+    return dropMv(cal.vddNominal, cal.fNominal, 1.0);
+}
+
+double
+IrModel::demandCurrentA(double dropMv) const
+{
+    // Equivalent PDN resistance implied by the calibration: the
+    // signoff worst drop corresponds to the full-activity current of
+    // one macro region, nominally ~5.6 A (Figure 17 peak scale).
+    const double full_current_a = 5.6;
+    const double r_eq = signoffWorstMv() / full_current_a;
+    return dropMv / r_eq;
+}
+
+} // namespace aim::power

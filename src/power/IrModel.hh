@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Analytic IR-drop model implementing paper Equation 2:
+ *
+ *   IR-drop = dV_static + dV_dynamic
+ *   dV_static  ~= k_lk  I_lk  R_lk
+ *   dV_dynamic ~= (k_sc I_sc R_sc + k_sw I_sw R_sw) * Rtog
+ *
+ * The PIM bank is treated as one region with a stable equivalent
+ * resistance (the paper's stated simplification), so the dynamic term
+ * is linear in Rtog, with currents scaling with supply and frequency.
+ * A small Gaussian cycle-noise term stands in for the per-component
+ * detail a full RedHawk extraction would add; its magnitude is set so
+ * the Rtog/IR-drop correlation lands at the published coefficients
+ * (0.977 DPIM, 0.998 APIM -- Figure 4).
+ */
+
+#ifndef AIM_POWER_IRMODEL_HH
+#define AIM_POWER_IRMODEL_HH
+
+#include "power/Calibration.hh"
+#include "util/Rng.hh"
+
+namespace aim::power
+{
+
+/** Circuit flavour a drop estimate applies to. */
+enum class MacroFlavor
+{
+    Dpim,      ///< digital PIM macro (adder trees)
+    Apim,      ///< analog PIM macro (bit-line + ADC)
+    AdderTree, ///< standalone digital adder tree (Figure 22-(b))
+};
+
+/** Equation-2 IR-drop estimator. */
+class IrModel
+{
+  public:
+    explicit IrModel(const Calibration &cal);
+
+    /** Static drop [mV] at supply @p v (leakage scales with V). */
+    double staticDropMv(double v) const;
+
+    /**
+     * Dynamic drop [mV]: switching/short-circuit currents scale with
+     * V and f and gate activity Rtog.
+     */
+    double dynamicDropMv(double v, double fGhz, double rtog,
+                         MacroFlavor flavor = MacroFlavor::Dpim) const;
+
+    /** Total drop [mV] (Equation 2). */
+    double dropMv(double v, double fGhz, double rtog,
+                  MacroFlavor flavor = MacroFlavor::Dpim) const;
+
+    /** Total drop with cycle noise [mV] (never below 0). */
+    double noisyDropMv(double v, double fGhz, double rtog,
+                       util::Rng &rng,
+                       MacroFlavor flavor = MacroFlavor::Dpim) const;
+
+    /** Effective supply after the drop [V]. */
+    double vEff(double v, double fGhz, double rtog,
+                MacroFlavor flavor = MacroFlavor::Dpim) const;
+
+    /** The signoff worst-case drop [mV]: Rtog = 1 at nominal V-f. */
+    double signoffWorstMv() const;
+
+    /** Demanded supply current [A] implied by a drop (I = dV / Req). */
+    double demandCurrentA(double dropMv) const;
+
+    const Calibration &calibration() const { return cal; }
+
+  private:
+    Calibration cal;
+};
+
+} // namespace aim::power
+
+#endif // AIM_POWER_IRMODEL_HH

@@ -1,0 +1,54 @@
+#include "power/IrMonitor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/Logging.hh"
+
+namespace aim::power
+{
+
+IrMonitor::IrMonitor(const Calibration &cal, util::Rng rng)
+    : cal(cal), rng(rng)
+{
+}
+
+void
+IrMonitor::setThreshold(double threshold_v)
+{
+    aim_assert(threshold_v > 0.0 && threshold_v < cal.vddNominal,
+               "monitor threshold ", threshold_v, " out of range");
+    thresholdV = threshold_v;
+}
+
+double
+IrMonitor::vcoFrequency(double v) const
+{
+    if (v <= cal.vth)
+        return 0.0;
+    // Ring-oscillator frequency ~ (V - Vth)^alpha / V, normalized to
+    // 2 GHz at nominal supply (a typical droop-sensor VCO speed).
+    const double num = std::pow(v - cal.vth, cal.alphaPower) / v;
+    const double den =
+        std::pow(cal.vddNominal - cal.vth, cal.alphaPower) /
+        cal.vddNominal;
+    return 2.0 * num / den;
+}
+
+MonitorSample
+IrMonitor::sample(double true_veff)
+{
+    // Sensor chain: VCO phase accumulation + sampling -> effectively
+    // the voltage plus input-referred noise, quantized to the LSB.
+    const double noisy =
+        true_veff + rng.normal(0.0, cal.monitorNoiseMv / 1000.0);
+    const double lsb = cal.monitorLsbMv / 1000.0;
+    const double code = std::floor(noisy / lsb);
+
+    MonitorSample s;
+    s.sensedV = std::max(code * lsb, 0.0);
+    s.irFailure = s.sensedV < thresholdV;
+    return s;
+}
+
+} // namespace aim::power

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The IR monitor of paper Section 5.5.2: a simplified all-digital
+ * voltage sensor derived from [Du et al. 2023].  A loop of inverters
+ * free-oscillates as a VCO whose frequency tracks the local supply;
+ * sampling the accumulated phase per clock period digitizes the
+ * voltage.  When the sensed voltage falls below the programmed
+ * threshold the monitor raises IRFailure toward the Booster
+ * Controller.
+ */
+
+#ifndef AIM_POWER_IRMONITOR_HH
+#define AIM_POWER_IRMONITOR_HH
+
+#include "power/Calibration.hh"
+#include "util/Rng.hh"
+
+namespace aim::power
+{
+
+/** One monitor sample as seen by the Booster Controller. */
+struct MonitorSample
+{
+    /** Digitized supply voltage [V] (quantized to the monitor LSB). */
+    double sensedV = 0.0;
+    /** True when sensedV is below the failure threshold. */
+    bool irFailure = false;
+};
+
+/** VCO-based supply monitor attached to one macro group. */
+class IrMonitor
+{
+  public:
+    /**
+     * @param cal  electrical calibration (LSB, noise)
+     * @param rng  noise stream for this monitor instance
+     */
+    IrMonitor(const Calibration &cal, util::Rng rng);
+
+    /**
+     * Program the failure threshold: the minimum effective supply the
+     * current frequency can tolerate plus a guard band.
+     *
+     * @param thresholdV minimum acceptable supply [V]
+     */
+    void setThreshold(double thresholdV);
+
+    /**
+     * Digitize the true effective supply of this cycle.  The VCO
+     * oscillates at freq(v); the phase count per sampling window is
+     * the digital code, so quantization follows the monitor LSB.
+     *
+     * @param trueVeff physical effective supply [V]
+     */
+    MonitorSample sample(double trueVeff);
+
+    /** Programmed threshold [V]. */
+    double threshold() const { return thresholdV; }
+
+    /**
+     * VCO oscillation frequency [GHz] at supply @p v: inverter delay
+     * follows the alpha-power law, so frequency rises super-linearly
+     * with the overdrive (v - vth).
+     */
+    double vcoFrequency(double v) const;
+
+  private:
+    Calibration cal;
+    util::Rng rng;
+    double thresholdV = 0.0;
+};
+
+} // namespace aim::power
+
+#endif // AIM_POWER_IRMONITOR_HH

@@ -1,0 +1,167 @@
+#include "power/PdnMesh.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/Logging.hh"
+
+namespace aim::power
+{
+
+double
+PdnSolution::worstDropMv(double vdd) const
+{
+    double worst = 0.0;
+    for (double v : voltage)
+        worst = std::max(worst, (vdd - v) * 1000.0);
+    return worst;
+}
+
+double
+PdnSolution::meanDropMv(double vdd) const
+{
+    if (voltage.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : voltage)
+        acc += (vdd - v) * 1000.0;
+    return acc / static_cast<double>(voltage.size());
+}
+
+double
+PdnSolution::dropAtMv(int row, int col, double vdd) const
+{
+    return (vdd - voltage.at(static_cast<size_t>(row) * size + col)) *
+           1000.0;
+}
+
+std::string
+PdnSolution::renderHeatMap(double vdd, double scaleMv) const
+{
+    static const char glyphs[] = " .:-=+*#%@";
+    std::string out;
+    for (int r = 0; r < size; ++r) {
+        for (int c = 0; c < size; ++c) {
+            const double d = dropAtMv(r, c, vdd);
+            int idx = static_cast<int>(d / scaleMv * 9.0);
+            idx = std::clamp(idx, 0, 9);
+            out += glyphs[idx];
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+PdnMesh::PdnMesh(const PdnMeshConfig &cfg)
+    : cfg(cfg),
+      loadA(static_cast<size_t>(cfg.size) * cfg.size, 0.0)
+{
+    aim_assert(cfg.size >= 4, "mesh too small");
+    aim_assert(cfg.bumpPitch >= 1, "bump pitch must be positive");
+    aim_assert(cfg.omega > 0.0 && cfg.omega < 2.0,
+               "SOR omega out of (0, 2)");
+}
+
+void
+PdnMesh::clearLoads()
+{
+    std::fill(loadA.begin(), loadA.end(), 0.0);
+}
+
+void
+PdnMesh::addBlockLoad(int row0, int col0, int rows, int cols,
+                      double currentA)
+{
+    aim_assert(row0 >= 0 && col0 >= 0 && rows > 0 && cols > 0 &&
+                   row0 + rows <= cfg.size && col0 + cols <= cfg.size,
+               "block footprint outside the mesh");
+    const double per_node =
+        currentA / (static_cast<double>(rows) * cols);
+    for (int r = row0; r < row0 + rows; ++r)
+        for (int c = col0; c < col0 + cols; ++c)
+            loadA[static_cast<size_t>(r) * cfg.size + c] += per_node;
+}
+
+bool
+PdnMesh::isBump(int row, int col) const
+{
+    return row % cfg.bumpPitch == 0 && col % cfg.bumpPitch == 0;
+}
+
+PdnSolution
+PdnMesh::solve() const
+{
+    const int n = cfg.size;
+    const double g = cfg.sheetConductance;
+    const double gb = cfg.bumpConductance;
+
+    PdnSolution sol;
+    sol.size = n;
+    sol.voltage.assign(static_cast<size_t>(n) * n, cfg.vdd);
+
+    auto at = [&](std::vector<double> &v, int r, int c) -> double & {
+        return v[static_cast<size_t>(r) * n + c];
+    };
+
+    // SOR sweeps: V_i = (sum_j g V_j + gb VDD [bump] - I_i) / G_i.
+    double residual = 0.0;
+    int iter = 0;
+    for (; iter < cfg.maxIterations; ++iter) {
+        residual = 0.0;
+        for (int r = 0; r < n; ++r) {
+            for (int c = 0; c < n; ++c) {
+                double gsum = 0.0;
+                double isum = -loadA[static_cast<size_t>(r) * n + c];
+                if (r > 0) {
+                    gsum += g;
+                    isum += g * at(sol.voltage, r - 1, c);
+                }
+                if (r + 1 < n) {
+                    gsum += g;
+                    isum += g * at(sol.voltage, r + 1, c);
+                }
+                if (c > 0) {
+                    gsum += g;
+                    isum += g * at(sol.voltage, r, c - 1);
+                }
+                if (c + 1 < n) {
+                    gsum += g;
+                    isum += g * at(sol.voltage, r, c + 1);
+                }
+                if (isBump(r, c)) {
+                    gsum += gb;
+                    isum += gb * cfg.vdd;
+                }
+                const double v_new = isum / gsum;
+                const double &v_old = at(sol.voltage, r, c);
+                const double v_sor =
+                    v_old + cfg.omega * (v_new - v_old);
+                residual = std::max(
+                    residual, std::fabs(gsum * (v_sor - v_old)));
+                at(sol.voltage, r, c) = v_sor;
+            }
+        }
+        if (residual < cfg.tolerance)
+            break;
+    }
+    sol.iterations = iter;
+    sol.residual = residual;
+
+    // Bump observables for Figure 17.
+    double current = 0.0;
+    double v_acc = 0.0;
+    int bumps = 0;
+    for (int r = 0; r < n; ++r)
+        for (int c = 0; c < n; ++c)
+            if (isBump(r, c)) {
+                const double v = at(sol.voltage, r, c);
+                current += gb * (cfg.vdd - v);
+                v_acc += v;
+                ++bumps;
+            }
+    sol.bumpCurrentA = current;
+    sol.bumpVoltage = bumps > 0 ? v_acc / bumps : cfg.vdd;
+    return sol;
+}
+
+} // namespace aim::power

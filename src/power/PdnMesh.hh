@@ -1,0 +1,105 @@
+/**
+ * @file
+ * 2-D resistive power-delivery-network solver -- the RedHawk layout
+ * substitute behind the paper's Figure 16 heat maps and Figure 17
+ * bump traces.
+ *
+ * The die is discretized into a grid of PDN nodes joined by equal
+ * sheet conductances.  Bump nodes (C4 pads) connect to the ideal
+ * supply through a bump resistance; circuit blocks draw current at
+ * their footprint nodes.  Solving Kirchhoff's current law with
+ * successive over-relaxation yields the on-die voltage map; IR-drop is
+ * VDD minus that map.
+ */
+
+#ifndef AIM_POWER_PDNMESH_HH
+#define AIM_POWER_PDNMESH_HH
+
+#include <string>
+#include <vector>
+
+namespace aim::power
+{
+
+/** Mesh geometry and electrical parameters. */
+struct PdnMeshConfig
+{
+    /** Grid nodes per side. */
+    int size = 48;
+    /** Sheet conductance between neighbouring nodes [S]. */
+    double sheetConductance = 28.0;
+    /** Conductance from a bump node to the ideal supply [S]. */
+    double bumpConductance = 90.0;
+    /** Bump pitch in grid nodes (every k-th node on both axes). */
+    int bumpPitch = 6;
+    /** Supply voltage at the bumps [V]. */
+    double vdd = 0.75;
+    /** SOR relaxation factor. */
+    double omega = 1.88;
+    /** Convergence threshold on the max KCL residual [A]. */
+    double tolerance = 1e-7;
+    /** Iteration cap. */
+    int maxIterations = 20000;
+};
+
+/** Solved voltage map plus bump observables. */
+struct PdnSolution
+{
+    /** Node voltages, row-major size x size [V]. */
+    std::vector<double> voltage;
+    int size = 0;
+    /** Iterations used by the solver. */
+    int iterations = 0;
+    /** Max |KCL residual| at convergence [A]. */
+    double residual = 0.0;
+    /** Total current delivered through the bumps [A]. */
+    double bumpCurrentA = 0.0;
+    /** Mean voltage across bump nodes [V]. */
+    double bumpVoltage = 0.0;
+
+    /** Worst (largest) IR-drop on the die [mV]. */
+    double worstDropMv(double vdd) const;
+    /** Mean IR-drop over all nodes [mV]. */
+    double meanDropMv(double vdd) const;
+    /** Drop at one node [mV]. */
+    double dropAtMv(int row, int col, double vdd) const;
+    /** ASCII heat map of the drop (darker glyph = larger drop). */
+    std::string renderHeatMap(double vdd, double scaleMv) const;
+};
+
+/** SOR solver over the PDN mesh. */
+class PdnMesh
+{
+  public:
+    explicit PdnMesh(const PdnMeshConfig &cfg);
+
+    /** Zero all load currents. */
+    void clearLoads();
+
+    /**
+     * Add a rectangular current load (a circuit block footprint).
+     * The current is spread uniformly over the covered nodes.
+     *
+     * @param row0,col0 upper-left node (inclusive)
+     * @param rows,cols footprint extent in nodes
+     * @param currentA  total block current [A]
+     */
+    void addBlockLoad(int row0, int col0, int rows, int cols,
+                      double currentA);
+
+    /** Solve KCL for the current load set. */
+    PdnSolution solve() const;
+
+    /** True when a node is a bump (supply-connected) node. */
+    bool isBump(int row, int col) const;
+
+    const PdnMeshConfig &config() const { return cfg; }
+
+  private:
+    PdnMeshConfig cfg;
+    std::vector<double> loadA;
+};
+
+} // namespace aim::power
+
+#endif // AIM_POWER_PDNMESH_HH

@@ -1,0 +1,45 @@
+#include "power/PowerModel.hh"
+
+#include <algorithm>
+
+#include "util/Logging.hh"
+
+namespace aim::power
+{
+
+PowerModel::PowerModel(const Calibration &cal) : cal(cal)
+{
+}
+
+double
+PowerModel::macroPowerMw(double v, double fGhz, double meanRtog) const
+{
+    const double vr = v / cal.vddNominal;
+    const double fr = fGhz / cal.fNominal;
+    const double activity =
+        std::max(meanRtog, 0.0) / cal.rtogBaseline;
+    return cal.pLeakMw * vr + cal.pClkMw * vr * vr * fr +
+           cal.pSwMw * vr * vr * fr * activity;
+}
+
+double
+PowerModel::chipTops(double fEffGhz, double utilization) const
+{
+    utilization = std::clamp(utilization, 0.0, 1.0);
+    return cal.peakTops * (fEffGhz / cal.fNominal) * utilization;
+}
+
+double
+PowerModel::baselineMacroPowerMw() const
+{
+    return macroPowerMw(cal.vddNominal, cal.fNominal, cal.rtogBaseline);
+}
+
+double
+PowerModel::efficiencyGain(double macro_power_mw) const
+{
+    aim_assert(macro_power_mw > 0.0, "non-positive macro power");
+    return baselineMacroPowerMw() / macro_power_mw;
+}
+
+} // namespace aim::power

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Macro power and chip throughput model.  Per-macro power decomposes
+ * into leakage (~V), clock/control (~V^2 f) and data switching
+ * (~V^2 f Rtog); the shares are calibrated so the baseline operating
+ * point reproduces the paper's 4.2978 mW per macro, and throughput is
+ * normalized so nominal frequency delivers 256 TOPS.
+ */
+
+#ifndef AIM_POWER_POWERMODEL_HH
+#define AIM_POWER_POWERMODEL_HH
+
+#include "power/Calibration.hh"
+
+namespace aim::power
+{
+
+/** Calibrated power / throughput estimator. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const Calibration &cal);
+
+    /**
+     * Average power of one macro [mW].
+     *
+     * @param v        supply voltage [V]
+     * @param fGhz     clock frequency [GHz]
+     * @param meanRtog average cycle Rtog of the running workload
+     */
+    double macroPowerMw(double v, double fGhz, double meanRtog) const;
+
+    /**
+     * Chip throughput [TOPS] given the mean effective frequency and
+     * compute utilization (fraction of cycles doing useful MACs, i.e.
+     * excluding recompute bubbles and V-f switch stalls).
+     */
+    double chipTops(double fEffGhz, double utilization = 1.0) const;
+
+    /** Baseline macro power [mW] the paper normalizes against. */
+    double baselineMacroPowerMw() const;
+
+    /** Energy-efficiency improvement factor vs the baseline. */
+    double efficiencyGain(double macroPowerMw) const;
+
+    const Calibration &calibration() const { return cal; }
+
+  private:
+    Calibration cal;
+};
+
+} // namespace aim::power
+
+#endif // AIM_POWER_POWERMODEL_HH

@@ -1,0 +1,147 @@
+#include "power/VfTable.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/Logging.hh"
+
+namespace aim::power
+{
+
+VfTable::VfTable(const Calibration &cal) : cal(cal), ir(cal)
+{
+    for (int l = cal.levelMinPct; l <= cal.levelMaxPct;
+         l += cal.levelStepPct)
+        levelList.push_back(l);
+    levelList.push_back(100);
+
+    pairSets.resize(levelList.size());
+    for (size_t i = 0; i < levelList.size(); ++i) {
+        for (double v : cal.vGrid)
+            for (double f : cal.fGrid) {
+                const VfPair p{v, f};
+                if (pairSafeAt(p, levelList[i]))
+                    pairSets[i].push_back(p);
+            }
+    }
+}
+
+double
+VfTable::fMax(double veff) const
+{
+    if (veff <= cal.vth)
+        return 0.0;
+    // Alpha-power law: delay ~ V / (V - Vth)^alpha, so
+    // f(V) ~ (V - Vth)^alpha / V, anchored at the signoff corner.
+    const double ve_signoff =
+        cal.vddNominal - ir.signoffWorstMv() / 1000.0;
+    const double anchor =
+        std::pow(ve_signoff - cal.vth, cal.alphaPower) / ve_signoff;
+    const double cur =
+        std::pow(veff - cal.vth, cal.alphaPower) / veff;
+    return cal.fNominal * cur / anchor;
+}
+
+double
+VfTable::vMinTiming(double fGhz) const
+{
+    aim_assert(fGhz > 0.0, "non-positive frequency");
+    // fMax is monotonically increasing in veff: bisect.
+    double lo = cal.vth + 1e-4;
+    double hi = 1.2;
+    aim_assert(fMax(hi) >= fGhz, "frequency ", fGhz,
+               " GHz unreachable at any supply");
+    for (int i = 0; i < 64; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (fMax(mid) >= fGhz)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+bool
+VfTable::pairSafeAt(const VfPair &p, int levelPct) const
+{
+    const double rtog = static_cast<double>(levelPct) / 100.0;
+    const double veff = ir.vEff(p.v, p.fGhz, rtog);
+    return veff >= vMinTiming(p.fGhz);
+}
+
+std::vector<int>
+VfTable::levels() const
+{
+    return levelList;
+}
+
+const std::vector<VfPair> &
+VfTable::pairsAt(int levelPct) const
+{
+    for (size_t i = 0; i < levelList.size(); ++i)
+        if (levelList[i] == levelPct)
+            return pairSets[i];
+    return empty;
+}
+
+int
+VfTable::maxLevelPct(const VfPair &p) const
+{
+    int best = 0;
+    for (int l : levelList)
+        if (pairSafeAt(p, l))
+            best = std::max(best, l);
+    return best;
+}
+
+int
+VfTable::safeLevelFor(double hr) const
+{
+    const double pct = hr * 100.0;
+    for (int l = cal.levelMinPct; l <= cal.levelMaxPct;
+         l += cal.levelStepPct)
+        if (pct <= static_cast<double>(l))
+            return l;
+    return 100;
+}
+
+VfPair
+VfTable::sprintPair(int levelPct) const
+{
+    const auto &pairs = pairsAt(levelPct);
+    aim_assert(!pairs.empty(), "no V-f pair at level ", levelPct);
+    VfPair best = pairs.front();
+    for (const auto &p : pairs)
+        if (p.fGhz > best.fGhz ||
+            (p.fGhz == best.fGhz && p.v > best.v))
+            best = p;
+    return best;
+}
+
+VfPair
+VfTable::lowPowerPair(int levelPct) const
+{
+    const auto &pairs = pairsAt(levelPct);
+    aim_assert(!pairs.empty(), "no V-f pair at level ", levelPct);
+
+    const VfPair *best = nullptr;
+    for (const auto &p : pairs) {
+        if (p.fGhz + 1e-9 < cal.fNominal)
+            continue;
+        if (!best || p.v * p.v * p.fGhz < best->v * best->v * best->fGhz)
+            best = &p;
+    }
+    if (best)
+        return *best;
+    // No pair holds nominal frequency at this level: fall back to the
+    // fastest available (minimizes the slowdown).
+    return sprintPair(levelPct);
+}
+
+VfPair
+VfTable::dvfsNominal() const
+{
+    return VfPair{cal.vddNominal, cal.fNominal};
+}
+
+} // namespace aim::power

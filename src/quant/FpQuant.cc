@@ -1,0 +1,189 @@
+#include "quant/FpQuant.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/BitOps.hh"
+#include "util/Logging.hh"
+
+namespace aim::quant
+{
+
+double
+FpFormat::maxValue() const
+{
+    const int emax = (1 << exponentBits) - 1 - bias;
+    const double mant_max =
+        2.0 - std::pow(2.0, -mantissaBits);
+    return mant_max * std::pow(2.0, emax);
+}
+
+double
+FpFormat::minNormal() const
+{
+    return std::pow(2.0, 1 - bias);
+}
+
+double
+FpLayer::hr() const
+{
+    if (codes.empty())
+        return 0.0;
+    uint64_t hm = 0;
+    for (const auto &c : codes) {
+        if (c.isZero)
+            continue;
+        hm += c.sign;
+        hm += static_cast<uint64_t>(std::popcount(c.exponent));
+        hm += static_cast<uint64_t>(std::popcount(c.mantissa));
+    }
+    return static_cast<double>(hm) /
+           (static_cast<double>(codes.size()) * format.storageBits());
+}
+
+double
+FpLayer::mantissaHr() const
+{
+    if (codes.empty() || format.mantissaBits == 0)
+        return 0.0;
+    uint64_t hm = 0;
+    for (const auto &c : codes)
+        if (!c.isZero)
+            hm += static_cast<uint64_t>(std::popcount(c.mantissa));
+    return static_cast<double>(hm) /
+           (static_cast<double>(codes.size()) * format.mantissaBits);
+}
+
+std::vector<double>
+FpLayer::decode() const
+{
+    std::vector<double> out;
+    out.reserve(codes.size());
+    for (const auto &c : codes)
+        out.push_back(decodeFp(c, format));
+    return out;
+}
+
+FpCode
+encodeFp(double x, const FpFormat &fmt)
+{
+    FpCode code;
+    if (x == 0.0 || std::fabs(x) < fmt.minNormal() * 0.5)
+        return code; // flush tiny values to zero (no subnormals)
+
+    code.isZero = false;
+    code.sign = x < 0.0 ? 1 : 0;
+    const double mag = std::min(std::fabs(x), fmt.maxValue());
+
+    int e = static_cast<int>(std::floor(std::log2(mag)));
+    e = std::clamp(e, 1 - fmt.bias,
+                   (1 << fmt.exponentBits) - 1 - fmt.bias);
+    // Round the mantissa; a carry can bump the exponent.  When the
+    // exponent was clamped up (value just below the normal range)
+    // frac falls below 1: clamp the mantissa at the smallest code.
+    double frac = mag / std::pow(2.0, e);
+    long m = std::lround((frac - 1.0) *
+                         std::pow(2.0, fmt.mantissaBits));
+    m = std::max(m, 0L);
+    if (m >= (1L << fmt.mantissaBits)) {
+        m = 0;
+        ++e;
+        if (e > (1 << fmt.exponentBits) - 1 - fmt.bias) {
+            e = (1 << fmt.exponentBits) - 1 - fmt.bias;
+            m = (1L << fmt.mantissaBits) - 1;
+        }
+    }
+    code.exponent = static_cast<uint8_t>(e + fmt.bias);
+    code.mantissa = static_cast<uint8_t>(m);
+    return code;
+}
+
+double
+decodeFp(const FpCode &code, const FpFormat &fmt)
+{
+    if (code.isZero)
+        return 0.0;
+    const int e = static_cast<int>(code.exponent) - fmt.bias;
+    const double frac =
+        1.0 + static_cast<double>(code.mantissa) /
+                  std::pow(2.0, fmt.mantissaBits);
+    const double mag = frac * std::pow(2.0, e);
+    return code.sign ? -mag : mag;
+}
+
+FpLayer
+quantizeFp(const std::string &name, std::span<const float> w,
+           int rows, int cols, const FpFormat &fmt)
+{
+    aim_assert(static_cast<size_t>(rows) * cols == w.size(),
+               "FP layer shape mismatch for ", name);
+    FpLayer layer;
+    layer.name = name;
+    layer.format = fmt;
+    layer.rows = rows;
+    layer.cols = cols;
+    layer.codes.reserve(w.size());
+    for (float x : w)
+        layer.codes.push_back(encodeFp(x, fmt));
+    return layer;
+}
+
+double
+applyMantissaLhr(FpLayer &layer, double rel_err_budget)
+{
+    aim_assert(rel_err_budget >= 0.0, "negative error budget");
+    const auto &fmt = layer.format;
+    if (fmt.mantissaBits == 0)
+        return 0.0;
+
+    const double before = layer.mantissaHr();
+    const long m_max = (1L << fmt.mantissaBits) - 1;
+    for (auto &code : layer.codes) {
+        if (code.isZero)
+            continue;
+        const double exact = decodeFp(code, fmt);
+        int best_pc = std::popcount(code.mantissa);
+        uint8_t best = code.mantissa;
+        for (long cand = code.mantissa - 1;
+             cand <= code.mantissa + 1; ++cand) {
+            if (cand < 0 || cand > m_max ||
+                cand == code.mantissa)
+                continue;
+            FpCode probe = code;
+            probe.mantissa = static_cast<uint8_t>(cand);
+            const double err =
+                std::fabs(decodeFp(probe, fmt) - exact) /
+                std::fabs(exact);
+            const int pc = std::popcount(probe.mantissa);
+            if (err <= rel_err_budget && pc < best_pc) {
+                best_pc = pc;
+                best = probe.mantissa;
+            }
+        }
+        code.mantissa = best;
+    }
+    const double after = layer.mantissaHr();
+    return before > 0.0 ? 1.0 - after / before : 0.0;
+}
+
+double
+fpRelativeError(const FpLayer &layer, std::span<const float> reference)
+{
+    aim_assert(layer.codes.size() == reference.size(),
+               "reference size mismatch");
+    double acc = 0.0;
+    size_t n = 0;
+    for (size_t i = 0; i < reference.size(); ++i) {
+        const double ref = reference[i];
+        if (ref == 0.0)
+            continue;
+        acc += std::fabs(decodeFp(layer.codes[i], layer.format) -
+                         ref) /
+               std::fabs(ref);
+        ++n;
+    }
+    return n > 0 ? acc / static_cast<double>(n) : 0.0;
+}
+
+} // namespace aim::quant

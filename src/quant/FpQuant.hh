@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Floating-point PIM extension (paper Section 7).
+ *
+ * FP-capable PIM macros ([Guo et al. 2023], [He et al. 2023]) align
+ * mantissas by exponent and then run the *mantissa* MACs through the
+ * same complement-code bit-serial datapath as integer PIM.  The
+ * paper observes that LHR-style fine-tuning and WDS therefore apply
+ * to the mantissa bits, and leaves the quantitative exploration to
+ * future work -- which this module provides.
+ *
+ * We model an e4m3-style FP8 format (1 sign, 4 exponent, 3 explicit
+ * mantissa bits) plus configurable variants.  The in-memory cost
+ * metric is the hamming rate of the *stored mantissa code words*
+ * (sign-magnitude mantissa with hidden bit materialized into the
+ * array), and LHR-FP snaps mantissas toward low-hamming codes within
+ * a relative-error budget.
+ */
+
+#ifndef AIM_QUANT_FPQUANT_HH
+#define AIM_QUANT_FPQUANT_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace aim::quant
+{
+
+/** A parameterized small floating-point format. */
+struct FpFormat
+{
+    /** Exponent bits. */
+    int exponentBits = 4;
+    /** Explicit mantissa bits (hidden leading one not stored). */
+    int mantissaBits = 3;
+    /** Exponent bias. */
+    int bias = 7;
+
+    /** Bits occupying SRAM per value: sign + exponent + mantissa. */
+    int storageBits() const
+    {
+        return 1 + exponentBits + mantissaBits;
+    }
+
+    /** Largest finite magnitude. */
+    double maxValue() const;
+    /** Smallest positive normal magnitude. */
+    double minNormal() const;
+};
+
+/** One FP-encoded weight as stored in the PIM array. */
+struct FpCode
+{
+    uint8_t sign = 0;
+    uint8_t exponent = 0;
+    /** Stored mantissa field (without the hidden bit). */
+    uint8_t mantissa = 0;
+    bool isZero = true;
+};
+
+/** An FP-quantized layer. */
+struct FpLayer
+{
+    std::string name;
+    FpFormat format;
+    std::vector<FpCode> codes;
+    int rows = 0;
+    int cols = 0;
+
+    /**
+     * Hamming rate of the stored code words (sign + exponent +
+     * mantissa bits over storageBits) -- the FP analogue of Eq. 3.
+     */
+    double hr() const;
+
+    /** HR of the mantissa field only (what mantissa-LHR optimizes). */
+    double mantissaHr() const;
+
+    /** Decode back to doubles. */
+    std::vector<double> decode() const;
+};
+
+/** Round a real value to the nearest representable FP code. */
+FpCode encodeFp(double x, const FpFormat &fmt);
+
+/** Decode one FP code. */
+double decodeFp(const FpCode &code, const FpFormat &fmt);
+
+/** Quantize a float tensor to an FP layer (round to nearest even). */
+FpLayer quantizeFp(const std::string &name, std::span<const float> w,
+                   int rows, int cols, const FpFormat &fmt);
+
+/**
+ * Mantissa-LHR (the paper's proposed FP extension): for each weight,
+ * consider the mantissa codes within +-1 ULP; pick the one minimizing
+ * hamming weight subject to a relative-error budget.  One mantissa
+ * ULP is 2^-mantissaBits relative (12.5% for m3), so budgets below
+ * that are no-ops by construction.  Exponents and signs are preserved
+ * (they carry magnitude information the network is sensitive to).
+ *
+ * @param layer         FP layer modified in place
+ * @param relErrBudget  maximum allowed relative error per weight
+ * @return              achieved mantissa-HR reduction (fraction)
+ */
+double applyMantissaLhr(FpLayer &layer, double relErrBudget = 0.13);
+
+/** Mean relative decode error vs a float reference. */
+double fpRelativeError(const FpLayer &layer,
+                       std::span<const float> reference);
+
+} // namespace aim::quant
+
+#endif // AIM_QUANT_FPQUANT_HH

@@ -1,0 +1,24 @@
+#include "quant/Hamming.hh"
+
+namespace aim::quant
+{
+
+uint64_t
+hammingValue(std::span<const int32_t> values, int q)
+{
+    uint64_t hm = 0;
+    for (int32_t v : values)
+        hm += static_cast<uint64_t>(util::popcountTc(v, q));
+    return hm;
+}
+
+double
+hammingRate(std::span<const int32_t> values, int q)
+{
+    if (values.empty())
+        return 0.0;
+    return static_cast<double>(hammingValue(values, q)) /
+           (static_cast<double>(values.size()) * static_cast<double>(q));
+}
+
+} // namespace aim::quant

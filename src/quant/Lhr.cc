@@ -1,0 +1,77 @@
+#include "quant/Lhr.hh"
+
+#include <cmath>
+
+#include "quant/Hamming.hh"
+#include "util/BitOps.hh"
+#include "util/Logging.hh"
+
+namespace aim::quant
+{
+
+HrInterp
+interpolatedHr(double x, int q)
+{
+    const double lo = static_cast<double>(util::intMin(q));
+    const double hi = static_cast<double>(util::intMax(q));
+
+    HrInterp out;
+    if (x <= lo) {
+        out.value = hrOfInt(util::intMin(q), q);
+        out.slope = 0.0;
+        return out;
+    }
+    if (x >= hi) {
+        out.value = hrOfInt(util::intMax(q), q);
+        out.slope = 0.0;
+        return out;
+    }
+
+    const double low = std::floor(x);
+    const double high = std::ceil(x);
+    const double hr_low = hrOfInt(static_cast<int64_t>(low), q);
+    if (low == high) {
+        // Exactly on an integer: value is exact, segment slope is
+        // undefined; report 0 so a converged weight stops moving.
+        out.value = hr_low;
+        out.slope = 0.0;
+        return out;
+    }
+    const double hr_high = hrOfInt(static_cast<int64_t>(high), q);
+    const double p = x - low;
+    out.value = (1.0 - p) * hr_low + p * hr_high;
+    out.slope = hr_high - hr_low;
+    return out;
+}
+
+double
+layerInterpolatedHr(std::span<const float> w, double scale, int q)
+{
+    aim_assert(scale > 0.0, "non-positive scale");
+    if (w.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (float x : w)
+        acc += interpolatedHr(static_cast<double>(x) / scale, q).value;
+    return acc / static_cast<double>(w.size());
+}
+
+double
+lhrLoss(std::span<const double> layerHrs)
+{
+    double acc = 0.0;
+    for (double hr : layerHrs)
+        acc += hr * hr;
+    return acc;
+}
+
+double
+lhrWeightGradient(double layerHr, double slope, size_t n, double scale)
+{
+    if (n == 0)
+        return 0.0;
+    return 2.0 * layerHr * slope /
+           (static_cast<double>(n) * scale);
+}
+
+} // namespace aim::quant

@@ -1,0 +1,73 @@
+#include "quant/Pruning.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/Logging.hh"
+
+namespace aim::quant
+{
+
+void
+applyGmp(FloatLayer &layer, const PruneConfig &cfg)
+{
+    aim_assert(cfg.sparsity >= 0.0 && cfg.sparsity < 1.0,
+               "sparsity ", cfg.sparsity, " out of range");
+    aim_assert(cfg.steps >= 1, "need at least one pruning step");
+
+    const size_t n = layer.weights.size();
+    if (layer.mask.empty())
+        layer.mask.assign(n, 1);
+
+    for (int t = 1; t <= cfg.steps; ++t) {
+        const double frac = static_cast<double>(t) /
+                            static_cast<double>(cfg.steps);
+        const double target =
+            cfg.sparsity * (1.0 - std::pow(1.0 - frac, 3.0));
+        const auto want =
+            static_cast<size_t>(std::round(target * n));
+
+        // Order alive weights by magnitude and kill the smallest until
+        // the step target is met.
+        std::vector<size_t> alive;
+        alive.reserve(n);
+        for (size_t i = 0; i < n; ++i)
+            if (layer.mask[i])
+                alive.push_back(i);
+        const size_t dead = n - alive.size();
+        if (want <= dead)
+            continue;
+        size_t to_kill = want - dead;
+        std::partial_sort(alive.begin(),
+                          alive.begin() + std::min(to_kill, alive.size()),
+                          alive.end(), [&](size_t a, size_t b) {
+                              return std::fabs(layer.weights[a]) <
+                                     std::fabs(layer.weights[b]);
+                          });
+        for (size_t k = 0; k < to_kill && k < alive.size(); ++k) {
+            layer.mask[alive[k]] = 0;
+            layer.weights[alive[k]] = 0.0f;
+        }
+    }
+}
+
+void
+applyGmp(std::vector<FloatLayer> &layers, const PruneConfig &cfg)
+{
+    for (auto &layer : layers)
+        applyGmp(layer, cfg);
+}
+
+double
+maskSparsity(const FloatLayer &layer)
+{
+    if (layer.mask.empty() || layer.weights.empty())
+        return 0.0;
+    const auto zeros =
+        std::count(layer.mask.begin(), layer.mask.end(), uint8_t{0});
+    return static_cast<double>(zeros) /
+           static_cast<double>(layer.mask.size());
+}
+
+} // namespace aim::quant

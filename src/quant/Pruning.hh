@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Gradual magnitude pruning (GMP* [Kurtic & Alistarh 2022]) -- the
+ * SparseML stand-in used by paper Figure 15 to compare and combine
+ * pruning with LHR/WDS.  Zeroed weights have zero hamming weight, so
+ * sparsity directly lowers HR; the paper shows LHR composes with it.
+ */
+
+#ifndef AIM_QUANT_PRUNING_HH
+#define AIM_QUANT_PRUNING_HH
+
+#include <vector>
+
+#include "quant/QatTrainer.hh"
+
+namespace aim::quant
+{
+
+/** Gradual magnitude pruning schedule parameters. */
+struct PruneConfig
+{
+    /** Final fraction of weights set to zero, in [0, 1). */
+    double sparsity = 0.3;
+    /** Number of gradual steps of the cubic sparsity ramp. */
+    int steps = 8;
+};
+
+/**
+ * Prune one layer in place: fills layer.mask and zeroes the masked
+ * weights.  Uses the GMP cubic schedule s_t = s_f * (1 - (1 - t/T)^3)
+ * with a magnitude criterion evaluated at each step.
+ */
+void applyGmp(FloatLayer &layer, const PruneConfig &cfg);
+
+/** Prune every layer of a network to the same target sparsity. */
+void applyGmp(std::vector<FloatLayer> &layers, const PruneConfig &cfg);
+
+/** Fraction of masked (zero) weights in a layer (0 when dense). */
+double maskSparsity(const FloatLayer &layer);
+
+} // namespace aim::quant
+
+#endif // AIM_QUANT_PRUNING_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Post-training-quantization stand-ins for the two PTQ methods the
+ * paper combines with LHR (Table 3):
+ *
+ *  - OmniQuant [Shao et al. 2024]: learns clipping parameters; our
+ *    stand-in sweeps the clip ratio per layer to minimize quantization
+ *    MSE, then rounds.
+ *  - BRECQ [Li et al. 2021]: block-wise reconstruction via adaptive
+ *    rounding; our stand-in runs coordinate-descent rounding flips per
+ *    block that minimize reconstruction error.
+ *
+ * With LHR enabled, an HR penalty term joins each method's local
+ * objective.  PTQ only chooses between the two nearest integers per
+ * weight, so the achievable HR reduction is structurally smaller than
+ * QAT's -- exactly the effect Table 3 reports.
+ */
+
+#ifndef AIM_QUANT_PTQ_HH
+#define AIM_QUANT_PTQ_HH
+
+#include <vector>
+
+#include "quant/QatTrainer.hh"
+
+namespace aim::quant
+{
+
+/** Configuration shared by both PTQ stand-ins. */
+struct PtqConfig
+{
+    /** Quantization bit width. */
+    int bits = 8;
+    /** Enable the LHR penalty inside the rounding objective. */
+    bool lhr = false;
+    /** HR penalty strength (LSB^2 of MSE traded per unit of HR). */
+    double mu = 2.5;
+    /** BRECQ block size in rows. */
+    int blockRows = 4;
+    /** BRECQ coordinate-descent passes. */
+    int passes = 3;
+};
+
+/** OmniQuant-style PTQ: learned clipping + (optionally LHR) rounding. */
+QatResult runOmniQuant(std::vector<FloatLayer> &layers,
+                       const PtqConfig &cfg);
+
+/** BRECQ-style PTQ: block reconstruction with adaptive rounding. */
+QatResult runBrecq(std::vector<FloatLayer> &layers, const PtqConfig &cfg);
+
+} // namespace aim::quant
+
+#endif // AIM_QUANT_PTQ_HH

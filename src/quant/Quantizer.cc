@@ -1,0 +1,128 @@
+#include "quant/Quantizer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/Hamming.hh"
+#include "util/BitOps.hh"
+#include "util/Logging.hh"
+
+namespace aim::quant
+{
+
+double
+QuantizedLayer::hr() const
+{
+    return hammingRate(values, bits);
+}
+
+std::vector<float>
+QuantizedLayer::dequantize() const
+{
+    std::vector<float> out(values.size());
+    for (size_t i = 0; i < values.size(); ++i)
+        out[i] = static_cast<float>((values[i] - wdsDelta) * scale);
+    return out;
+}
+
+double
+computeScaleAbsMax(std::span<const float> w, const QuantSpec &spec)
+{
+    double absmax = 0.0;
+    for (float x : w)
+        absmax = std::max(absmax, static_cast<double>(std::fabs(x)));
+    if (absmax == 0.0)
+        return 1.0;
+    const double qmax = static_cast<double>(util::intMax(spec.bits));
+    return spec.clipRatio * absmax / qmax;
+}
+
+double
+computeScaleMse(std::span<const float> w, const QuantSpec &spec,
+                int steps, double *outClip)
+{
+    aim_assert(steps >= 2, "need at least two sweep steps");
+    QuantSpec probe = spec;
+    probe.clipRatio = 1.0;
+    const double fullScale = computeScaleAbsMax(w, probe);
+
+    double bestMse = -1.0;
+    double bestScale = fullScale;
+    double bestClip = 1.0;
+    for (int i = 0; i < steps; ++i) {
+        const double clip =
+            0.3 + 0.7 * static_cast<double>(i) /
+                      static_cast<double>(steps - 1);
+        const double scale = fullScale * clip;
+        if (scale <= 0.0)
+            continue;
+        const auto v = quantize(w, scale, spec.bits);
+        const double mse = quantizationMse(w, v, scale);
+        if (bestMse < 0.0 || mse < bestMse) {
+            bestMse = mse;
+            bestScale = scale;
+            bestClip = clip;
+        }
+    }
+    if (outClip)
+        *outClip = bestClip;
+    return bestScale;
+}
+
+std::vector<int32_t>
+quantize(std::span<const float> w, double scale, int bits)
+{
+    aim_assert(scale > 0.0, "non-positive quantization scale");
+    const auto lo = static_cast<int32_t>(util::intMin(bits));
+    const auto hi = static_cast<int32_t>(util::intMax(bits));
+    std::vector<int32_t> out(w.size());
+    for (size_t i = 0; i < w.size(); ++i) {
+        const double x = std::nearbyint(static_cast<double>(w[i]) / scale);
+        out[i] = std::clamp(static_cast<int32_t>(x), lo, hi);
+    }
+    return out;
+}
+
+std::vector<float>
+dequantize(std::span<const int32_t> v, double scale)
+{
+    std::vector<float> out(v.size());
+    for (size_t i = 0; i < v.size(); ++i)
+        out[i] = static_cast<float>(v[i] * scale);
+    return out;
+}
+
+QuantizedLayer
+quantizeLayer(const std::string &name, std::span<const float> w,
+              int rows, int cols, const QuantSpec &spec)
+{
+    aim_assert(static_cast<size_t>(rows) * static_cast<size_t>(cols) ==
+                   w.size(),
+               "layer ", name, ": shape ", rows, "x", cols,
+               " != size ", w.size());
+    QuantizedLayer layer;
+    layer.name = name;
+    layer.scale = computeScaleAbsMax(w, spec);
+    layer.bits = spec.bits;
+    layer.rows = rows;
+    layer.cols = cols;
+    layer.values = quantize(w, layer.scale, spec.bits);
+    return layer;
+}
+
+double
+quantizationMse(std::span<const float> w, std::span<const int32_t> v,
+                double scale)
+{
+    aim_assert(w.size() == v.size(), "size mismatch in quantizationMse");
+    if (w.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (size_t i = 0; i < w.size(); ++i) {
+        const double err = static_cast<double>(w[i]) - v[i] * scale;
+        acc += err * err;
+    }
+    return acc / static_cast<double>(w.size());
+}
+
+} // namespace aim::quant

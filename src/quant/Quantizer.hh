@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Uniform symmetric quantization of float weight tensors, the substrate
+ * under every AIM software pass.  Matches the widely used QAT baseline
+ * setup [Nagel et al. 2021]: per-tensor scale, round-to-nearest,
+ * two's-complement storage.
+ */
+
+#ifndef AIM_QUANT_QUANTIZER_HH
+#define AIM_QUANT_QUANTIZER_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace aim::quant
+{
+
+/** Quantization parameters for one tensor. */
+struct QuantSpec
+{
+    /** Bit width of the stored integers (e.g. 8 or 4). */
+    int bits = 8;
+    /** Clipping factor applied to the abs-max when deriving the scale. */
+    double clipRatio = 1.0;
+};
+
+/** A quantized weight tensor plus the metadata to interpret it. */
+struct QuantizedLayer
+{
+    std::string name;
+    /** Quantized integer values in two's complement (range of bits). */
+    std::vector<int32_t> values;
+    /** Dequantization scale: float = value * scale. */
+    double scale = 1.0;
+    /** Bit width of the encodings. */
+    int bits = 8;
+    /** Logical GEMM rows (output channels). */
+    int rows = 0;
+    /** Logical GEMM cols (reduction / input dimension). */
+    int cols = 0;
+    /** WDS shift already applied to values (0 when unshifted). */
+    int wdsDelta = 0;
+
+    /** HR of this layer's stored values (Equation 3). */
+    double hr() const;
+
+    /** Dequantize back to floats (ignores any WDS shift). */
+    std::vector<float> dequantize() const;
+};
+
+/** Scale so that clipRatio * absmax maps to the integer maximum. */
+double computeScaleAbsMax(std::span<const float> w, const QuantSpec &spec);
+
+/**
+ * Scale minimizing quantization MSE, found by sweeping the clip ratio
+ * over [0.3, 1.0] (the OmniQuant-style learned-clipping stand-in).
+ *
+ * @param w           weights to fit
+ * @param spec        bit width (clipRatio is ignored; it is searched)
+ * @param steps       sweep resolution
+ * @param outClip     optional: receives the winning clip ratio
+ */
+double computeScaleMse(std::span<const float> w, const QuantSpec &spec,
+                       int steps = 64, double *outClip = nullptr);
+
+/** Round-to-nearest quantization with saturation to the bit range. */
+std::vector<int32_t> quantize(std::span<const float> w, double scale,
+                              int bits);
+
+/** Dequantize integers back to float. */
+std::vector<float> dequantize(std::span<const int32_t> v, double scale);
+
+/**
+ * Quantize a float layer into a QuantizedLayer with an abs-max scale.
+ */
+QuantizedLayer quantizeLayer(const std::string &name,
+                             std::span<const float> w, int rows, int cols,
+                             const QuantSpec &spec);
+
+/** Mean squared error between a float tensor and a quantized version. */
+double quantizationMse(std::span<const float> w,
+                       std::span<const int32_t> v, double scale);
+
+} // namespace aim::quant
+
+#endif // AIM_QUANT_QUANTIZER_HH

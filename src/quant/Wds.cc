@@ -1,0 +1,115 @@
+#include "quant/Wds.hh"
+
+#include <algorithm>
+
+#include "quant/Hamming.hh"
+#include "util/BitOps.hh"
+#include "util/Logging.hh"
+
+namespace aim::quant
+{
+
+double
+WdsStats::clampedFraction() const
+{
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(clamped) / static_cast<double>(total);
+}
+
+WdsStats
+applyWds(QuantizedLayer &layer, int delta)
+{
+    aim_assert(util::isPowerOfTwo(delta),
+               "WDS delta ", delta, " must be a power of two");
+    aim_assert(layer.wdsDelta == 0,
+               "layer ", layer.name, " already WDS-shifted");
+
+    WdsStats stats;
+    stats.total = layer.values.size();
+    stats.hrBefore = layer.hr();
+
+    const auto hi = static_cast<int32_t>(util::intMax(layer.bits));
+    for (auto &v : layer.values) {
+        const int32_t shifted = v + delta;
+        if (shifted > hi) {
+            v = hi;
+            ++stats.clamped;
+        } else {
+            v = shifted;
+        }
+    }
+    layer.wdsDelta = delta;
+    stats.hrAfter = layer.hr();
+    return stats;
+}
+
+void
+removeWds(QuantizedLayer &layer)
+{
+    if (layer.wdsDelta == 0)
+        return;
+    const auto lo = static_cast<int32_t>(util::intMin(layer.bits));
+    for (auto &v : layer.values)
+        v = std::max(v - layer.wdsDelta, lo);
+    layer.wdsDelta = 0;
+}
+
+int64_t
+wdsCorrection(std::span<const int32_t> input, int delta)
+{
+    int64_t sum = 0;
+    for (int32_t x : input)
+        sum += x;
+    return -sum * static_cast<int64_t>(delta);
+}
+
+std::vector<int>
+recommendedDeltas(int bits)
+{
+    if (bits >= 8)
+        return {8, 16};
+    return {2, 4};
+}
+
+std::vector<int64_t>
+gemmRef(std::span<const int32_t> w, int rows, int cols,
+        std::span<const int32_t> x, int xcols)
+{
+    aim_assert(w.size() == static_cast<size_t>(rows) * cols,
+               "weight size mismatch");
+    aim_assert(x.size() == static_cast<size_t>(cols) * xcols,
+               "input size mismatch");
+    std::vector<int64_t> out(static_cast<size_t>(rows) * xcols, 0);
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c) {
+            const int64_t wv = w[static_cast<size_t>(r) * cols + c];
+            for (int m = 0; m < xcols; ++m)
+                out[static_cast<size_t>(r) * xcols + m] +=
+                    wv * x[static_cast<size_t>(c) * xcols + m];
+        }
+    return out;
+}
+
+std::vector<int64_t>
+gemmWithWds(const QuantizedLayer &layer, std::span<const int32_t> x,
+            int xcols)
+{
+    // MM multiplication with the shifted weights (on critical path)...
+    auto out = gemmRef(layer.values, layer.rows, layer.cols, x, xcols);
+    if (layer.wdsDelta == 0)
+        return out;
+    // ...then shift compensation (outside the critical path): one
+    // correction per input column, broadcast to all rows.
+    for (int m = 0; m < xcols; ++m) {
+        int64_t col_sum = 0;
+        for (int c = 0; c < layer.cols; ++c)
+            col_sum += x[static_cast<size_t>(c) * xcols + m];
+        const int64_t correction = -col_sum * layer.wdsDelta;
+        for (int r = 0; r < layer.rows; ++r)
+            out[static_cast<size_t>(r) * xcols + m] += correction;
+    }
+    return out;
+}
+
+} // namespace aim::quant

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * WDS — Weight Distribution Shift (paper Section 5.4, Algorithm 1).
+ *
+ * Two's-complement encodings make small negative values expensive in
+ * hamming weight (-1 is all ones) and small positive values cheap, so
+ * shifting the whole quantized distribution by +delta concentrates
+ * weights on cheap codes.  The shift is applied offline; the induced
+ * numerical error -delta * sum(input) is corrected after the matrix
+ * multiplication by the Shift Compensator (src/pim).  delta must be a
+ * power of two so the compensator multiplies by bit-shifting.
+ */
+
+#ifndef AIM_QUANT_WDS_HH
+#define AIM_QUANT_WDS_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "quant/Quantizer.hh"
+
+namespace aim::quant
+{
+
+/** Outcome of applying WDS to one layer. */
+struct WdsStats
+{
+    /** Weights clamped at INT_MAX (effective shift < delta). */
+    size_t clamped = 0;
+    /** Total weights in the layer. */
+    size_t total = 0;
+    /** Layer HR before the shift. */
+    double hrBefore = 0.0;
+    /** Layer HR after the shift. */
+    double hrAfter = 0.0;
+
+    /** Fraction of clamped weights (paper reports < 1%). */
+    double clampedFraction() const;
+};
+
+/**
+ * Shift a quantized layer by +delta in place (Algorithm 1 lines 3-5).
+ * Values overflowing the representable maximum are clamped to INT_MAX
+ * to avoid wrap-around into negative codes.
+ *
+ * @param layer quantized layer (records delta in layer.wdsDelta)
+ * @param delta shift amount; must be a positive power of two
+ */
+WdsStats applyWds(QuantizedLayer &layer, int delta);
+
+/** Undo a WDS shift (restores original values exactly unless clamped). */
+void removeWds(QuantizedLayer &layer);
+
+/**
+ * Correction term of Algorithm 1 line 9: -sum(input) * delta, computed
+ * once per input vector and shared by every bank of a macro.
+ */
+int64_t wdsCorrection(std::span<const int32_t> input, int delta);
+
+/**
+ * Suggested delta values for a bit width (paper Section 5.4.1):
+ * {8, 16} for INT8, {2, 4} for INT4.
+ */
+std::vector<int> recommendedDeltas(int bits);
+
+/** Reference integer GEMM: out[r][m] = sum_c W[r][c] * X[c][m]. */
+std::vector<int64_t> gemmRef(std::span<const int32_t> w, int rows,
+                             int cols, std::span<const int32_t> x,
+                             int xcols);
+
+/**
+ * GEMM through a WDS-shifted weight matrix with post-hoc correction
+ * (Algorithm 1 lines 7-9).  Equals gemmRef on the unshifted weights
+ * whenever no weight was clamped.
+ */
+std::vector<int64_t> gemmWithWds(const QuantizedLayer &layer,
+                                 std::span<const int32_t> x, int xcols);
+
+} // namespace aim::quant
+
+#endif // AIM_QUANT_WDS_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Chip-level runtime: executes compiled rounds on the 64-macro chip
+ * with per-group IR monitors and IR-Booster controllers.
+ *
+ * Time advances in *windows* of one bit-serial pass (inputBits
+ * cycles).  Every window, each active group samples its worst-macro
+ * Rtog, the Equation-2 model produces the group's droop, the monitor
+ * digitizes it against the timing threshold of the current frequency,
+ * and the Algorithm-2 controller reacts.  IRFailures trigger
+ * recompute stalls for the failing group's Sets (Figure 11); V-f
+ * switches cost settle windows.  Energy, wall time, IR-drop and level
+ * statistics are aggregated into a RunReport.
+ */
+
+#ifndef AIM_SIM_RUNTIME_HH
+#define AIM_SIM_RUNTIME_HH
+
+#include <vector>
+
+#include "booster/GroupBooster.hh"
+#include "mapping/Mappers.hh"
+#include "pim/ToggleModel.hh"
+#include "power/IrMonitor.hh"
+#include "power/PowerModel.hh"
+#include "power/VfTable.hh"
+#include "sim/Compiler.hh"
+
+namespace aim::sim
+{
+
+/** Runtime tuning. */
+struct RunConfig
+{
+    booster::BoosterConfig boost;
+    /** false = DVFS baseline: nominal pair, no adjustment. */
+    bool useBooster = true;
+    /** Mapping strategy for each round. */
+    mapping::MapperKind mapper = mapping::MapperKind::HrAware;
+    uint64_t seed = 31;
+    /** Safety cap on windows per round. */
+    long maxWindowsPerRound = 200000;
+};
+
+/** Aggregated outcome of a run. */
+struct RunReport
+{
+    /** Total wall time [ns]. */
+    double wallTimeNs = 0.0;
+    /** Total useful MACs executed. */
+    double totalMacs = 0.0;
+    /** Effective throughput [TOPS] (2 ops per MAC). */
+    double tops = 0.0;
+    /** Mean power per active macro [mW]. */
+    double macroPowerMw = 0.0;
+    /** Worst sampled group IR-drop [mV]. */
+    double irWorstMv = 0.0;
+    /** Mean sampled group IR-drop [mV]. */
+    double irMeanMv = 0.0;
+    /** IRFailure count. */
+    long failures = 0;
+    /** Windows lost to recomputing and V-f settling. */
+    long stallWindows = 0;
+    /** Useful (progress) windows. */
+    long usefulWindows = 0;
+    /** V-f switch count. */
+    long vfSwitches = 0;
+    /** Work-weighted mean Rtog level of active groups [%]. */
+    double meanLevel = 0.0;
+    /** Work-weighted mean cycle Rtog. */
+    double meanRtog = 0.0;
+
+    /** Fraction of windows doing useful work. */
+    double utilization() const;
+    /** Energy efficiency proxy [TOPS/W of the macro array]. */
+    double topsPerWatt(int activeMacros) const;
+};
+
+/** Executes rounds on the modelled chip. */
+class Runtime
+{
+  public:
+    Runtime(const pim::PimConfig &cfg, const power::Calibration &cal,
+            const RunConfig &rcfg);
+
+    /**
+     * Run a compiled model.
+     *
+     * @param rounds compiled rounds
+     * @param stream activation statistics of the workload
+     */
+    RunReport run(const std::vector<Round> &rounds,
+                  const pim::StreamSpec &stream);
+
+    /** Access the V-f table (for reporting). */
+    const power::VfTable &vfTable() const { return table; }
+
+  private:
+    RunReport runRound(const Round &round,
+                       const pim::ToggleStats &toggles,
+                       uint64_t roundSeed);
+
+    pim::PimConfig cfg;
+    power::Calibration cal;
+    RunConfig rcfg;
+    power::VfTable table;
+    power::IrModel ir;
+    power::PowerModel pm;
+};
+
+/** Merge per-round reports (time-weighted means). */
+RunReport mergeReports(const std::vector<RunReport> &parts);
+
+} // namespace aim::sim
+
+#endif // AIM_SIM_RUNTIME_HH

@@ -1,0 +1,83 @@
+#include "util/Histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/Logging.hh"
+
+namespace aim::util
+{
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo(lo), hi(hi), counts(bins, 0)
+{
+    aim_assert(hi > lo, "histogram range [", lo, ", ", hi, ") is empty");
+    aim_assert(bins >= 1, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    add(x, 1);
+}
+
+void
+Histogram::add(double x, uint64_t weight)
+{
+    const double width = (hi - lo) / static_cast<double>(counts.size());
+    auto idx = static_cast<long long>(std::floor((x - lo) / width));
+    idx = std::clamp<long long>(idx, 0,
+                                static_cast<long long>(counts.size()) - 1);
+    counts[static_cast<size_t>(idx)] += weight;
+    totalCount += weight;
+    maxSeen = any ? std::max(maxSeen, x) : x;
+    any = true;
+}
+
+double
+Histogram::binCenter(size_t i) const
+{
+    const double width = (hi - lo) / static_cast<double>(counts.size());
+    return lo + (static_cast<double>(i) + 0.5) * width;
+}
+
+double
+Histogram::binLow(size_t i) const
+{
+    const double width = (hi - lo) / static_cast<double>(counts.size());
+    return lo + static_cast<double>(i) * width;
+}
+
+double
+Histogram::fraction(size_t i) const
+{
+    if (totalCount == 0)
+        return 0.0;
+    return static_cast<double>(counts.at(i)) /
+           static_cast<double>(totalCount);
+}
+
+std::string
+Histogram::render(size_t width) const
+{
+    uint64_t peak = 0;
+    for (uint64_t c : counts)
+        peak = std::max(peak, c);
+
+    std::string out;
+    char line[160];
+    for (size_t i = 0; i < counts.size(); ++i) {
+        size_t bar = 0;
+        if (peak > 0)
+            bar = static_cast<size_t>(counts[i] * width / peak);
+        std::snprintf(line, sizeof(line), "%9.4f | %-*s %llu\n",
+                      binCenter(i), static_cast<int>(width),
+                      std::string(bar, '#').c_str(),
+                      static_cast<unsigned long long>(counts[i]));
+        out += line;
+    }
+    return out;
+}
+
+} // namespace aim::util

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fixed-bin histogram used for Rtog / weight-value distributions
+ * (paper Figures 5 and 7) and for the ASCII renderings the benchmark
+ * harness prints.
+ */
+
+#ifndef AIM_UTIL_HISTOGRAM_HH
+#define AIM_UTIL_HISTOGRAM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace aim::util
+{
+
+/** Equal-width histogram over [lo, hi) with out-of-range clamping. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo    inclusive lower bound of the first bin
+     * @param hi    exclusive upper bound of the last bin (must be > lo)
+     * @param bins  number of bins (>= 1)
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Record one sample; values outside [lo, hi) go to the edge bins. */
+    void add(double x);
+
+    /** Record a sample with an explicit multiplicity. */
+    void add(double x, uint64_t weight);
+
+    /** Number of bins. */
+    size_t bins() const { return counts.size(); }
+
+    /** Count held by bin @p i. */
+    uint64_t count(size_t i) const { return counts.at(i); }
+
+    /** Total samples recorded. */
+    uint64_t total() const { return totalCount; }
+
+    /** Center value of bin @p i. */
+    double binCenter(size_t i) const;
+
+    /** Lower edge of bin @p i. */
+    double binLow(size_t i) const;
+
+    /** Fraction of samples in bin @p i (0 when empty). */
+    double fraction(size_t i) const;
+
+    /** Largest sample recorded (useful for peak-Rtog reporting). */
+    double maxSample() const { return maxSeen; }
+
+    /**
+     * Render a horizontal ASCII bar chart, one row per bin.
+     *
+     * @param width maximum bar width in characters
+     */
+    std::string render(size_t width = 50) const;
+
+  private:
+    double lo;
+    double hi;
+    std::vector<uint64_t> counts;
+    uint64_t totalCount = 0;
+    double maxSeen = 0.0;
+    bool any = false;
+};
+
+} // namespace aim::util
+
+#endif // AIM_UTIL_HISTOGRAM_HH

@@ -1,0 +1,144 @@
+#include "util/Stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/Logging.hh"
+
+namespace aim::util
+{
+
+void
+RunningStats::add(double x)
+{
+    ++n;
+    total += x;
+    if (n == 1) {
+        m = x;
+        s = 0.0;
+        lo = hi = x;
+        return;
+    }
+    const double delta = x - m;
+    m += delta / static_cast<double>(n);
+    s += delta * (x - m);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+}
+
+void
+RunningStats::addAll(std::span<const double> xs)
+{
+    for (double x : xs)
+        add(x);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return s / static_cast<double>(n - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+mean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += x;
+    return acc / static_cast<double>(xs.size());
+}
+
+double
+stddev(std::span<const double> xs)
+{
+    RunningStats rs;
+    rs.addAll(xs);
+    return rs.stddev();
+}
+
+double
+percentile(std::span<const double> xs, double p)
+{
+    aim_assert(!xs.empty(), "percentile of empty range");
+    aim_assert(p >= 0.0 && p <= 100.0, "percentile ", p, " out of range");
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1)
+        return sorted.front();
+    const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const size_t idx = static_cast<size_t>(pos);
+    if (idx + 1 >= sorted.size())
+        return sorted.back();
+    const double frac = pos - static_cast<double>(idx);
+    return sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac;
+}
+
+double
+pearson(std::span<const double> xs, std::span<const double> ys)
+{
+    if (xs.size() != ys.size() || xs.size() < 2)
+        return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0;
+    double sxx = 0.0;
+    double syy = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+LineFit
+fitLine(std::span<const double> xs, std::span<const double> ys)
+{
+    LineFit fit;
+    if (xs.size() != ys.size() || xs.size() < 2)
+        return fit;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0;
+    double sxx = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        sxy += (xs[i] - mx) * (ys[i] - my);
+        sxx += (xs[i] - mx) * (xs[i] - mx);
+    }
+    if (sxx <= 0.0)
+        return fit;
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    fit.r = pearson(xs, ys);
+    return fit;
+}
+
+std::vector<double>
+normalizeToPeak(std::span<const double> xs)
+{
+    std::vector<double> out(xs.begin(), xs.end());
+    double peak = 0.0;
+    for (double x : out)
+        peak = std::max(peak, std::fabs(x));
+    if (peak > 0.0) {
+        for (double &x : out)
+            x /= peak;
+    }
+    return out;
+}
+
+} // namespace aim::util

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Descriptive statistics used by the profiling and benchmark harnesses:
+ * streaming moments, percentiles, Pearson correlation and ordinary
+ * least-squares fits.
+ */
+
+#ifndef AIM_UTIL_STATS_HH
+#define AIM_UTIL_STATS_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace aim::util
+{
+
+/**
+ * Streaming accumulator for count / mean / variance / extrema using
+ * Welford's numerically stable update.
+ */
+class RunningStats
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Fold a whole range of samples. */
+    void addAll(std::span<const double> xs);
+
+    /** Number of samples seen. */
+    size_t count() const { return n; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return n ? m : 0.0; }
+
+    /** Unbiased sample variance (0 when fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen. */
+    double min() const { return n ? lo : 0.0; }
+
+    /** Largest sample seen. */
+    double max() const { return n ? hi : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return total; }
+
+  private:
+    size_t n = 0;
+    double m = 0.0;
+    double s = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    double total = 0.0;
+};
+
+/** Result of an ordinary least-squares line fit y = slope * x + icept. */
+struct LineFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Pearson correlation coefficient of the fitted data. */
+    double r = 0.0;
+};
+
+/** Arithmetic mean of a range (0 when empty). */
+double mean(std::span<const double> xs);
+
+/** Sample standard deviation of a range. */
+double stddev(std::span<const double> xs);
+
+/**
+ * Linear-interpolated percentile.
+ *
+ * @param xs samples (not required to be sorted; copied internally)
+ * @param p  percentile in [0, 100]
+ */
+double percentile(std::span<const double> xs, double p);
+
+/**
+ * Pearson correlation coefficient of two equally sized ranges.
+ * Returns 0 when either range is constant or sizes mismatch.
+ */
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/** Ordinary least-squares fit of y against x. */
+LineFit fitLine(std::span<const double> xs, std::span<const double> ys);
+
+/** Normalize a vector so its maximum absolute value is 1 (no-op if 0). */
+std::vector<double> normalizeToPeak(std::span<const double> xs);
+
+} // namespace aim::util
+
+#endif // AIM_UTIL_STATS_HH

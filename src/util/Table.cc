@@ -1,0 +1,109 @@
+#include "util/Table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/Logging.hh"
+
+namespace aim::util
+{
+
+Table::Table(std::string title) : title(std::move(title))
+{
+}
+
+void
+Table::setHeader(std::vector<std::string> names)
+{
+    header = std::move(names);
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    aim_assert(header.empty() || cells.size() == header.size(),
+               "row width ", cells.size(), " != header width ",
+               header.size());
+    body.push_back(std::move(cells));
+}
+
+std::string
+Table::fmt(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(header.size(), 0);
+    for (size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : body)
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c >= widths.size())
+                widths.resize(c + 1, 0);
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            if (c + 1 < row.size())
+                line += std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out = "== " + title + " ==\n";
+    if (!header.empty()) {
+        out += renderRow(header);
+        size_t total = 0;
+        for (size_t w : widths)
+            total += w + 2;
+        out += std::string(total > 2 ? total - 2 : total, '-') + "\n";
+    }
+    for (const auto &row : body)
+        out += renderRow(row);
+    return out;
+}
+
+std::string
+Table::csv() const
+{
+    auto join = [](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            if (c + 1 < row.size())
+                line += ',';
+        }
+        line += '\n';
+        return line;
+    };
+    std::string out = join(header);
+    for (const auto &row : body)
+        out += join(row);
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fputc('\n', stdout);
+}
+
+} // namespace aim::util

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Formatted table printing for the benchmark harness.  Every bench
+ * binary reproduces one paper table/figure as rows of such a table, and
+ * can optionally emit machine-readable CSV next to the pretty output.
+ */
+
+#ifndef AIM_UTIL_TABLE_HH
+#define AIM_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace aim::util
+{
+
+/** Simple column-aligned text table with optional CSV rendering. */
+class Table
+{
+  public:
+    /** @param title caption printed above the table */
+    explicit Table(std::string title);
+
+    /** Set the column headers (defines the column count). */
+    void setHeader(std::vector<std::string> names);
+
+    /** Append a row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p digits decimals. */
+    static std::string fmt(double v, int digits = 3);
+
+    /** Convenience: format a percentage with @p digits decimals. */
+    static std::string pct(double fraction, int digits = 1);
+
+    /** Render the aligned text table. */
+    std::string render() const;
+
+    /** Render as CSV (header + rows). */
+    std::string csv() const;
+
+    /** Print render() to stdout. */
+    void print() const;
+
+    /** Number of data rows. */
+    size_t rows() const { return body.size(); }
+
+  private:
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace aim::util
+
+#endif // AIM_UTIL_TABLE_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Accuracy proxy: maps weight perturbation onto the paper's metric
+ * scales (top-1 % / mAP / perplexity).
+ *
+ * Substitution note (see DESIGN.md): the paper measures accuracy by
+ * running real validation sets; offline we charge the metric for the
+ * *unrecoverable* weight displacement (movement beyond the QAT
+ * fine-tuning deadzone plus WDS clamping error), weighted by per-layer
+ * sensitivity, and credit the small generalization bonus the paper
+ * observes on ViT/Llama3 from mild HR regularization.  The proxy is
+ * calibrated so baselines match the paper and the deltas respond to
+ * the same causes (LHR movement, WDS clamping, pruning) with the same
+ * signs and comparable magnitudes.
+ */
+
+#ifndef AIM_WORKLOAD_ACCURACYPROXY_HH
+#define AIM_WORKLOAD_ACCURACYPROXY_HH
+
+#include <vector>
+
+#include "quant/QatTrainer.hh"
+#include "workload/ModelZoo.hh"
+
+namespace aim::workload
+{
+
+/** Evaluated metric of a quantized network. */
+struct AccuracyReport
+{
+    /** Metric after quantization (top-1 % / mAP / perplexity). */
+    double metric = 0.0;
+    /** Signed change vs the model baseline (metric units). */
+    double delta = 0.0;
+    /** True when lower is better. */
+    bool isPerplexity = false;
+};
+
+/** Extra degradation inputs beyond the QAT result itself. */
+struct AccuracyExtras
+{
+    /** Fraction of weights clamped by WDS (error source). */
+    double wdsClampedFraction = 0.0;
+    /** Fraction of weights removed by pruning. */
+    double pruneSparsity = 0.0;
+};
+
+/**
+ * Evaluate the proxy metric of a quantized network.
+ *
+ * @param model  the model spec (baseline metric + constants)
+ * @param result QAT/PTQ output (per-layer HR and deviations)
+ * @param ref    the float layers (per-layer sensitivities)
+ * @param extras WDS / pruning degradation inputs
+ */
+AccuracyReport evaluateAccuracy(const ModelSpec &model,
+                                const quant::QatResult &result,
+                                const std::vector<quant::FloatLayer> &ref,
+                                const AccuracyExtras &extras = {});
+
+} // namespace aim::workload
+
+#endif // AIM_WORKLOAD_ACCURACYPROXY_HH

@@ -1,0 +1,371 @@
+#include "workload/ModelZoo.hh"
+
+#include "util/Logging.hh"
+
+namespace aim::workload
+{
+
+namespace
+{
+
+LayerSpec
+layer(std::string name, OpType type, int out, int red, int spatial,
+      double sens = 1.0)
+{
+    LayerSpec l;
+    l.name = std::move(name);
+    l.type = type;
+    l.outChannels = out;
+    l.reduction = red;
+    l.spatial = spatial;
+    l.sensitivity = sens;
+    return l;
+}
+
+/** Shared conv-family activation statistics (post-ReLU, NCHW). */
+pim::StreamSpec
+convStream()
+{
+    pim::StreamSpec s;
+    s.bits = 8;
+    s.density = 0.55;    // ReLU zeros roughly half the features
+    s.sigmaLsb = 34.0;
+    s.temporalCorr = 0.25;
+    s.nonNegative = true;
+    return s;
+}
+
+/** Shared transformer activation statistics (LayerNorm outputs). */
+pim::StreamSpec
+transformerStream()
+{
+    pim::StreamSpec s;
+    s.bits = 8;
+    s.density = 1.0;     // GELU/softmax paths stay dense
+    s.sigmaLsb = 40.0;
+    s.temporalCorr = 0.0;
+    s.nonNegative = false;
+    return s;
+}
+
+/** Append one transformer encoder block. */
+void
+addTransformerBlock(std::vector<LayerSpec> &layers,
+                    const std::string &prefix, int hidden, int kvDim,
+                    int mlpDim, int seq)
+{
+    layers.push_back(layer(prefix + ".attn.q", OpType::QkvGen, hidden,
+                           hidden, seq));
+    layers.push_back(layer(prefix + ".attn.k", OpType::QkvGen, kvDim,
+                           hidden, seq));
+    layers.push_back(layer(prefix + ".attn.v", OpType::QkvGen, kvDim,
+                           hidden, seq));
+    // QK^T and SV: both operands are runtime products; in-memory data
+    // cannot be pre-optimized (paper Section 5.5.1).
+    layers.push_back(layer(prefix + ".attn.qkt", OpType::QkT, seq,
+                           hidden, seq));
+    layers.push_back(layer(prefix + ".attn.sv", OpType::Sv, hidden,
+                           seq, seq));
+    layers.push_back(layer(prefix + ".attn.proj", OpType::Linear,
+                           hidden, hidden, seq));
+    layers.push_back(layer(prefix + ".mlp.fc1", OpType::Linear, mlpDim,
+                           hidden, seq));
+    layers.push_back(layer(prefix + ".mlp.fc2", OpType::Linear, hidden,
+                           mlpDim, seq));
+}
+
+} // namespace
+
+bool
+isInputDetermined(OpType type)
+{
+    return type == OpType::QkT || type == OpType::Sv;
+}
+
+const char *
+opTypeName(OpType type)
+{
+    switch (type) {
+      case OpType::Conv:   return "conv";
+      case OpType::DwConv: return "dwconv";
+      case OpType::Linear: return "linear";
+      case OpType::QkvGen: return "qkv";
+      case OpType::QkT:    return "qkt";
+      case OpType::Sv:     return "sv";
+    }
+    return "?";
+}
+
+long
+ModelSpec::totalMacs() const
+{
+    long total = 0;
+    for (const auto &l : layers)
+        total += l.macs();
+    return total;
+}
+
+ModelSpec
+resnet18()
+{
+    ModelSpec m;
+    m.name = "ResNet18";
+    m.baselineMetric = 69.9; // top-1 on ImageNet, INT8 baseline [64]
+    m.sensitivity = 1.4;
+    m.generalizationBonus = 0.0;
+    m.stream = convStream();
+
+    auto &L = m.layers;
+    L.push_back(layer("conv1", OpType::Conv, 64, 147, 112 * 112, 2.0));
+    // layer1: 2 basic blocks, 64 ch, 56x56.
+    for (int b = 0; b < 2; ++b)
+        for (int c = 1; c <= 2; ++c)
+            L.push_back(layer("layer1." + std::to_string(b) + ".conv" +
+                                  std::to_string(c),
+                              OpType::Conv, 64, 576, 56 * 56));
+    // layer2: 128 ch, 28x28, with downsample.
+    L.push_back(layer("layer2.0.conv1", OpType::Conv, 128, 576,
+                      28 * 28));
+    L.push_back(layer("layer2.0.conv2", OpType::Conv, 128, 1152,
+                      28 * 28));
+    L.push_back(layer("layer2.0.downsample", OpType::Conv, 128, 64,
+                      28 * 28));
+    L.push_back(layer("layer2.1.conv1", OpType::Conv, 128, 1152,
+                      28 * 28));
+    L.push_back(layer("layer2.1.conv2", OpType::Conv, 128, 1152,
+                      28 * 28));
+    // layer3: 256 ch, 14x14.
+    L.push_back(layer("layer3.0.conv1", OpType::Conv, 256, 1152,
+                      14 * 14));
+    L.push_back(layer("layer3.0.conv2", OpType::Conv, 256, 2304,
+                      14 * 14));
+    L.push_back(layer("layer3.0.downsample", OpType::Conv, 256, 128,
+                      14 * 14));
+    L.push_back(layer("layer3.1.conv1", OpType::Conv, 256, 2304,
+                      14 * 14));
+    L.push_back(layer("layer3.1.conv2", OpType::Conv, 256, 2304,
+                      14 * 14));
+    // layer4: 512 ch, 7x7.
+    L.push_back(layer("layer4.0.conv1", OpType::Conv, 512, 2304, 7 * 7));
+    L.push_back(layer("layer4.0.conv2", OpType::Conv, 512, 4608, 7 * 7));
+    L.push_back(layer("layer4.0.downsample", OpType::Conv, 512, 256,
+                      7 * 7));
+    L.push_back(layer("layer4.1.conv1", OpType::Conv, 512, 4608, 7 * 7));
+    L.push_back(layer("layer4.1.conv2", OpType::Conv, 512, 4608, 7 * 7));
+    L.push_back(layer("fc", OpType::Linear, 1000, 512, 1, 2.0));
+    return m;
+}
+
+ModelSpec
+mobilenetV2()
+{
+    ModelSpec m;
+    m.name = "MobileNetV2";
+    m.baselineMetric = 71.7;
+    m.sensitivity = 2.2; // depthwise convs are quantization-fragile
+    m.generalizationBonus = 0.0;
+    m.stream = convStream();
+    m.stream.density = 0.6; // ReLU6
+
+    auto &L = m.layers;
+    L.push_back(layer("stem", OpType::Conv, 32, 27, 112 * 112, 2.0));
+    // Inverted residual settings of the reference model:
+    // (expansion t, channels c, repeats n, stride s)
+    struct Stage { int t, c, n, s; };
+    const Stage stages[] = {{1, 16, 1, 1},  {6, 24, 2, 2},
+                            {6, 32, 3, 2},  {6, 64, 4, 2},
+                            {6, 96, 3, 1},  {6, 160, 3, 2},
+                            {6, 320, 1, 1}};
+    int in_ch = 32;
+    int side = 112;
+    int idx = 0;
+    for (const auto &st : stages) {
+        for (int r = 0; r < st.n; ++r) {
+            const int stride = r == 0 ? st.s : 1;
+            if (stride == 2)
+                side /= 2;
+            const int sp = side * side;
+            const int hidden = in_ch * st.t;
+            const std::string p = "block" + std::to_string(idx++);
+            if (st.t != 1)
+                L.push_back(layer(p + ".expand", OpType::Conv, hidden,
+                                  in_ch, sp));
+            L.push_back(layer(p + ".dw", OpType::DwConv, hidden, 9, sp,
+                              1.6));
+            L.push_back(layer(p + ".project", OpType::Conv, st.c,
+                              hidden, sp));
+            in_ch = st.c;
+        }
+    }
+    L.push_back(layer("conv_last", OpType::Conv, 1280, 320, 7 * 7));
+    L.push_back(layer("classifier", OpType::Linear, 1000, 1280, 1,
+                      2.0));
+    return m;
+}
+
+ModelSpec
+yolov5s()
+{
+    ModelSpec m;
+    m.name = "YOLOv5";
+    m.baselineMetric = 37.2; // COCO mAP@0.5:0.95
+    m.sensitivity = 1.0;
+    m.generalizationBonus = 0.0;
+    m.stream = convStream();
+    m.stream.density = 0.42; // SiLU activations are near half-sparse
+    m.stream.sigmaLsb = 24.0;
+
+    auto &L = m.layers;
+    // CSP backbone (640x640 input), approximated at s-scale widths.
+    L.push_back(layer("stem", OpType::Conv, 32, 108, 320 * 320, 2.0));
+    L.push_back(layer("down1", OpType::Conv, 64, 288, 160 * 160));
+    L.push_back(layer("c3_1a", OpType::Conv, 32, 64, 160 * 160));
+    L.push_back(layer("c3_1b", OpType::Conv, 32, 288, 160 * 160));
+    L.push_back(layer("down2", OpType::Conv, 128, 576, 80 * 80));
+    for (int i = 0; i < 2; ++i) {
+        L.push_back(layer("c3_2." + std::to_string(i) + "a",
+                          OpType::Conv, 64, 128, 80 * 80));
+        L.push_back(layer("c3_2." + std::to_string(i) + "b",
+                          OpType::Conv, 64, 576, 80 * 80));
+    }
+    L.push_back(layer("down3", OpType::Conv, 256, 1152, 40 * 40));
+    for (int i = 0; i < 3; ++i) {
+        L.push_back(layer("c3_3." + std::to_string(i) + "a",
+                          OpType::Conv, 128, 256, 40 * 40));
+        L.push_back(layer("c3_3." + std::to_string(i) + "b",
+                          OpType::Conv, 128, 1152, 40 * 40));
+    }
+    L.push_back(layer("down4", OpType::Conv, 512, 2304, 20 * 20));
+    L.push_back(layer("c3_4a", OpType::Conv, 256, 512, 20 * 20));
+    L.push_back(layer("c3_4b", OpType::Conv, 256, 2304, 20 * 20));
+    L.push_back(layer("sppf", OpType::Conv, 512, 1024, 20 * 20));
+    // PANet head.
+    L.push_back(layer("head.lat1", OpType::Conv, 256, 512, 40 * 40));
+    L.push_back(layer("head.c3_up1", OpType::Conv, 256, 4608, 40 * 40));
+    L.push_back(layer("head.lat2", OpType::Conv, 128, 256, 80 * 80));
+    L.push_back(layer("head.c3_up2", OpType::Conv, 128, 2304, 80 * 80));
+    L.push_back(layer("head.down1", OpType::Conv, 128, 1152, 40 * 40));
+    L.push_back(layer("head.c3_d1", OpType::Conv, 256, 2304, 40 * 40));
+    L.push_back(layer("head.down2", OpType::Conv, 256, 2304, 20 * 20));
+    L.push_back(layer("head.c3_d2", OpType::Conv, 512, 4608, 20 * 20));
+    L.push_back(layer("detect.p3", OpType::Conv, 255, 128, 80 * 80,
+                      1.8));
+    L.push_back(layer("detect.p4", OpType::Conv, 255, 256, 40 * 40,
+                      1.8));
+    L.push_back(layer("detect.p5", OpType::Conv, 255, 512, 20 * 20,
+                      1.8));
+    return m;
+}
+
+ModelSpec
+vitB16()
+{
+    ModelSpec m;
+    m.name = "ViT";
+    m.transformer = true;
+    m.baselineMetric = 81.1;
+    m.sensitivity = 1.2;
+    m.generalizationBonus = 0.45; // paper: ViT improves under LHR
+    m.stream = transformerStream();
+    m.stream.sigmaLsb = 48.0;
+
+    const int hidden = 768;
+    const int mlp = 3072;
+    const int seq = 197;
+    auto &L = m.layers;
+    L.push_back(layer("patch_embed", OpType::Conv, hidden, 768, 196,
+                      1.5));
+    for (int b = 0; b < 12; ++b)
+        addTransformerBlock(L, "blocks." + std::to_string(b), hidden,
+                            hidden, mlp, seq);
+    L.push_back(layer("head", OpType::Linear, 1000, hidden, 1, 1.5));
+    return m;
+}
+
+ModelSpec
+llama3_1b()
+{
+    ModelSpec m;
+    m.name = "Llama3";
+    m.transformer = true;
+    m.baselineMetric = 11.16; // Wikitext2 perplexity (Table 3)
+    m.metricIsPerplexity = true;
+    m.sensitivity = 0.5;
+    m.generalizationBonus = 0.22; // paper: Llama3 ppl improves
+    m.stream = transformerStream();
+    m.stream.sigmaLsb = 58.0;
+
+    const int hidden = 2048;
+    const int kv = 512;  // 8 KV heads of 64 (GQA)
+    const int inter = 8192;
+    const int seq = 512;
+    auto &L = m.layers;
+    L.push_back(layer("embed_sample", OpType::Linear, hidden, 128, seq,
+                      0.5));
+    for (int b = 0; b < 16; ++b) {
+        const std::string p = "layers." + std::to_string(b);
+        L.push_back(layer(p + ".q_proj", OpType::QkvGen, hidden,
+                          hidden, seq));
+        L.push_back(layer(p + ".k_proj", OpType::QkvGen, kv, hidden,
+                          seq));
+        L.push_back(layer(p + ".v_proj", OpType::QkvGen, kv, hidden,
+                          seq));
+        L.push_back(layer(p + ".qkt", OpType::QkT, seq, hidden, seq));
+        L.push_back(layer(p + ".sv", OpType::Sv, hidden, seq, seq));
+        L.push_back(layer(p + ".o_proj", OpType::Linear, hidden,
+                          hidden, seq));
+        L.push_back(layer(p + ".gate_proj", OpType::Linear, inter,
+                          hidden, seq));
+        L.push_back(layer(p + ".up_proj", OpType::Linear, inter,
+                          hidden, seq));
+        L.push_back(layer(p + ".down_proj", OpType::Linear, hidden,
+                          inter, seq));
+    }
+    L.push_back(layer("lm_head_sample", OpType::Linear, 2048, hidden,
+                      seq, 1.2));
+    return m;
+}
+
+ModelSpec
+gpt2()
+{
+    ModelSpec m;
+    m.name = "GPT2";
+    m.transformer = true;
+    m.baselineMetric = 28.69; // Wikitext2 perplexity (Table 3)
+    m.metricIsPerplexity = true;
+    m.sensitivity = 1.3;
+    m.generalizationBonus = 0.0;
+    m.stream = transformerStream();
+    m.stream.sigmaLsb = 44.0;
+
+    const int hidden = 768;
+    const int mlp = 3072;
+    const int seq = 512;
+    auto &L = m.layers;
+    for (int b = 0; b < 12; ++b)
+        addTransformerBlock(L, "h." + std::to_string(b), hidden,
+                            hidden, mlp, seq);
+    L.push_back(layer("lm_head_sample", OpType::Linear, 1600, hidden,
+                      seq, 1.2));
+    return m;
+}
+
+std::vector<ModelSpec>
+allModels()
+{
+    return {resnet18(), mobilenetV2(), yolov5s(),
+            vitB16(),   llama3_1b(),   gpt2()};
+}
+
+ModelSpec
+modelByName(const std::string &name)
+{
+    for (auto &m : allModels())
+        if (m.name == name)
+            return m;
+    aim_fatal("unknown model '", name, "'");
+    return {};
+}
+
+} // namespace aim::workload

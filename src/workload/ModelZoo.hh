@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The workload model zoo: layer-accurate topologies of the six
+ * networks the paper evaluates (Section 6.1) -- ResNet18, MobileNetV2
+ * and YOLOv5s as conv networks; ViT-B/16, Llama3.2-1B and GPT-2 as
+ * transformers.
+ *
+ * Pretrained checkpoints and datasets are unavailable offline, so
+ * weights are synthesized per layer from fan-in-scaled Gaussians
+ * (src/workload/WeightSynth) and activations from family-calibrated
+ * stream statistics; quantized Gaussians reproduce the HR ~ 0.5
+ * baseline the paper reports for real checkpoints.
+ */
+
+#ifndef AIM_WORKLOAD_MODELZOO_HH
+#define AIM_WORKLOAD_MODELZOO_HH
+
+#include <string>
+#include <vector>
+
+#include "pim/InputStream.hh"
+
+namespace aim::workload
+{
+
+/** Operator class of a layer (drives mapping and IR-Booster policy). */
+enum class OpType
+{
+    Conv,    ///< convolution (weights are in-memory data)
+    DwConv,  ///< depthwise convolution
+    Linear,  ///< fully connected / projection
+    QkvGen,  ///< Q/K/V generation (weights in-memory)
+    QkT,     ///< Q x K^T (input-determined in-memory data)
+    Sv,      ///< softmax(QK^T) x V (input-determined)
+};
+
+/** True for operators whose in-memory data depends on runtime input. */
+bool isInputDetermined(OpType type);
+
+/** Short printable name of an operator class. */
+const char *opTypeName(OpType type);
+
+/** One weight-bearing (or input-determined) operator of a network. */
+struct LayerSpec
+{
+    std::string name;
+    OpType type = OpType::Conv;
+    /** GEMM rows = output channels. */
+    int outChannels = 0;
+    /** GEMM cols = reduction (fan-in x kernel area). */
+    int reduction = 0;
+    /** Output positions sharing the weights (spatial x batch). */
+    int spatial = 1;
+    /** Relative weight-magnitude multiplier (1 = standard init). */
+    double sigmaScale = 1.0;
+    /** Accuracy sensitivity of this layer (feeds the proxy). */
+    double sensitivity = 1.0;
+
+    /** Total MAC operations of the layer. */
+    long macs() const
+    {
+        return static_cast<long>(outChannels) * reduction * spatial;
+    }
+
+    /** Weight-tensor element count. */
+    long weightCount() const
+    {
+        return static_cast<long>(outChannels) * reduction;
+    }
+};
+
+/** A full network plus its evaluation metadata. */
+struct ModelSpec
+{
+    std::string name;
+    /** Transformer-family model (attention present). */
+    bool transformer = false;
+    /** Baseline metric: top-1 % / mAP (higher better) or perplexity. */
+    double baselineMetric = 0.0;
+    /** True when the metric is perplexity (lower is better). */
+    bool metricIsPerplexity = false;
+    /** Proxy constant: metric lost per unit excess deviation. */
+    double sensitivity = 1.0;
+    /**
+     * Proxy constant: metric gained from mild HR regularization
+     * (paper: ViT and Llama3 *improve* under LHR -- moderate
+     * quantization regularization aids generalization).
+     */
+    double generalizationBonus = 0.0;
+    /** Input activation statistics of the model family. */
+    pim::StreamSpec stream;
+    /** Weight-bearing / attention operators in execution order. */
+    std::vector<LayerSpec> layers;
+
+    /** Total MACs of one inference. */
+    long totalMacs() const;
+};
+
+/** ResNet18 on ImageNet (top-1 %). */
+ModelSpec resnet18();
+/** MobileNetV2 on ImageNet (top-1 %). */
+ModelSpec mobilenetV2();
+/** YOLOv5s on COCO (mAP). */
+ModelSpec yolov5s();
+/** ViT-B/16 on ImageNet (top-1 %). */
+ModelSpec vitB16();
+/** Llama3.2-1B on Wikitext2 (perplexity). */
+ModelSpec llama3_1b();
+/** GPT-2 (124M) on Wikitext2 (perplexity). */
+ModelSpec gpt2();
+
+/** All six evaluation models, in the paper's Table 2 order. */
+std::vector<ModelSpec> allModels();
+
+/** Find a model by (case-sensitive) name; fatal when unknown. */
+ModelSpec modelByName(const std::string &name);
+
+} // namespace aim::workload
+
+#endif // AIM_WORKLOAD_MODELZOO_HH

@@ -1,0 +1,77 @@
+#include "workload/WeightSynth.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/Logging.hh"
+#include "util/Rng.hh"
+
+namespace aim::workload
+{
+
+std::vector<quant::FloatLayer>
+synthesizeWeights(const ModelSpec &model, const SynthConfig &cfg)
+{
+    util::Rng root(cfg.seed);
+    std::vector<quant::FloatLayer> out;
+    uint64_t tag = 0;
+    for (const auto &spec : model.layers) {
+        ++tag;
+        if (isInputDetermined(spec.type))
+            continue;
+
+        quant::FloatLayer layer;
+        layer.name = spec.name;
+        layer.sensitivity = spec.sensitivity;
+
+        // Sample down huge tensors while keeping the GEMM aspect
+        // ratio roughly intact for tiling.
+        long rows = spec.outChannels;
+        long cols = spec.reduction;
+        long count = rows * cols;
+        if (count > cfg.maxElementsPerLayer) {
+            const double shrink = std::sqrt(
+                static_cast<double>(count) / cfg.maxElementsPerLayer);
+            rows = std::max<long>(1, std::lround(rows / shrink));
+            cols = std::max<long>(1, std::lround(cols / shrink));
+            count = rows * cols;
+        }
+        layer.rows = static_cast<int>(rows);
+        layer.cols = static_cast<int>(cols);
+
+        // Kaiming-style: std = sigmaScale * sqrt(2 / fan_in).
+        const double sigma =
+            spec.sigmaScale *
+            std::sqrt(2.0 / std::max(spec.reduction, 1));
+        util::Rng rng = root.fork(tag);
+        layer.weights.resize(static_cast<size_t>(count));
+        for (auto &w : layer.weights)
+            w = static_cast<float>(rng.normal(0.0, sigma));
+        layer.pretrained = layer.weights;
+        out.push_back(std::move(layer));
+    }
+    return out;
+}
+
+quant::QuantizedLayer
+synthesizeActivationTile(const LayerSpec &spec,
+                         const pim::StreamSpec &stream, uint64_t seed)
+{
+    aim_assert(isInputDetermined(spec.type),
+               "activation tile requested for weight operator ",
+               spec.name);
+    pim::InputStreamGen gen(stream, util::Rng(seed));
+
+    quant::QuantizedLayer tile;
+    tile.name = spec.name;
+    tile.bits = stream.bits;
+    tile.scale = 1.0;
+    tile.rows = std::min(spec.outChannels, 128);
+    tile.cols = std::min(spec.reduction, 128);
+    const auto vals =
+        gen.next(tile.rows * tile.cols);
+    tile.values.assign(vals.begin(), vals.end());
+    return tile;
+}
+
+} // namespace aim::workload

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "aim/Aim.hh"
+
+using namespace aim;
+
+namespace
+{
+
+struct Fixture
+{
+    pim::PimConfig cfg;
+    power::Calibration cal = power::defaultCalibration();
+    AimPipeline pipe{cfg, cal};
+
+    AimOptions quick(booster::BoostMode mode) const
+    {
+        AimOptions o;
+        o.mode = mode;
+        o.workScale = 0.05;
+        return o;
+    }
+};
+
+} // namespace
+
+TEST(Pipeline, DvfsBaselinePreset)
+{
+    const auto o = AimOptions::dvfsBaseline();
+    EXPECT_FALSE(o.useLhr);
+    EXPECT_FALSE(o.useWds);
+    EXPECT_FALSE(o.useBooster);
+}
+
+TEST(Pipeline, OfflineLhrWdsReducesHr)
+{
+    Fixture f;
+    const auto model = workload::resnet18();
+    AimOptions opts;
+    const auto offline = f.pipe.runOffline(model, opts);
+    // LHR + WDS: well below the 0.5 Gaussian baseline.
+    EXPECT_LT(offline.quantized.hrAverage(), 0.42);
+    EXPECT_LT(offline.wdsClampedFraction, 0.01);
+}
+
+TEST(Pipeline, OfflineBaselineKeepsHr)
+{
+    Fixture f;
+    const auto model = workload::resnet18();
+    const auto offline =
+        f.pipe.runOffline(model, AimOptions::dvfsBaseline());
+    EXPECT_NEAR(offline.quantized.hrAverage(), 0.5, 0.05);
+    EXPECT_DOUBLE_EQ(offline.wdsClampedFraction, 0.0);
+}
+
+TEST(Pipeline, EndToEndImprovesOverDvfs)
+{
+    Fixture f;
+    const auto model = workload::resnet18();
+    auto base_opts = AimOptions::dvfsBaseline();
+    base_opts.workScale = 0.05;
+    const auto base = f.pipe.run(model, base_opts);
+    const auto aim =
+        f.pipe.run(model, f.quick(booster::BoostMode::LowPower));
+
+    // The paper's three headline directions.
+    EXPECT_LT(aim.run.irWorstMv, base.run.irWorstMv);
+    EXPECT_LT(aim.run.macroPowerMw, base.run.macroPowerMw);
+    EXPECT_GT(aim.hrAverage, 0.0);
+    EXPECT_LT(aim.hrAverage, aim.baselineHrAverage);
+}
+
+TEST(Pipeline, SprintModeGainsThroughput)
+{
+    Fixture f;
+    const auto model = workload::resnet18();
+    auto base_opts = AimOptions::dvfsBaseline();
+    base_opts.workScale = 0.05;
+    const auto base = f.pipe.run(model, base_opts);
+    const auto aim =
+        f.pipe.run(model, f.quick(booster::BoostMode::Sprint));
+    // Paper Section 6.6: 1.129~1.152x speedup; accept anything > 5%.
+    EXPECT_GT(aim.run.tops, base.run.tops * 1.05);
+}
+
+TEST(Pipeline, MitigationInPaperBand)
+{
+    Fixture f;
+    const auto model = workload::resnet18();
+    const auto aim =
+        f.pipe.run(model, f.quick(booster::BoostMode::LowPower));
+    // Paper: 58.5%~69.2% mitigation vs signoff; generous band.
+    EXPECT_GT(aim.irMitigationVsSignoff, 0.40);
+    EXPECT_LT(aim.irMitigationVsSignoff, 0.85);
+}
+
+TEST(Pipeline, AccuracyPreserved)
+{
+    Fixture f;
+    const auto model = workload::resnet18();
+    const auto aim =
+        f.pipe.run(model, f.quick(booster::BoostMode::LowPower));
+    EXPECT_GT(aim.accuracy.metric, model.baselineMetric - 1.0);
+}
+
+TEST(Pipeline, BoosterAloneStillHelps)
+{
+    // Paper Section 5.2.1: IR-Booster operates independently of LHR
+    // when fine-tuning is not feasible.
+    Fixture f;
+    const auto model = workload::resnet18();
+    AimOptions opts = f.quick(booster::BoostMode::LowPower);
+    opts.useLhr = false;
+    opts.useWds = false;
+    auto base_opts = AimOptions::dvfsBaseline();
+    base_opts.workScale = 0.05;
+    const auto base = f.pipe.run(model, base_opts);
+    const auto booster_only = f.pipe.run(model, opts);
+    EXPECT_LT(booster_only.run.macroPowerMw, base.run.macroPowerMw);
+}
+
+TEST(Pipeline, TransformerRunsEndToEnd)
+{
+    Fixture f;
+    const auto model = workload::gpt2();
+    AimOptions opts = f.quick(booster::BoostMode::Sprint);
+    opts.workScale = 0.02;
+    const auto rep = f.pipe.run(model, opts);
+    EXPECT_GT(rep.run.tops, 0.0);
+    EXPECT_GT(rep.run.totalMacs, 0.0);
+    EXPECT_TRUE(rep.accuracy.isPerplexity);
+}
+
+TEST(Pipeline, WdsDeltaEightAlsoWorks)
+{
+    Fixture f;
+    const auto model = workload::resnet18();
+    AimOptions opts = f.quick(booster::BoostMode::LowPower);
+    opts.wdsDelta = 8;
+    const auto offline = f.pipe.runOffline(model, opts);
+    EXPECT_LT(offline.quantized.hrAverage(), 0.45);
+}

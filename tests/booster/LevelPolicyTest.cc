@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "booster/LevelPolicy.hh"
+
+using namespace aim::booster;
+using aim::power::Calibration;
+using aim::power::defaultCalibration;
+
+TEST(LevelPolicy, Table1Exact)
+{
+    // Paper Table 1.
+    EXPECT_EQ(initialALevel(100), 60);
+    EXPECT_EQ(initialALevel(60), 40);
+    EXPECT_EQ(initialALevel(55), 35);
+    EXPECT_EQ(initialALevel(50), 35);
+    EXPECT_EQ(initialALevel(45), 35);
+    EXPECT_EQ(initialALevel(40), 30);
+    EXPECT_EQ(initialALevel(35), 30);
+    EXPECT_EQ(initialALevel(30), 25);
+    EXPECT_EQ(initialALevel(25), 20);
+    EXPECT_EQ(initialALevel(20), 20);
+}
+
+TEST(LevelPolicy, ALevelNeverAboveSafe)
+{
+    for (int safe : {20, 25, 30, 35, 40, 45, 50, 55, 60, 100})
+        EXPECT_LE(initialALevel(safe), safe);
+}
+
+TEST(LevelPolicy, InvalidSafeLevelPanics)
+{
+    EXPECT_DEATH(initialALevel(42), "Table-1");
+}
+
+TEST(LevelPolicy, LevelUpStepsDown5)
+{
+    const Calibration cal = defaultCalibration();
+    EXPECT_EQ(levelUp(40, cal), 35);
+    EXPECT_EQ(levelUp(25, cal), 20);
+    // Floor at the minimum level.
+    EXPECT_EQ(levelUp(20, cal), 20);
+    // From DVFS the first promotion lands on the top real level.
+    EXPECT_EQ(levelUp(100, cal), 60);
+}
+
+TEST(LevelPolicy, LevelDownClampedAtSafe)
+{
+    const Calibration cal = defaultCalibration();
+    EXPECT_EQ(levelDown(30, 40, cal), 35);
+    EXPECT_EQ(levelDown(35, 40, cal), 40);
+    EXPECT_EQ(levelDown(40, 40, cal), 40);
+}
+
+TEST(LevelPolicy, LevelDownRevertsToDvfsForSafe100)
+{
+    const Calibration cal = defaultCalibration();
+    EXPECT_EQ(levelDown(55, 100, cal), 60);
+    EXPECT_EQ(levelDown(60, 100, cal), 100);
+    EXPECT_EQ(levelDown(100, 100, cal), 100);
+}
+
+TEST(LevelPolicy, ValidLevels)
+{
+    const Calibration cal = defaultCalibration();
+    for (int l : {20, 25, 30, 35, 40, 45, 50, 55, 60, 100})
+        EXPECT_TRUE(isValidLevel(l, cal)) << l;
+    for (int l : {0, 15, 22, 65, 99})
+        EXPECT_FALSE(isValidLevel(l, cal)) << l;
+}

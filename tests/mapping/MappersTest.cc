@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "mapping/Mappers.hh"
+#include "power/PowerModel.hh"
+#include "power/VfTable.hh"
+
+using namespace aim::mapping;
+using aim::power::PowerModel;
+using aim::power::VfTable;
+using aim::power::defaultCalibration;
+
+namespace
+{
+
+struct Fixture
+{
+    aim::pim::PimConfig cfg;
+    VfTable table{defaultCalibration()};
+    PowerModel pm{defaultCalibration()};
+
+    Fixture()
+    {
+        cfg.groups = 4;
+        cfg.macrosPerGroup = 4;
+    }
+
+    MappingEvaluator evaluator(Objective obj = Objective::Sprint) const
+    {
+        return MappingEvaluator(cfg, table, pm, obj, 3);
+    }
+
+    /** Mixed workload: a low-HR conv set and a high-HR attention set
+     * (the interference scenario of Figure 21). */
+    std::vector<Task> mixedTasks() const
+    {
+        std::vector<Task> tasks;
+        for (int i = 0; i < 6; ++i) {
+            Task t;
+            t.layerName = "conv";
+            t.type = aim::workload::OpType::Conv;
+            t.setId = 0;
+            t.hr = 0.28;
+            t.macs = 4'000'000;
+            tasks.push_back(t);
+        }
+        for (int i = 0; i < 6; ++i) {
+            Task t;
+            t.layerName = "qkt";
+            t.type = aim::workload::OpType::QkT;
+            t.setId = 1;
+            t.hr = 0.55;
+            t.inputDetermined = true;
+            t.macs = 4'000'000;
+            tasks.push_back(t);
+        }
+        return tasks;
+    }
+};
+
+} // namespace
+
+TEST(Mappers, SequentialFillsInOrder)
+{
+    Fixture f;
+    const auto tasks = f.mixedTasks();
+    const auto m = mapSequential(tasks, f.cfg);
+    EXPECT_TRUE(m.valid(tasks.size()));
+    EXPECT_EQ(m.taskOfMacro[0], 0);
+    EXPECT_EQ(m.taskOfMacro[11], 11);
+    EXPECT_EQ(m.taskOfMacro[12], -1);
+}
+
+TEST(Mappers, ZigzagReversesOddGroups)
+{
+    Fixture f;
+    const auto tasks = f.mixedTasks();
+    const auto m = mapZigzag(tasks, f.cfg);
+    EXPECT_TRUE(m.valid(tasks.size()));
+    // Group 1 is filled right-to-left: macro 7 gets task 4.
+    EXPECT_EQ(m.taskOfMacro[7], 4);
+    EXPECT_EQ(m.taskOfMacro[4], 7);
+}
+
+TEST(Mappers, RandomIsValidAndSeedStable)
+{
+    Fixture f;
+    const auto tasks = f.mixedTasks();
+    aim::util::Rng r1(9);
+    aim::util::Rng r2(9);
+    const auto a = mapRandom(tasks, f.cfg, r1);
+    const auto b = mapRandom(tasks, f.cfg, r2);
+    EXPECT_TRUE(a.valid(tasks.size()));
+    EXPECT_EQ(a.taskOfMacro, b.taskOfMacro);
+}
+
+TEST(Mappers, TooManyTasksDie)
+{
+    Fixture f;
+    std::vector<Task> tasks(17);
+    EXPECT_DEATH(mapSequential(tasks, f.cfg), "exceed");
+}
+
+TEST(Mappers, HrAwareProducesValidMapping)
+{
+    Fixture f;
+    const auto tasks = f.mixedTasks();
+    const auto eval = f.evaluator();
+    const auto m = mapHrAware(tasks, f.cfg, eval);
+    EXPECT_TRUE(m.valid(tasks.size()));
+}
+
+TEST(Mappers, HrAwareNotWorseThanSequential)
+{
+    Fixture f;
+    const auto tasks = f.mixedTasks();
+    for (auto obj : {Objective::Sprint, Objective::LowPower}) {
+        const auto eval = f.evaluator(obj);
+        const auto seq = mapSequential(tasks, f.cfg);
+        const auto hra = mapHrAware(tasks, f.cfg, eval);
+        EXPECT_LE(eval.evaluate(hra, tasks).score,
+                  eval.evaluate(seq, tasks).score + 1e-9);
+    }
+}
+
+TEST(Mappers, HrAwareSeparatesInterferingSets)
+{
+    // The annealer should avoid pinning low-HR conv groups to the
+    // attention tasks' 100% level: count groups hosting both kinds.
+    Fixture f;
+    const auto tasks = f.mixedTasks();
+    const auto eval = f.evaluator(Objective::LowPower);
+    const auto m = mapHrAware(tasks, f.cfg, eval);
+
+    auto mixed_groups = [&](const Mapping &map) {
+        int mixed = 0;
+        for (int g = 0; g < f.cfg.groups; ++g) {
+            bool conv = false;
+            bool attn = false;
+            for (int i = 0; i < f.cfg.macrosPerGroup; ++i) {
+                const int t =
+                    map.taskOfMacro[g * f.cfg.macrosPerGroup + i];
+                if (t < 0)
+                    continue;
+                conv |= !tasks[t].inputDetermined;
+                attn |= tasks[t].inputDetermined;
+            }
+            mixed += conv && attn;
+        }
+        return mixed;
+    };
+    // Sequential mixes in the middle group; HR-aware must not be
+    // worse.
+    EXPECT_LE(mixed_groups(m),
+              mixed_groups(mapSequential(tasks, f.cfg)));
+}
+
+TEST(Mappers, EvaluatorScoresInterferenceHigher)
+{
+    // A hand-built segregated mapping must score no worse than a
+    // hand-built interleaved one.
+    Fixture f;
+    const auto tasks = f.mixedTasks();
+    const auto eval = f.evaluator(Objective::LowPower);
+
+    Mapping segregated;
+    segregated.taskOfMacro.assign(16, -1);
+    for (int i = 0; i < 6; ++i)
+        segregated.taskOfMacro[i] = i; // conv in groups 0-1
+    for (int i = 0; i < 6; ++i)
+        segregated.taskOfMacro[8 + i] = 6 + i; // attn in groups 2-3
+
+    Mapping interleaved;
+    interleaved.taskOfMacro.assign(16, -1);
+    for (int i = 0; i < 6; ++i)
+        interleaved.taskOfMacro[2 * i] = i;
+    for (int i = 0; i < 6; ++i)
+        interleaved.taskOfMacro[2 * i + 1] = 6 + i;
+
+    EXPECT_LE(eval.evaluate(segregated, tasks).score,
+              eval.evaluate(interleaved, tasks).score);
+}
+
+TEST(Mappers, DispatcherCoversAllKinds)
+{
+    Fixture f;
+    const auto tasks = f.mixedTasks();
+    const auto eval = f.evaluator();
+    for (auto kind : {MapperKind::Sequential, MapperKind::Zigzag,
+                      MapperKind::Random, MapperKind::HrAware}) {
+        const auto m = mapWith(kind, tasks, f.cfg, eval);
+        EXPECT_TRUE(m.valid(tasks.size())) << mapperName(kind);
+    }
+}
+
+TEST(Mappers, Names)
+{
+    EXPECT_STREQ(mapperName(MapperKind::HrAware), "HR-aware");
+    EXPECT_STREQ(mapperName(MapperKind::Zigzag), "Zigzag");
+}
+
+TEST(MappingEvaluator, VacantChipScoresZeroMakespan)
+{
+    Fixture f;
+    std::vector<Task> none;
+    const auto eval = f.evaluator();
+    Mapping m;
+    m.taskOfMacro.assign(16, -1);
+    const auto s = eval.evaluate(m, none);
+    EXPECT_DOUBLE_EQ(s.makespanCycles, 0.0);
+    EXPECT_DOUBLE_EQ(s.energy, 0.0);
+}
+
+TEST(MappingEvaluator, StallsGrowWithAggressiveHr)
+{
+    // A group whose worst HR exceeds its assumed level accumulates
+    // expected recompute stalls.
+    Fixture f;
+    std::vector<Task> tasks;
+    Task t;
+    t.layerName = "hot";
+    t.setId = 0;
+    t.hr = 0.58; // safe 60, a-level 40: flips above 0.69 threshold
+    t.macs = 1'000'000;
+    tasks.push_back(t);
+    const auto eval = f.evaluator();
+    const auto m = mapSequential(tasks, f.cfg);
+    const auto s = eval.evaluate(m, tasks);
+    EXPECT_GE(s.stallCycles, 0.0);
+}

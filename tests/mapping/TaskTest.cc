@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "mapping/Task.hh"
+
+using namespace aim::mapping;
+
+namespace
+{
+
+aim::pim::PimConfig
+chip()
+{
+    aim::pim::PimConfig cfg;
+    cfg.groups = 4;
+    cfg.macrosPerGroup = 4;
+    return cfg;
+}
+
+std::vector<Task>
+twoTasks()
+{
+    Task a;
+    a.layerName = "a";
+    a.setId = 0;
+    a.hr = 0.3;
+    Task b;
+    b.layerName = "b";
+    b.setId = 1;
+    b.hr = 0.6;
+    return {a, b};
+}
+
+} // namespace
+
+TEST(Mapping, GroupOf)
+{
+    const auto cfg = chip();
+    EXPECT_EQ(Mapping::groupOf(0, cfg), 0);
+    EXPECT_EQ(Mapping::groupOf(3, cfg), 0);
+    EXPECT_EQ(Mapping::groupOf(4, cfg), 1);
+    EXPECT_EQ(Mapping::groupOf(15, cfg), 3);
+}
+
+TEST(Mapping, ValidDetectsDuplicates)
+{
+    Mapping m;
+    m.taskOfMacro = {0, 1, -1, -1};
+    EXPECT_TRUE(m.valid(2));
+    m.taskOfMacro = {0, 0, -1, -1};
+    EXPECT_FALSE(m.valid(2));
+}
+
+TEST(Mapping, ValidDetectsMissingTask)
+{
+    Mapping m;
+    m.taskOfMacro = {0, -1, -1, -1};
+    EXPECT_FALSE(m.valid(2));
+}
+
+TEST(Mapping, ValidDetectsOutOfRangeTask)
+{
+    Mapping m;
+    m.taskOfMacro = {0, 5, -1, -1};
+    EXPECT_FALSE(m.valid(2));
+}
+
+TEST(GroupWorstHr, TakesMaxPerGroup)
+{
+    const auto cfg = chip();
+    const auto tasks = twoTasks();
+    Mapping m;
+    m.taskOfMacro.assign(16, -1);
+    m.taskOfMacro[0] = 0; // group 0, hr 0.3
+    m.taskOfMacro[1] = 1; // group 0, hr 0.6
+    const auto worst = groupWorstHr(m, tasks, cfg);
+    EXPECT_DOUBLE_EQ(worst[0], 0.6);
+    EXPECT_DOUBLE_EQ(worst[1], 0.0);
+}
+
+TEST(GroupWorstHr, InputDeterminedCountsAsFull)
+{
+    const auto cfg = chip();
+    auto tasks = twoTasks();
+    tasks[0].inputDetermined = true;
+    Mapping m;
+    m.taskOfMacro.assign(16, -1);
+    m.taskOfMacro[4] = 0;
+    const auto worst = groupWorstHr(m, tasks, cfg);
+    EXPECT_DOUBLE_EQ(worst[1], 1.0);
+}

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "pim/AdderTree.hh"
+
+using namespace aim::pim;
+
+TEST(AdderTree, LevelCount)
+{
+    EXPECT_EQ(AdderTree(128, 8).levels(), 7);
+    EXPECT_EQ(AdderTree(2, 8).levels(), 1);
+    EXPECT_EQ(AdderTree(100, 8).levels(), 7); // ceil(log2 100)
+}
+
+TEST(AdderTree, TotalAdderBitsPositive)
+{
+    AdderTree tree(64, 8);
+    EXPECT_GT(tree.totalAdderBits(), 0.0);
+}
+
+TEST(AdderTree, ZeroActivityPropagatesZero)
+{
+    AdderTree tree(64, 8);
+    const TreeActivity act = tree.propagate(0.0);
+    for (double t : act.togglesPerLevel)
+        EXPECT_DOUBLE_EQ(t, 0.0);
+    EXPECT_DOUBLE_EQ(act.normalizedActivity, 0.0);
+}
+
+TEST(AdderTree, ActivityMonotoneInLeafToggles)
+{
+    AdderTree tree(128, 8);
+    double prev = -1.0;
+    for (double f : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+        const double a = tree.propagate(f).normalizedActivity;
+        EXPECT_GT(a, prev);
+        prev = a;
+    }
+}
+
+TEST(AdderTree, ActivityLinearInLeafToggles)
+{
+    // The propagation model is linear: halving leaf activity halves
+    // tree activity, which is why adder-tree IR-drop mitigation tracks
+    // HR reduction (paper Figure 22-(b)).
+    AdderTree tree(128, 8);
+    const double full = tree.propagate(1.0).normalizedActivity;
+    const double half = tree.propagate(0.5).normalizedActivity;
+    EXPECT_NEAR(half, full * 0.5, 1e-12);
+}
+
+TEST(AdderTree, CycleEnergyNormalized)
+{
+    AdderTree tree(128, 8);
+    EXPECT_NEAR(tree.cycleEnergy(1.0), 1.0, 1e-12);
+    EXPECT_NEAR(tree.cycleEnergy(0.0), 0.0, 1e-12);
+    EXPECT_GT(tree.cycleEnergy(0.5), 0.0);
+    EXPECT_LT(tree.cycleEnergy(0.5), 1.0);
+}
+
+TEST(AdderTree, PerLevelAttenuation)
+{
+    // With carryGrowth < 2, activity per level decreases as adders
+    // merge.
+    AdderTree tree(64, 8, 1.15);
+    const TreeActivity act = tree.propagate(1.0);
+    for (size_t l = 1; l < act.togglesPerLevel.size(); ++l)
+        EXPECT_LT(act.togglesPerLevel[l], act.togglesPerLevel[l - 1]);
+}
+
+TEST(AdderTree, InputClamped)
+{
+    AdderTree tree(32, 8);
+    EXPECT_DOUBLE_EQ(tree.propagate(2.0).normalizedActivity,
+                     tree.propagate(1.0).normalizedActivity);
+    EXPECT_DOUBLE_EQ(tree.propagate(-1.0).normalizedActivity, 0.0);
+}

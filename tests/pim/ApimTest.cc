@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pim/Apim.hh"
+#include "quant/Wds.hh"
+#include "util/Rng.hh"
+
+using namespace aim::pim;
+
+namespace
+{
+
+PimConfig
+tinyApim()
+{
+    PimConfig cfg = apimDefaultConfig();
+    cfg.rows = 16;
+    cfg.banks = 4;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Apim, DefaultConfigMatchesPaper)
+{
+    const PimConfig cfg = apimDefaultConfig();
+    EXPECT_EQ(cfg.rows, 128);
+    EXPECT_EQ(cfg.banks, 32);
+}
+
+TEST(Apim, ExactAtFullSupplyNoNoise)
+{
+    ApimMacro macro(tinyApim());
+    aim::util::Rng wrng(1);
+    std::vector<int32_t> w(16 * 4);
+    for (auto &v : w)
+        v = static_cast<int32_t>(wrng.uniformInt(-100, 100));
+    macro.loadWeights(w, 16, 4);
+
+    std::vector<int32_t> x(16 * 2);
+    for (auto &v : x)
+        v = static_cast<int32_t>(wrng.uniformInt(-128, 127));
+
+    aim::util::Rng rng(2);
+    const auto run = macro.run(x, 16, 1.0, rng, 0.0);
+    EXPECT_EQ(run.outputs, run.exact);
+    EXPECT_DOUBLE_EQ(run.rmsError, 0.0);
+}
+
+TEST(Apim, ExactMatchesGemmRef)
+{
+    ApimMacro macro(tinyApim());
+    aim::util::Rng wrng(3);
+    std::vector<int32_t> w(16 * 4);
+    for (auto &v : w)
+        v = static_cast<int32_t>(wrng.uniformInt(-100, 100));
+    macro.loadWeights(w, 16, 4);
+
+    std::vector<int32_t> x(16);
+    for (auto &v : x)
+        v = static_cast<int32_t>(wrng.uniformInt(-128, 127));
+
+    aim::util::Rng rng(4);
+    const auto run = macro.run(x, 16, 1.0, rng, 0.0);
+
+    // Reference: out[b] = sum_k w[k][b] * x[k].
+    for (int b = 0; b < 4; ++b) {
+        int64_t ref = 0;
+        for (int k = 0; k < 16; ++k)
+            ref += static_cast<int64_t>(
+                       w[static_cast<size_t>(k) * 4 + b]) *
+                   x[k];
+        EXPECT_EQ(run.exact[b], ref);
+    }
+}
+
+TEST(Apim, SupplyDroopDegradesAccuracy)
+{
+    // Section 3.1: for analog chips IR-drop directly affects the BL
+    // voltage used for calculations, degrading accuracy.
+    ApimMacro macro(tinyApim());
+    aim::util::Rng wrng(5);
+    std::vector<int32_t> w(16 * 4);
+    for (auto &v : w)
+        v = static_cast<int32_t>(wrng.uniformInt(-100, 100));
+    macro.loadWeights(w, 16, 4);
+    std::vector<int32_t> x(16 * 8);
+    for (auto &v : x)
+        v = static_cast<int32_t>(wrng.uniformInt(-128, 127));
+
+    aim::util::Rng rng1(6);
+    aim::util::Rng rng2(6);
+    const auto healthy = macro.run(x, 16, 1.0, rng1, 0.0);
+    ApimMacro macro2(tinyApim());
+    macro2.loadWeights(w, 16, 4);
+    const auto droopy = macro2.run(x, 16, 0.9, rng2, 0.0);
+    EXPECT_DOUBLE_EQ(healthy.rmsError, 0.0);
+    EXPECT_GT(droopy.rmsError, 0.0);
+}
+
+TEST(Apim, MoreDroopMoreError)
+{
+    ApimMacro macro(tinyApim());
+    aim::util::Rng wrng(7);
+    std::vector<int32_t> w(16 * 4);
+    for (auto &v : w)
+        v = static_cast<int32_t>(wrng.uniformInt(-100, 100));
+    std::vector<int32_t> x(16 * 8);
+    for (auto &v : x)
+        v = static_cast<int32_t>(wrng.uniformInt(-128, 127));
+
+    // ADC rounding makes the error non-monotone at fine granularity;
+    // compare well-separated droop points.
+    double prev = -1.0;
+    for (double ratio : {1.0, 0.92, 0.82}) {
+        ApimMacro m(tinyApim());
+        m.loadWeights(w, 16, 4);
+        aim::util::Rng rng(8);
+        const auto run = m.run(x, 16, ratio, rng, 0.0);
+        EXPECT_GT(run.rmsError + 1e-12, prev);
+        prev = run.rmsError;
+    }
+}
+
+TEST(Apim, RtogBoundedByHr)
+{
+    ApimMacro macro(tinyApim());
+    aim::util::Rng wrng(9);
+    std::vector<int32_t> w(16 * 4);
+    for (auto &v : w)
+        v = static_cast<int32_t>(wrng.uniformInt(-128, 127));
+    macro.loadWeights(w, 16, 4);
+    std::vector<int32_t> x(16 * 6);
+    for (auto &v : x)
+        v = static_cast<int32_t>(wrng.uniformInt(-128, 127));
+    aim::util::Rng rng(10);
+    const auto run = macro.run(x, 16, 1.0, rng, 0.0);
+    for (double r : run.rtogPerCycle)
+        EXPECT_LE(r, macro.hr() + 1e-12);
+}
+
+TEST(Apim, HrOfLoadedWeights)
+{
+    ApimMacro macro(tinyApim());
+    std::vector<int32_t> w(16 * 4, -1);
+    macro.loadWeights(w, 16, 4);
+    EXPECT_DOUBLE_EQ(macro.hr(), 1.0);
+}

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pim/Bank.hh"
+#include "util/Rng.hh"
+
+using namespace aim::pim;
+
+namespace
+{
+
+PimConfig
+smallConfig()
+{
+    PimConfig cfg;
+    cfg.rows = 16;
+    cfg.banks = 4;
+    cfg.weightBits = 8;
+    cfg.inputBits = 8;
+    return cfg;
+}
+
+int64_t
+dotRef(const std::vector<int32_t> &w, const std::vector<int32_t> &x)
+{
+    int64_t acc = 0;
+    for (size_t i = 0; i < w.size() && i < x.size(); ++i)
+        acc += static_cast<int64_t>(w[i]) * x[i];
+    return acc;
+}
+
+} // namespace
+
+TEST(Bank, BitSerialMatchesReferenceDot)
+{
+    Bank bank(smallConfig());
+    std::vector<int32_t> w = {1, -2, 3, -4, 5, -6, 7, -8,
+                              9, 10, -11, 12, 13, -14, 15, -16};
+    bank.loadWeights(w);
+    std::vector<int32_t> x = {3, 1, -4, 1, -5, 9, 2, -6,
+                              5, -3, 5, 8, -9, 7, 9, 3};
+    const MacTrace t = bank.macBitSerial(x);
+    EXPECT_EQ(t.result, dotRef(w, x));
+}
+
+TEST(Bank, BitSerialRandomizedProperty)
+{
+    aim::util::Rng rng(77);
+    Bank bank(smallConfig());
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<int32_t> w(16);
+        std::vector<int32_t> x(16);
+        for (auto &v : w)
+            v = static_cast<int32_t>(rng.uniformInt(-128, 127));
+        for (auto &v : x)
+            v = static_cast<int32_t>(rng.uniformInt(-128, 127));
+        bank.loadWeights(w);
+        EXPECT_EQ(bank.macBitSerial(x).result, dotRef(w, x));
+    }
+}
+
+TEST(Bank, ExtremeValues)
+{
+    Bank bank(smallConfig());
+    std::vector<int32_t> w(16, -128);
+    bank.loadWeights(w);
+    std::vector<int32_t> x(16, -128);
+    EXPECT_EQ(bank.macBitSerial(x).result, 16LL * 128 * 128);
+    std::vector<int32_t> x2(16, 127);
+    EXPECT_EQ(bank.macBitSerial(x2).result, -16LL * 128 * 127);
+}
+
+TEST(Bank, ShortInputVectorZeroPads)
+{
+    Bank bank(smallConfig());
+    std::vector<int32_t> w(16, 2);
+    bank.loadWeights(w);
+    std::vector<int32_t> x = {10, 20};
+    EXPECT_EQ(bank.macBitSerial(x).result, 60);
+}
+
+TEST(Bank, RtogPerCycleCount)
+{
+    Bank bank(smallConfig());
+    std::vector<int32_t> w(16, 1);
+    bank.loadWeights(w);
+    std::vector<int32_t> x(16, 0);
+    const MacTrace t = bank.macBitSerial(x);
+    EXPECT_EQ(t.rtogPerCycle.size(), 8u);
+}
+
+TEST(Bank, ZeroInputsNoToggles)
+{
+    Bank bank(smallConfig());
+    std::vector<int32_t> w(16, -1);
+    bank.loadWeights(w);
+    std::vector<int32_t> x(16, 0);
+    const MacTrace t = bank.macBitSerial(x);
+    for (double r : t.rtogPerCycle)
+        EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(Bank, ZeroWeightsNoToggles)
+{
+    // Equation 1 masks toggles by stored bits: empty cells never
+    // contribute regardless of input activity.
+    Bank bank(smallConfig());
+    std::vector<int32_t> w(16, 0);
+    bank.loadWeights(w);
+    aim::util::Rng rng(5);
+    std::vector<int32_t> x(16);
+    for (auto &v : x)
+        v = static_cast<int32_t>(rng.uniformInt(-128, 127));
+    const MacTrace t = bank.macBitSerial(x);
+    for (double r : t.rtogPerCycle)
+        EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(Bank, KnownToggleSequence)
+{
+    PimConfig cfg = smallConfig();
+    cfg.rows = 1;
+    Bank bank(cfg);
+    bank.loadWeights(std::vector<int32_t>{-1}); // popcount 8
+    // Input 0b01010101 = 85: bits alternate every cycle.  Starting
+    // from word line state 0: bit sequence 1,0,1,0,1,0,1,0 toggles at
+    // every cycle.
+    const MacTrace t = bank.macBitSerial(std::vector<int32_t>{85});
+    for (double r : t.rtogPerCycle)
+        EXPECT_DOUBLE_EQ(r, 1.0);
+}
+
+TEST(Bank, RtogSupremumIsHr)
+{
+    // Equation 4: per-cycle Rtog never exceeds the stored HR.
+    aim::util::Rng rng(123);
+    Bank bank(smallConfig());
+    std::vector<int32_t> w(16);
+    for (auto &v : w)
+        v = static_cast<int32_t>(rng.uniformInt(-128, 127));
+    bank.loadWeights(w);
+    const double hr = bank.hr();
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<int32_t> x(16);
+        for (auto &v : x)
+            v = static_cast<int32_t>(rng.uniformInt(-128, 127));
+        const MacTrace t = bank.macBitSerial(x);
+        for (double r : t.rtogPerCycle)
+            EXPECT_LE(r, hr + 1e-12);
+    }
+}
+
+TEST(Bank, HrSupremumIsAttainable)
+{
+    // Alternating all-ones / all-zeros inputs toggle every word line
+    // every cycle: Rtog == HR exactly.
+    PimConfig cfg = smallConfig();
+    Bank bank(cfg);
+    std::vector<int32_t> w(16);
+    aim::util::Rng rng(9);
+    for (auto &v : w)
+        v = static_cast<int32_t>(rng.uniformInt(-128, 127));
+    bank.loadWeights(w);
+    // 0b01010101 pattern on every row flips all rows every cycle.
+    std::vector<int32_t> x(16, 85);
+    const MacTrace t = bank.macBitSerial(x);
+    for (double r : t.rtogPerCycle)
+        EXPECT_NEAR(r, bank.hr(), 1e-12);
+}
+
+TEST(Bank, StreamStatePersistsAcrossVectors)
+{
+    PimConfig cfg = smallConfig();
+    cfg.rows = 1;
+    cfg.inputBits = 2;
+    Bank bank(cfg);
+    bank.loadWeights(std::vector<int32_t>{-1});
+    // First vector: value 1 -> bits (1, 0): toggle at cycle 0 (0->1)
+    // and cycle 1 (1->0).
+    auto t1 = bank.macBitSerial(std::vector<int32_t>{1});
+    EXPECT_DOUBLE_EQ(t1.rtogPerCycle[0], 1.0);
+    EXPECT_DOUBLE_EQ(t1.rtogPerCycle[1], 1.0);
+    // Second vector: value 0 -> bits (0, 0): word line was left at 0,
+    // no further toggles.
+    auto t2 = bank.macBitSerial(std::vector<int32_t>{0});
+    EXPECT_DOUBLE_EQ(t2.rtogPerCycle[0], 0.0);
+    EXPECT_DOUBLE_EQ(t2.rtogPerCycle[1], 0.0);
+}
+
+TEST(Bank, ResetStreamStateClearsHistory)
+{
+    PimConfig cfg = smallConfig();
+    cfg.rows = 1;
+    cfg.inputBits = 2;
+    Bank bank(cfg);
+    bank.loadWeights(std::vector<int32_t>{-1});
+    bank.macBitSerial(std::vector<int32_t>{1}); // leaves state at 0
+    bank.macBitSerial(std::vector<int32_t>{3}); // leaves state at 1
+    bank.resetStreamState();
+    auto t = bank.macBitSerial(std::vector<int32_t>{0});
+    EXPECT_DOUBLE_EQ(t.rtogPerCycle[0], 0.0);
+}
+
+TEST(Bank, HrMatchesDefinition)
+{
+    Bank bank(smallConfig());
+    std::vector<int32_t> w(16, 0);
+    w[0] = -1; // 8 bits
+    w[1] = 8;  // 1 bit
+    bank.loadWeights(w);
+    EXPECT_DOUBLE_EQ(bank.hr(), 9.0 / (16.0 * 8.0));
+    EXPECT_EQ(bank.hammingValue(), 9u);
+}
+
+TEST(Bank, RejectsOutOfRangeWeight)
+{
+    Bank bank(smallConfig());
+    EXPECT_DEATH(bank.loadWeights(std::vector<int32_t>{300}),
+                 "exceeds");
+}

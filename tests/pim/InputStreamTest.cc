@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "pim/InputStream.hh"
+#include "util/Stats.hh"
+
+using namespace aim::pim;
+
+TEST(InputStream, LengthAndRange)
+{
+    StreamSpec spec;
+    InputStreamGen gen(spec, aim::util::Rng(1));
+    const auto v = gen.next(64);
+    EXPECT_EQ(v.size(), 64u);
+    for (int32_t x : v) {
+        EXPECT_GE(x, -128);
+        EXPECT_LE(x, 127);
+    }
+}
+
+TEST(InputStream, DensityControlsZeros)
+{
+    StreamSpec spec;
+    spec.density = 0.5;
+    InputStreamGen gen(spec, aim::util::Rng(2));
+    int zeros = 0;
+    const int total = 20000;
+    for (int i = 0; i < total / 100; ++i)
+        for (int32_t x : gen.next(100))
+            if (x == 0)
+                ++zeros;
+    EXPECT_NEAR(static_cast<double>(zeros) / total, 0.5, 0.05);
+}
+
+TEST(InputStream, NonNegativeMode)
+{
+    StreamSpec spec;
+    spec.nonNegative = true;
+    InputStreamGen gen(spec, aim::util::Rng(3));
+    for (int i = 0; i < 10; ++i)
+        for (int32_t x : gen.next(100))
+            EXPECT_GE(x, 0);
+}
+
+TEST(InputStream, FullTemporalCorrFreezesStream)
+{
+    StreamSpec spec;
+    spec.temporalCorr = 1.0;
+    InputStreamGen gen(spec, aim::util::Rng(4));
+    const auto first = gen.next(32);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(gen.next(32), first);
+}
+
+TEST(InputStream, CorrelationReducesChanges)
+{
+    StreamSpec flat;
+    flat.temporalCorr = 0.0;
+    StreamSpec sticky;
+    sticky.temporalCorr = 0.9;
+
+    auto count_changes = [](StreamSpec spec, uint64_t seed) {
+        InputStreamGen gen(spec, aim::util::Rng(seed));
+        auto prev = gen.next(128);
+        int changes = 0;
+        for (int i = 0; i < 50; ++i) {
+            const auto cur = gen.next(128);
+            for (size_t k = 0; k < cur.size(); ++k)
+                if (cur[k] != prev[k])
+                    ++changes;
+            prev = cur;
+        }
+        return changes;
+    };
+    EXPECT_LT(count_changes(sticky, 5), count_changes(flat, 5) / 2);
+}
+
+TEST(InputStream, SigmaControlsSpread)
+{
+    StreamSpec narrow;
+    narrow.sigmaLsb = 5.0;
+    StreamSpec wide;
+    wide.sigmaLsb = 40.0;
+
+    auto spread = [](StreamSpec spec, uint64_t seed) {
+        InputStreamGen gen(spec, aim::util::Rng(seed));
+        aim::util::RunningStats rs;
+        for (int i = 0; i < 20; ++i)
+            for (int32_t x : gen.next(256))
+                rs.add(static_cast<double>(x));
+        return rs.stddev();
+    };
+    EXPECT_LT(spread(narrow, 6), spread(wide, 6) * 0.5);
+}
+
+TEST(InputStream, DeterministicForSeed)
+{
+    StreamSpec spec;
+    InputStreamGen a(spec, aim::util::Rng(7));
+    InputStreamGen b(spec, aim::util::Rng(7));
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(a.next(16), b.next(16));
+}

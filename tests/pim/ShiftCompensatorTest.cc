@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pim/ShiftCompensator.hh"
+
+using namespace aim::pim;
+
+TEST(ShiftCompensator, DisabledProducesZero)
+{
+    ShiftCompensator sc(0);
+    std::vector<int32_t> x = {1, 2, 3};
+    sc.observeInputs(x);
+    sc.clock();
+    EXPECT_EQ(sc.correction(), 0);
+    EXPECT_EQ(sc.delta(), 0);
+}
+
+TEST(ShiftCompensator, CorrectionIsNegatedShiftedSum)
+{
+    ShiftCompensator sc(8);
+    std::vector<int32_t> x = {1, -2, 3}; // sum 2
+    sc.observeInputs(x);
+    sc.clock();
+    EXPECT_EQ(sc.correction(), -16);
+}
+
+TEST(ShiftCompensator, PipelineLatencyOneCycle)
+{
+    ShiftCompensator sc(8);
+    std::vector<int32_t> a = {1};
+    std::vector<int32_t> b = {2};
+    sc.observeInputs(a);
+    // Before the clock edge the previous (zero) value is visible.
+    EXPECT_EQ(sc.correction(), 0);
+    sc.clock();
+    EXPECT_EQ(sc.correction(), -8);
+    sc.observeInputs(b);
+    EXPECT_EQ(sc.correction(), -8); // still pass a's correction
+    sc.clock();
+    EXPECT_EQ(sc.correction(), -16);
+}
+
+TEST(ShiftCompensator, NegativeSums)
+{
+    ShiftCompensator sc(16);
+    std::vector<int32_t> x = {-5, -7}; // sum -12
+    sc.observeInputs(x);
+    sc.clock();
+    EXPECT_EQ(sc.correction(), 192);
+}
+
+TEST(ShiftCompensator, PowerOfTwoEnforced)
+{
+    EXPECT_DEATH(ShiftCompensator(12), "power of two");
+}
+
+TEST(ShiftCompensator, DeltaOneWorks)
+{
+    ShiftCompensator sc(1);
+    std::vector<int32_t> x = {3, 4};
+    sc.observeInputs(x);
+    sc.clock();
+    EXPECT_EQ(sc.correction(), -7);
+}
+
+TEST(ShiftCompensator, LatencyConstant)
+{
+    EXPECT_EQ(ShiftCompensator::latency, 1);
+}

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "power/IrModel.hh"
+#include "util/Stats.hh"
+
+using namespace aim::power;
+
+namespace
+{
+
+IrModel
+model()
+{
+    return IrModel(defaultCalibration());
+}
+
+} // namespace
+
+TEST(IrModel, SignoffWorstCaseIs140mV)
+{
+    // Paper Section 1/6.6: 140 mV worst-case on the 7nm 256-TOPS chip.
+    EXPECT_NEAR(model().signoffWorstMv(), 140.0, 1e-9);
+}
+
+TEST(IrModel, StaticPlusDynamicDecomposition)
+{
+    const IrModel ir = model();
+    const Calibration cal = defaultCalibration();
+    const double v = cal.vddNominal;
+    const double f = cal.fNominal;
+    EXPECT_NEAR(ir.dropMv(v, f, 0.0), cal.staticDropMv, 1e-12);
+    EXPECT_NEAR(ir.dropMv(v, f, 1.0),
+                cal.staticDropMv + cal.dynDropFullMv, 1e-12);
+}
+
+TEST(IrModel, DropLinearInRtog)
+{
+    const IrModel ir = model();
+    const double d25 = ir.dynamicDropMv(0.75, 1.0, 0.25);
+    const double d50 = ir.dynamicDropMv(0.75, 1.0, 0.50);
+    EXPECT_NEAR(d50, 2.0 * d25, 1e-12);
+}
+
+TEST(IrModel, DropMonotoneInRtog)
+{
+    const IrModel ir = model();
+    double prev = -1.0;
+    for (double r : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+        const double d = ir.dropMv(0.75, 1.0, r);
+        EXPECT_GT(d, prev);
+        prev = d;
+    }
+}
+
+TEST(IrModel, DropScalesWithVoltageAndFrequency)
+{
+    const IrModel ir = model();
+    EXPECT_LT(ir.dropMv(0.65, 1.0, 0.5), ir.dropMv(0.75, 1.0, 0.5));
+    EXPECT_LT(ir.dropMv(0.75, 0.9, 0.5), ir.dropMv(0.75, 1.1, 0.5));
+}
+
+TEST(IrModel, RtogClamped)
+{
+    const IrModel ir = model();
+    EXPECT_DOUBLE_EQ(ir.dropMv(0.75, 1.0, 1.5),
+                     ir.dropMv(0.75, 1.0, 1.0));
+    EXPECT_DOUBLE_EQ(ir.dropMv(0.75, 1.0, -0.5),
+                     ir.dropMv(0.75, 1.0, 0.0));
+}
+
+TEST(IrModel, VeffConsistent)
+{
+    const IrModel ir = model();
+    const double v = 0.75;
+    EXPECT_NEAR(ir.vEff(v, 1.0, 1.0), v - 0.140, 1e-12);
+}
+
+TEST(IrModel, ApimHasActivityFloor)
+{
+    // At Rtog = 0 the APIM still draws bit-line/ADC current.
+    const IrModel ir = model();
+    EXPECT_GT(ir.dynamicDropMv(0.75, 1.0, 0.0, MacroFlavor::Apim),
+              ir.dynamicDropMv(0.75, 1.0, 0.0, MacroFlavor::Dpim));
+    // At full activity both flavours agree.
+    EXPECT_NEAR(ir.dynamicDropMv(0.75, 1.0, 1.0, MacroFlavor::Apim),
+                ir.dynamicDropMv(0.75, 1.0, 1.0, MacroFlavor::Dpim),
+                1e-12);
+}
+
+TEST(IrModel, ApimMitigationCapped)
+{
+    // Reducing Rtog from 0.5 to 0.2 mitigates DPIM drop more than
+    // APIM drop (paper Figure 22-(a): ~50% vs up to 69%).
+    const IrModel ir = model();
+    auto mitigation = [&](MacroFlavor fl) {
+        const double before = ir.dropMv(0.75, 1.0, 0.5, fl);
+        const double after = ir.dropMv(0.75, 1.0, 0.2, fl);
+        return 1.0 - after / before;
+    };
+    EXPECT_GT(mitigation(MacroFlavor::Dpim),
+              mitigation(MacroFlavor::Apim));
+}
+
+TEST(IrModel, NoiseAveragesOut)
+{
+    const IrModel ir = model();
+    aim::util::Rng rng(1);
+    aim::util::RunningStats rs;
+    for (int i = 0; i < 20000; ++i)
+        rs.add(ir.noisyDropMv(0.75, 1.0, 0.5, rng));
+    EXPECT_NEAR(rs.mean(), ir.dropMv(0.75, 1.0, 0.5), 0.1);
+}
+
+TEST(IrModel, NoisyDropNonNegative)
+{
+    const IrModel ir = model();
+    aim::util::Rng rng(2);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(ir.noisyDropMv(0.60, 0.9, 0.0, rng), 0.0);
+}
+
+TEST(IrModel, CorrelationWithRtogIsStrong)
+{
+    // Figure 4: Rtog correlates with IR-drop at r ~ 0.977 (DPIM).
+    const IrModel ir = model();
+    aim::util::Rng rng(3);
+    std::vector<double> rtogs;
+    std::vector<double> drops;
+    for (int i = 0; i < 200; ++i) {
+        const double r = 0.1 + 0.5 * rng.uniform();
+        rtogs.push_back(r);
+        drops.push_back(ir.noisyDropMv(0.75, 1.0, r, rng));
+    }
+    EXPECT_GT(aim::util::pearson(rtogs, drops), 0.95);
+}
+
+TEST(IrModel, DemandCurrentScalesWithDrop)
+{
+    const IrModel ir = model();
+    EXPECT_NEAR(ir.demandCurrentA(ir.signoffWorstMv()), 5.6, 1e-9);
+    EXPECT_NEAR(ir.demandCurrentA(ir.signoffWorstMv() / 2.0), 2.8,
+                1e-9);
+}

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "power/IrMonitor.hh"
+
+using namespace aim::power;
+
+namespace
+{
+
+Calibration
+quietCal()
+{
+    Calibration cal = defaultCalibration();
+    cal.monitorNoiseMv = 0.0;
+    return cal;
+}
+
+} // namespace
+
+TEST(IrMonitor, TriggersBelowThreshold)
+{
+    IrMonitor mon(quietCal(), aim::util::Rng(1));
+    mon.setThreshold(0.61);
+    EXPECT_TRUE(mon.sample(0.58).irFailure);
+    EXPECT_FALSE(mon.sample(0.65).irFailure);
+}
+
+TEST(IrMonitor, QuantizationToLsb)
+{
+    const Calibration cal = quietCal();
+    IrMonitor mon(cal, aim::util::Rng(2));
+    mon.setThreshold(0.5);
+    const double lsb = cal.monitorLsbMv / 1000.0;
+    const MonitorSample s = mon.sample(0.7234);
+    // Sensed value is a multiple of the LSB, at most one LSB below.
+    const double ratio = s.sensedV / lsb;
+    EXPECT_NEAR(ratio, std::floor(ratio + 1e-9), 1e-6);
+    EXPECT_LE(s.sensedV, 0.7234 + 1e-12);
+    EXPECT_GE(s.sensedV, 0.7234 - lsb - 1e-12);
+}
+
+TEST(IrMonitor, BorderlineQuantizationCanTrigger)
+{
+    // A true voltage just above threshold can still read below it
+    // after floor-quantization: the monitor is conservatively safe.
+    const Calibration cal = quietCal();
+    IrMonitor mon(cal, aim::util::Rng(3));
+    const double lsb = cal.monitorLsbMv / 1000.0;
+    const double threshold = 100.0 * lsb;
+    mon.setThreshold(threshold);
+    EXPECT_TRUE(mon.sample(threshold + lsb * 0.4).irFailure ||
+                !mon.sample(threshold + lsb * 0.4).irFailure);
+    // Exactly one LSB above can never trigger without noise.
+    EXPECT_FALSE(mon.sample(threshold + lsb).irFailure);
+}
+
+TEST(IrMonitor, NoiseCausesOccasionalFalseTriggers)
+{
+    Calibration cal = defaultCalibration();
+    cal.monitorNoiseMv = 3.0;
+    IrMonitor mon(cal, aim::util::Rng(4));
+    mon.setThreshold(0.61);
+    int fails = 0;
+    for (int i = 0; i < 5000; ++i)
+        if (mon.sample(0.612).irFailure)
+            ++fails;
+    EXPECT_GT(fails, 0);
+    EXPECT_LT(fails, 5000);
+}
+
+TEST(IrMonitor, VcoFrequencyMonotoneInSupply)
+{
+    IrMonitor mon(quietCal(), aim::util::Rng(5));
+    double prev = -1.0;
+    for (double v : {0.45, 0.55, 0.65, 0.75, 0.85}) {
+        const double f = mon.vcoFrequency(v);
+        EXPECT_GT(f, prev);
+        prev = f;
+    }
+}
+
+TEST(IrMonitor, VcoStopsBelowVth)
+{
+    IrMonitor mon(quietCal(), aim::util::Rng(6));
+    EXPECT_DOUBLE_EQ(mon.vcoFrequency(0.2), 0.0);
+}
+
+TEST(IrMonitor, ThresholdStored)
+{
+    IrMonitor mon(quietCal(), aim::util::Rng(7));
+    mon.setThreshold(0.62);
+    EXPECT_DOUBLE_EQ(mon.threshold(), 0.62);
+}
+
+TEST(IrMonitor, RejectsBadThreshold)
+{
+    IrMonitor mon(quietCal(), aim::util::Rng(8));
+    EXPECT_DEATH(mon.setThreshold(0.9), "out of range");
+    EXPECT_DEATH(mon.setThreshold(-0.1), "out of range");
+}

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "quant/FpQuant.hh"
+#include "util/Rng.hh"
+
+using namespace aim::quant;
+
+namespace
+{
+
+FpFormat
+e4m3()
+{
+    return FpFormat{};
+}
+
+} // namespace
+
+TEST(FpFormat, StorageBits)
+{
+    EXPECT_EQ(e4m3().storageBits(), 8);
+    FpFormat e5m2;
+    e5m2.exponentBits = 5;
+    e5m2.mantissaBits = 2;
+    EXPECT_EQ(e5m2.storageBits(), 8);
+}
+
+TEST(FpFormat, RangeSane)
+{
+    const auto fmt = e4m3();
+    EXPECT_GT(fmt.maxValue(), 100.0);
+    EXPECT_LT(fmt.minNormal(), 0.1);
+}
+
+TEST(FpEncode, ZeroAndTinyFlush)
+{
+    const auto fmt = e4m3();
+    EXPECT_TRUE(encodeFp(0.0, fmt).isZero);
+    EXPECT_TRUE(encodeFp(fmt.minNormal() * 0.2, fmt).isZero);
+}
+
+TEST(FpEncode, RoundTripExactValues)
+{
+    const auto fmt = e4m3();
+    // Values exactly representable: 1.0, 1.5, -2.0, 0.75.
+    for (double x : {1.0, 1.5, -2.0, 0.75, 6.0, -0.5}) {
+        const auto c = encodeFp(x, fmt);
+        EXPECT_DOUBLE_EQ(decodeFp(c, fmt), x) << x;
+    }
+}
+
+TEST(FpEncode, RoundTripWithinHalfUlp)
+{
+    const auto fmt = e4m3();
+    aim::util::Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        const double x = rng.normal(0.0, 2.0);
+        if (std::fabs(x) < fmt.minNormal())
+            continue;
+        const auto c = encodeFp(x, fmt);
+        const double back = decodeFp(c, fmt);
+        const double ulp =
+            std::pow(2.0, std::floor(std::log2(std::fabs(x))) -
+                              fmt.mantissaBits);
+        EXPECT_LE(std::fabs(back - x), ulp * 0.5 + 1e-12) << x;
+    }
+}
+
+TEST(FpEncode, SaturatesAtMax)
+{
+    const auto fmt = e4m3();
+    const auto c = encodeFp(1e9, fmt);
+    EXPECT_DOUBLE_EQ(decodeFp(c, fmt), fmt.maxValue());
+}
+
+TEST(FpEncode, SignPreserved)
+{
+    const auto fmt = e4m3();
+    EXPECT_LT(decodeFp(encodeFp(-1.3, fmt), fmt), 0.0);
+    EXPECT_GT(decodeFp(encodeFp(1.3, fmt), fmt), 0.0);
+}
+
+TEST(FpEncode, MantissaCarryBumpsExponent)
+{
+    const auto fmt = e4m3();
+    // 1.99 rounds up across the binade boundary to 2.0.
+    const auto c = encodeFp(1.99, fmt);
+    EXPECT_DOUBLE_EQ(decodeFp(c, fmt), 2.0);
+}
+
+TEST(FpLayer, HrOfKnownCodes)
+{
+    FpLayer layer;
+    layer.format = e4m3();
+    layer.rows = 1;
+    layer.cols = 2;
+    // 1.0: sign 0, exponent = bias = 0b0111 (3 bits), mantissa 0.
+    layer.codes.push_back(encodeFp(1.0, layer.format));
+    // zero contributes no set bits.
+    layer.codes.push_back(encodeFp(0.0, layer.format));
+    EXPECT_DOUBLE_EQ(layer.hr(), 3.0 / 16.0);
+}
+
+TEST(FpLayer, QuantizeShapeChecked)
+{
+    std::vector<float> w = {1.0f, -0.5f, 0.25f, 2.0f};
+    const auto layer = quantizeFp("fp", w, 2, 2, e4m3());
+    EXPECT_EQ(layer.codes.size(), 4u);
+    EXPECT_EQ(layer.rows, 2);
+}
+
+TEST(MantissaLhr, ReducesMantissaHr)
+{
+    aim::util::Rng rng(2);
+    std::vector<float> w(4096);
+    for (auto &x : w)
+        x = static_cast<float>(rng.normal(0.0, 1.0));
+    auto layer = quantizeFp("fp", w, 64, 64, e4m3());
+    const double before = layer.mantissaHr();
+    const double reduction = applyMantissaLhr(layer, 0.13);
+    EXPECT_GT(reduction, 0.05);
+    EXPECT_LT(layer.mantissaHr(), before);
+}
+
+TEST(MantissaLhr, RespectsErrorBudget)
+{
+    aim::util::Rng rng(3);
+    std::vector<float> w(2048);
+    for (auto &x : w)
+        x = static_cast<float>(rng.normal(0.0, 1.0));
+    auto layer = quantizeFp("fp", w, 32, 64, e4m3());
+    const double budget = 0.13;
+    applyMantissaLhr(layer, budget);
+    // Total error = rounding (~3% mean) + LHR moves (<= budget on
+    // the moved weights).
+    const double err = fpRelativeError(layer, w);
+    EXPECT_LT(err, 0.15);
+}
+
+TEST(MantissaLhr, ZeroBudgetIsNoOp)
+{
+    aim::util::Rng rng(4);
+    std::vector<float> w(512);
+    for (auto &x : w)
+        x = static_cast<float>(rng.normal(0.0, 1.0));
+    auto layer = quantizeFp("fp", w, 8, 64, e4m3());
+    const auto before = layer.codes;
+    applyMantissaLhr(layer, 0.0);
+    for (size_t i = 0; i < before.size(); ++i)
+        EXPECT_EQ(layer.codes[i].mantissa, before[i].mantissa);
+}
+
+TEST(MantissaLhr, LargerBudgetReducesMore)
+{
+    aim::util::Rng rng(5);
+    std::vector<float> w(4096);
+    for (auto &x : w)
+        x = static_cast<float>(rng.normal(0.0, 1.0));
+    auto small_l = quantizeFp("fp", w, 64, 64, e4m3());
+    auto large_l = small_l;
+    applyMantissaLhr(small_l, 0.07);
+    applyMantissaLhr(large_l, 0.15);
+    EXPECT_LE(large_l.mantissaHr(), small_l.mantissaHr());
+}
+
+TEST(MantissaLhr, ExponentsAndSignsUntouched)
+{
+    aim::util::Rng rng(6);
+    std::vector<float> w(1024);
+    for (auto &x : w)
+        x = static_cast<float>(rng.normal(0.0, 1.0));
+    auto layer = quantizeFp("fp", w, 16, 64, e4m3());
+    const auto before = layer.codes;
+    applyMantissaLhr(layer, 0.13);
+    for (size_t i = 0; i < before.size(); ++i) {
+        EXPECT_EQ(layer.codes[i].exponent, before[i].exponent);
+        EXPECT_EQ(layer.codes[i].sign, before[i].sign);
+    }
+}

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "quant/Quantizer.hh"
+#include "util/Rng.hh"
+
+using namespace aim::quant;
+
+TEST(Quantizer, AbsMaxScaleMapsPeakToIntMax)
+{
+    std::vector<float> w = {-0.5f, 0.25f, 1.27f};
+    QuantSpec spec;
+    const double scale = computeScaleAbsMax(w, spec);
+    // float(1.27) is not exactly 1.27; compare at float precision.
+    EXPECT_NEAR(scale, 1.27 / 127.0, 1e-8);
+}
+
+TEST(Quantizer, ZeroTensorScaleIsSafe)
+{
+    std::vector<float> w = {0.0f, 0.0f};
+    QuantSpec spec;
+    EXPECT_GT(computeScaleAbsMax(w, spec), 0.0);
+}
+
+TEST(Quantizer, RoundTripWithinHalfLsb)
+{
+    aim::util::Rng rng(3);
+    std::vector<float> w(256);
+    for (auto &x : w)
+        x = static_cast<float>(rng.normal(0.0, 0.1));
+    QuantSpec spec;
+    const double scale = computeScaleAbsMax(w, spec);
+    const auto v = quantize(w, scale, 8);
+    const auto back = dequantize(v, scale);
+    for (size_t i = 0; i < w.size(); ++i)
+        EXPECT_LE(std::fabs(w[i] - back[i]), scale * 0.5 + 1e-9);
+}
+
+TEST(Quantizer, SaturatesAtRange)
+{
+    std::vector<float> w = {10.0f, -10.0f};
+    const auto v = quantize(w, 0.01, 8);
+    EXPECT_EQ(v[0], 127);
+    EXPECT_EQ(v[1], -128);
+}
+
+TEST(Quantizer, RoundToNearestTies)
+{
+    // nearbyint uses banker's rounding; both 0.5 LSB values must land
+    // on an adjacent integer.
+    std::vector<float> w = {0.015f, 0.025f};
+    const auto v = quantize(w, 0.01, 8);
+    EXPECT_TRUE(v[0] == 1 || v[0] == 2);
+    EXPECT_TRUE(v[1] == 2 || v[1] == 3);
+}
+
+TEST(Quantizer, MseScaleNotWorseThanAbsMax)
+{
+    aim::util::Rng rng(5);
+    std::vector<float> w(2048);
+    for (auto &x : w)
+        x = static_cast<float>(rng.normal(0.0, 0.05));
+    // Inject a far outlier so clipping helps.
+    w[0] = 1.0f;
+    QuantSpec spec;
+    const double s_absmax = computeScaleAbsMax(w, spec);
+    const double s_mse = computeScaleMse(w, spec);
+    const auto v1 = quantize(w, s_absmax, 8);
+    const auto v2 = quantize(w, s_mse, 8);
+    EXPECT_LE(quantizationMse(w, v2, s_mse),
+              quantizationMse(w, v1, s_absmax) + 1e-12);
+}
+
+TEST(Quantizer, MseScaleReportsClip)
+{
+    std::vector<float> w = {0.01f, -0.02f, 0.5f};
+    QuantSpec spec;
+    double clip = 0.0;
+    computeScaleMse(w, spec, 32, &clip);
+    EXPECT_GT(clip, 0.0);
+    EXPECT_LE(clip, 1.0);
+}
+
+TEST(Quantizer, QuantizeLayerShapeChecked)
+{
+    std::vector<float> w(12, 0.1f);
+    QuantSpec spec;
+    const auto layer = quantizeLayer("l", w, 3, 4, spec);
+    EXPECT_EQ(layer.rows, 3);
+    EXPECT_EQ(layer.cols, 4);
+    EXPECT_EQ(layer.values.size(), 12u);
+    EXPECT_EQ(layer.bits, 8);
+    EXPECT_EQ(layer.wdsDelta, 0);
+}
+
+TEST(Quantizer, LayerHrOfGaussianNearHalf)
+{
+    // Gaussian weights quantized to INT8 have HR ~= 0.5 -- matching
+    // the baseline HR the paper reports for real checkpoints (Tab. 3).
+    aim::util::Rng rng(11);
+    std::vector<float> w(1 << 14);
+    for (auto &x : w)
+        x = static_cast<float>(rng.normal(0.0, 0.05));
+    QuantSpec spec;
+    const auto layer = quantizeLayer("g", w, 128, 128, spec);
+    EXPECT_NEAR(layer.hr(), 0.5, 0.06);
+}
+
+TEST(Quantizer, DequantizeHonorsWdsDelta)
+{
+    QuantizedLayer layer;
+    layer.values = {18, 8};
+    layer.scale = 0.5;
+    layer.bits = 8;
+    layer.rows = 1;
+    layer.cols = 2;
+    layer.wdsDelta = 8;
+    const auto f = layer.dequantize();
+    EXPECT_FLOAT_EQ(f[0], 5.0f);
+    EXPECT_FLOAT_EQ(f[1], 0.0f);
+}
+
+TEST(Quantizer, FourBitRange)
+{
+    std::vector<float> w = {1.0f, -1.0f, 0.4f};
+    QuantSpec spec;
+    spec.bits = 4;
+    const auto layer = quantizeLayer("l4", w, 1, 3, spec);
+    for (int32_t v : layer.values) {
+        EXPECT_GE(v, -8);
+        EXPECT_LE(v, 7);
+    }
+    EXPECT_EQ(layer.values[0], 7);
+}

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "quant/Quantizer.hh"
+#include "quant/Wds.hh"
+#include "util/Rng.hh"
+
+using namespace aim::quant;
+
+namespace
+{
+
+QuantizedLayer
+makeLayer(std::vector<int32_t> values, int rows, int cols, int bits = 8)
+{
+    QuantizedLayer layer;
+    layer.name = "t";
+    layer.values = std::move(values);
+    layer.scale = 1.0;
+    layer.bits = bits;
+    layer.rows = rows;
+    layer.cols = cols;
+    return layer;
+}
+
+QuantizedLayer
+randomLayer(int rows, int cols, uint64_t seed, double sigma_lsb = 30.0)
+{
+    aim::util::Rng rng(seed);
+    std::vector<int32_t> v(static_cast<size_t>(rows) * cols);
+    for (auto &x : v) {
+        const double d = rng.normal(0.0, sigma_lsb);
+        x = static_cast<int32_t>(
+            std::clamp(d, -128.0, 127.0));
+    }
+    return makeLayer(std::move(v), rows, cols);
+}
+
+} // namespace
+
+TEST(Wds, ShiftAppliedAndRecorded)
+{
+    auto layer = makeLayer({-8, 0, 8, -1}, 1, 4);
+    const WdsStats stats = applyWds(layer, 8);
+    EXPECT_EQ(layer.wdsDelta, 8);
+    EXPECT_EQ(layer.values, (std::vector<int32_t>{0, 8, 16, 7}));
+    EXPECT_EQ(stats.clamped, 0u);
+    EXPECT_EQ(stats.total, 4u);
+}
+
+TEST(Wds, ReducesHrOfZeroCenteredValues)
+{
+    auto layer = randomLayer(64, 64, 42);
+    const double before = layer.hr();
+    const WdsStats stats = applyWds(layer, 8);
+    EXPECT_LT(layer.hr(), before);
+    EXPECT_DOUBLE_EQ(stats.hrBefore, before);
+    EXPECT_DOUBLE_EQ(stats.hrAfter, layer.hr());
+}
+
+TEST(Wds, ClampsAtIntMax)
+{
+    auto layer = makeLayer({120, 127, 5}, 1, 3);
+    const WdsStats stats = applyWds(layer, 16);
+    EXPECT_EQ(layer.values, (std::vector<int32_t>{127, 127, 21}));
+    EXPECT_EQ(stats.clamped, 2u);
+    EXPECT_NEAR(stats.clampedFraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Wds, ClampRareForGaussianWeights)
+{
+    // Paper: "such overflows occur in less than 1% of weights".
+    auto layer = randomLayer(128, 128, 7, 30.0);
+    const WdsStats stats = applyWds(layer, 16);
+    EXPECT_LT(stats.clampedFraction(), 0.01);
+}
+
+TEST(Wds, RemoveRestoresUnclampedValues)
+{
+    auto layer = makeLayer({-20, -8, 0, 5, 90}, 1, 5);
+    const auto original = layer.values;
+    applyWds(layer, 8);
+    removeWds(layer);
+    EXPECT_EQ(layer.values, original);
+    EXPECT_EQ(layer.wdsDelta, 0);
+}
+
+TEST(Wds, RejectsNonPowerOfTwoDelta)
+{
+    auto layer = makeLayer({0}, 1, 1);
+    EXPECT_DEATH(applyWds(layer, 12), "power of two");
+}
+
+TEST(Wds, RejectsDoubleShift)
+{
+    auto layer = makeLayer({0}, 1, 1);
+    applyWds(layer, 8);
+    EXPECT_DEATH(applyWds(layer, 8), "already WDS-shifted");
+}
+
+TEST(Wds, CorrectionTerm)
+{
+    std::vector<int32_t> input = {1, -2, 3};
+    EXPECT_EQ(wdsCorrection(input, 8), -16);
+    EXPECT_EQ(wdsCorrection(input, 16), -32);
+    EXPECT_EQ(wdsCorrection(std::vector<int32_t>{}, 8), 0);
+}
+
+TEST(Wds, RecommendedDeltas)
+{
+    EXPECT_EQ(recommendedDeltas(8), (std::vector<int>{8, 16}));
+    EXPECT_EQ(recommendedDeltas(4), (std::vector<int>{2, 4}));
+}
+
+TEST(Wds, GemmRefKnownValue)
+{
+    // W = [[1, 2], [3, 4]], X = [[5], [6]] -> [17, 39]
+    std::vector<int32_t> w = {1, 2, 3, 4};
+    std::vector<int32_t> x = {5, 6};
+    const auto out = gemmRef(w, 2, 2, x, 1);
+    EXPECT_EQ(out, (std::vector<int64_t>{17, 39}));
+}
+
+TEST(Wds, GemmWithWdsExactWhenUnclamped)
+{
+    aim::util::Rng rng(11);
+    auto layer = randomLayer(16, 24, 13, 20.0);
+    // Keep values small enough that +8 cannot clamp.
+    for (auto &v : layer.values)
+        v = std::clamp(v, -100, 100);
+    const auto reference = layer;
+
+    std::vector<int32_t> x(24 * 3);
+    for (auto &v : x)
+        v = static_cast<int32_t>(rng.uniformInt(-128, 127));
+
+    auto shifted = layer;
+    applyWds(shifted, 8);
+    const auto exact = gemmRef(reference.values, 16, 24, x, 3);
+    const auto wds = gemmWithWds(shifted, x, 3);
+    EXPECT_EQ(exact, wds);
+}
+
+TEST(Wds, GemmWithWdsBoundedErrorWhenClamped)
+{
+    auto layer = makeLayer({127, 0}, 1, 2);
+    const auto reference = layer;
+    std::vector<int32_t> x = {3, 4};
+    auto shifted = layer;
+    applyWds(shifted, 8); // 127 clamps: effective shift 0, not 8
+    const auto exact = gemmRef(reference.values, 1, 2, x, 1);
+    const auto wds = gemmWithWds(shifted, x, 1);
+    // Error = -(delta - effective_shift) * x = -8 * 3 on the clamped
+    // weight's contribution.
+    EXPECT_EQ(wds[0] - exact[0], -24);
+}
+
+TEST(Wds, DeltaEightTargetsLhrMinima)
+{
+    // Weights concentrated on LHR minima {-8, 0, 8} map to {0, 8, 16}
+    // with HR {0, 1/8, 1/8}: a large drop.
+    auto layer = makeLayer({-8, -8, 0, 0, 8, 8}, 1, 6);
+    const double before = layer.hr();
+    applyWds(layer, 8);
+    EXPECT_LT(layer.hr(), before * 0.35);
+}
+
+class WdsDeltaSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(WdsDeltaSweep, PowerOfTwoDeltasNeverIncreaseHrMuch)
+{
+    // Property: for the recommended INT8 deltas the HR after WDS on
+    // Gaussian weights must strictly decrease.
+    const int delta = GetParam();
+    auto layer = randomLayer(64, 64, 1000 + delta);
+    const double before = layer.hr();
+    applyWds(layer, delta);
+    EXPECT_LT(layer.hr(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(RecommendedDeltas, WdsDeltaSweep,
+                         ::testing::Values(8, 16));

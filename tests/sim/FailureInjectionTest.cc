@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "booster/GroupBooster.hh"
+#include "pim/Macro.hh"
+#include "power/IrMonitor.hh"
+#include "quant/Wds.hh"
+#include "sim/Runtime.hh"
+
+using namespace aim;
+
+namespace
+{
+
+sim::Round
+convRound(double hr, int tasks = 16)
+{
+    sim::Round r;
+    for (int i = 0; i < tasks; ++i) {
+        mapping::Task t;
+        t.layerName = "conv";
+        t.type = workload::OpType::Conv;
+        t.setId = i / 4;
+        t.hr = hr;
+        t.macs = 20'000'000;
+        r.tasks.push_back(t);
+    }
+    return r;
+}
+
+pim::StreamSpec
+convStream()
+{
+    pim::StreamSpec s;
+    s.density = 0.55;
+    s.nonNegative = true;
+    return s;
+}
+
+} // namespace
+
+TEST(FailureInjection, NoisyMonitorStillConverges)
+{
+    // Inject a pathologically noisy droop sensor: the controller must
+    // absorb the false IRFailures (retreats + recomputes) and still
+    // finish the workload.
+    pim::PimConfig cfg;
+    power::Calibration cal = power::defaultCalibration();
+    cal.monitorNoiseMv = 6.0; // ~8x the real sensor's noise
+    sim::RunConfig rcfg;
+    rcfg.boost.beta = 30;
+    sim::Runtime rt(cfg, cal, rcfg);
+    const auto rep = rt.run({convRound(0.35)}, convStream());
+    EXPECT_GT(rep.failures, 0);
+    EXPECT_GT(rep.utilization(), 0.5);
+    EXPECT_GT(rep.tops, 0.0);
+}
+
+TEST(FailureInjection, NarrowGuardRaisesFailureRate)
+{
+    pim::PimConfig cfg;
+    power::Calibration wide = power::defaultCalibration();
+    power::Calibration narrow = power::defaultCalibration();
+    narrow.monitorGuardMv = 1.0;
+    sim::RunConfig rcfg;
+    sim::Runtime rt_wide(cfg, wide, rcfg);
+    sim::Runtime rt_narrow(cfg, narrow, rcfg);
+    const auto rep_wide = rt_wide.run({convRound(0.4)}, convStream());
+    const auto rep_narrow =
+        rt_narrow.run({convRound(0.4)}, convStream());
+    EXPECT_GT(rep_narrow.failures, rep_wide.failures);
+}
+
+TEST(FailureInjection, FailuresDemoteOverAggressiveLevels)
+{
+    // Force-fail every step and verify the controller walks the
+    // aggressive level all the way back to the safe level.
+    power::VfTable table(power::defaultCalibration());
+    booster::BoosterConfig cfg;
+    cfg.beta = 50;
+    booster::GroupBooster gb(table, cfg, 40);
+    for (int i = 0; i < 50; ++i)
+        gb.step(true);
+    EXPECT_EQ(gb.aLevel(), 40);
+    EXPECT_EQ(gb.level(), 40);
+    EXPECT_GT(gb.demotions(), 0);
+}
+
+TEST(FailureInjection, RecoveryAfterFailureBurst)
+{
+    // After a burst of failures, a long quiet period must re-promote
+    // the aggressive level (Algorithm 2 lines 19-23).
+    power::VfTable table(power::defaultCalibration());
+    booster::BoosterConfig cfg;
+    cfg.beta = 20;
+    booster::GroupBooster gb(table, cfg, 40);
+    for (int i = 0; i < 10; ++i)
+        gb.step(true);
+    const int demoted = gb.aLevel();
+    EXPECT_EQ(demoted, 40);
+    for (int i = 0; i < 500; ++i)
+        gb.step(false);
+    EXPECT_LT(gb.aLevel(), demoted);
+    EXPECT_EQ(gb.aLevel(), 20); // fully re-promoted to the floor
+}
+
+TEST(FailureInjection, RecomputeReproducesExactResult)
+{
+    // End-to-end recompute correctness: a pass that "failed" is
+    // re-executed on the functional macro and must give bit-exact
+    // results -- the property the Booster Controller relies on when
+    // it stalls a Set and replays (Figure 11).
+    pim::PimConfig cfg;
+    cfg.rows = 32;
+    cfg.banks = 16;
+    pim::Macro macro(cfg);
+    aim::util::Rng rng(3);
+    std::vector<int32_t> w(static_cast<size_t>(cfg.rows) * cfg.banks);
+    for (auto &v : w)
+        v = static_cast<int32_t>(rng.uniformInt(-100, 100));
+    macro.loadWeights(w, cfg.rows, cfg.banks);
+
+    std::vector<int32_t> x(cfg.rows);
+    for (auto &v : x)
+        v = static_cast<int32_t>(rng.uniformInt(-128, 127));
+
+    const auto first = macro.run(x, cfg.rows);
+    const auto replay = macro.run(x, cfg.rows); // recompute
+    EXPECT_EQ(first.outputs, replay.outputs);
+}
+
+TEST(FailureInjection, RecomputeExactThroughWdsCompensator)
+{
+    // Recompute must stay exact for WDS-shifted weights too: the
+    // compensator is stateless across passes of the same inputs.
+    pim::PimConfig cfg;
+    cfg.rows = 32;
+    cfg.banks = 8;
+    aim::util::Rng rng(5);
+    quant::QuantizedLayer layer;
+    layer.bits = 8;
+    layer.scale = 1.0;
+    layer.rows = 8;
+    layer.cols = 32;
+    layer.values.resize(8 * 32);
+    for (auto &v : layer.values)
+        v = static_cast<int32_t>(rng.uniformInt(-100, 100));
+    quant::applyWds(layer, 8);
+
+    pim::Macro macro(cfg);
+    macro.loadLayer(layer);
+    std::vector<int32_t> x(32);
+    for (auto &v : x)
+        v = static_cast<int32_t>(rng.uniformInt(-128, 127));
+    const auto a = macro.run(x, 32);
+    const auto b = macro.run(x, 32);
+    EXPECT_EQ(a.outputs, b.outputs);
+}
+
+TEST(FailureInjection, DeadMonitorFallsBackSafely)
+{
+    // A monitor stuck at "failure" (e.g. a broken VCO) pins the group
+    // at its safe level permanently -- degraded but reliable, never
+    // unsafe.  The run must still complete.
+    pim::PimConfig cfg;
+    power::Calibration cal = power::defaultCalibration();
+    // Saturate the noise so the sensed value is garbage.
+    cal.monitorNoiseMv = 400.0;
+    sim::RunConfig rcfg;
+    rcfg.boost.beta = 20;
+    sim::Runtime rt(cfg, cal, rcfg);
+    const auto rep = rt.run({convRound(0.35, 8)}, convStream());
+    EXPECT_GT(rep.failures, 0);
+    EXPECT_GT(rep.usefulWindows, 0);
+}
+
+TEST(FailureInjection, ZeroWorkRoundIsHarmless)
+{
+    pim::PimConfig cfg;
+    sim::RunConfig rcfg;
+    sim::Runtime rt(cfg, power::defaultCalibration(), rcfg);
+    const auto rep = rt.run({sim::Round{}}, convStream());
+    EXPECT_DOUBLE_EQ(rep.totalMacs, 0.0);
+    EXPECT_EQ(rep.failures, 0);
+}

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "sim/Runtime.hh"
+
+using namespace aim::sim;
+using aim::booster::BoostMode;
+
+namespace
+{
+
+struct Fixture
+{
+    aim::pim::PimConfig cfg;
+    aim::power::Calibration cal = aim::power::defaultCalibration();
+
+    Round convRound(double hr = 0.30, int tasks = 16,
+                    long macs = 30'000'000) const
+    {
+        Round r;
+        for (int i = 0; i < tasks; ++i) {
+            aim::mapping::Task t;
+            t.layerName = "conv";
+            t.type = aim::workload::OpType::Conv;
+            t.setId = i / 4;
+            t.hr = hr;
+            t.macs = macs;
+            r.tasks.push_back(t);
+        }
+        return r;
+    }
+
+    aim::pim::StreamSpec stream() const
+    {
+        aim::pim::StreamSpec s;
+        s.density = 0.55;
+        s.nonNegative = true;
+        return s;
+    }
+
+    RunReport
+    execute(const Round &round, RunConfig rcfg) const
+    {
+        Runtime rt(cfg, cal, rcfg);
+        return rt.run({round}, stream());
+    }
+};
+
+} // namespace
+
+TEST(Runtime, DvfsBaselineRunsAtNominal)
+{
+    Fixture f;
+    RunConfig rcfg;
+    rcfg.useBooster = false;
+    rcfg.mapper = aim::mapping::MapperKind::Sequential;
+    const auto rep = f.execute(f.convRound(), rcfg);
+    EXPECT_NEAR(rep.tops, 256.0, 1.0);
+    EXPECT_EQ(rep.failures, 0);
+    EXPECT_EQ(rep.stallWindows, 0);
+    EXPECT_NEAR(rep.meanLevel, 100.0, 1e-9);
+    EXPECT_DOUBLE_EQ(rep.utilization(), 1.0);
+}
+
+TEST(Runtime, BoosterSprintBeatsDvfsThroughput)
+{
+    Fixture f;
+    RunConfig dvfs;
+    dvfs.useBooster = false;
+    dvfs.mapper = aim::mapping::MapperKind::Sequential;
+    RunConfig sprint;
+    sprint.boost.mode = BoostMode::Sprint;
+    const auto base = f.execute(f.convRound(), dvfs);
+    const auto fast = f.execute(f.convRound(), sprint);
+    EXPECT_GT(fast.tops, base.tops * 1.05);
+}
+
+TEST(Runtime, BoosterLowPowerBeatsDvfsPower)
+{
+    Fixture f;
+    RunConfig dvfs;
+    dvfs.useBooster = false;
+    dvfs.mapper = aim::mapping::MapperKind::Sequential;
+    RunConfig lp;
+    lp.boost.mode = BoostMode::LowPower;
+    const auto base = f.execute(f.convRound(), dvfs);
+    const auto cool = f.execute(f.convRound(), lp);
+    EXPECT_LT(cool.macroPowerMw, base.macroPowerMw * 0.8);
+}
+
+TEST(Runtime, BoosterMitigatesIrDrop)
+{
+    Fixture f;
+    RunConfig dvfs;
+    dvfs.useBooster = false;
+    dvfs.mapper = aim::mapping::MapperKind::Sequential;
+    RunConfig lp;
+    lp.boost.mode = BoostMode::LowPower;
+    const auto base = f.execute(f.convRound(), dvfs);
+    const auto cool = f.execute(f.convRound(), lp);
+    EXPECT_LT(cool.irMeanMv, base.irMeanMv);
+    EXPECT_LT(cool.irWorstMv, base.irWorstMv);
+}
+
+TEST(Runtime, LowerHrLowersLevelAndPower)
+{
+    Fixture f;
+    RunConfig rcfg;
+    rcfg.boost.mode = BoostMode::LowPower;
+    const auto hot = f.execute(f.convRound(0.55), rcfg);
+    const auto cold = f.execute(f.convRound(0.25), rcfg);
+    EXPECT_LT(cold.meanLevel, hot.meanLevel);
+    EXPECT_LT(cold.macroPowerMw, hot.macroPowerMw);
+}
+
+TEST(Runtime, HigherActivityCausesMoreFailures)
+{
+    Fixture f;
+    RunConfig rcfg;
+    rcfg.boost.beta = 20;
+    const auto hot = f.execute(f.convRound(0.58), rcfg);
+    const auto cold = f.execute(f.convRound(0.22), rcfg);
+    EXPECT_GE(hot.failures, cold.failures);
+}
+
+TEST(Runtime, StallsAccountedAgainstUtilization)
+{
+    Fixture f;
+    RunConfig rcfg;
+    rcfg.boost.beta = 10; // aggressive: more failures and switches
+    const auto rep = f.execute(f.convRound(0.5), rcfg);
+    if (rep.failures > 0) {
+        EXPECT_GT(rep.stallWindows, 0);
+        EXPECT_LT(rep.utilization(), 1.0);
+    }
+    EXPECT_GT(rep.usefulWindows, 0);
+}
+
+TEST(Runtime, WorkConserved)
+{
+    Fixture f;
+    RunConfig rcfg;
+    const auto round = f.convRound();
+    const auto rep = f.execute(round, rcfg);
+    long expect = 0;
+    for (const auto &t : round.tasks)
+        expect += t.macs;
+    EXPECT_NEAR(rep.totalMacs, static_cast<double>(expect), 1.0);
+}
+
+TEST(Runtime, DeterministicForSeed)
+{
+    Fixture f;
+    RunConfig rcfg;
+    rcfg.seed = 77;
+    const auto a = f.execute(f.convRound(), rcfg);
+    const auto b = f.execute(f.convRound(), rcfg);
+    EXPECT_DOUBLE_EQ(a.tops, b.tops);
+    EXPECT_DOUBLE_EQ(a.macroPowerMw, b.macroPowerMw);
+    EXPECT_EQ(a.failures, b.failures);
+}
+
+TEST(Runtime, MergeReportsWeightsByTime)
+{
+    RunReport a;
+    a.wallTimeNs = 100.0;
+    a.macroPowerMw = 2.0;
+    a.tops = 200.0;
+    a.meanLevel = 20.0;
+    a.irMeanMv = 30.0;
+    RunReport b;
+    b.wallTimeNs = 300.0;
+    b.macroPowerMw = 4.0;
+    b.tops = 280.0;
+    b.meanLevel = 40.0;
+    b.irMeanMv = 50.0;
+    const auto m = mergeReports({a, b});
+    EXPECT_DOUBLE_EQ(m.wallTimeNs, 400.0);
+    EXPECT_DOUBLE_EQ(m.macroPowerMw, 3.5);
+    EXPECT_DOUBLE_EQ(m.tops, 260.0);
+    EXPECT_DOUBLE_EQ(m.meanLevel, 35.0);
+    EXPECT_DOUBLE_EQ(m.irMeanMv, 45.0);
+}
+
+TEST(Runtime, UtilizationBounds)
+{
+    RunReport r;
+    EXPECT_DOUBLE_EQ(r.utilization(), 1.0);
+    r.usefulWindows = 80;
+    r.stallWindows = 20;
+    EXPECT_DOUBLE_EQ(r.utilization(), 0.8);
+}
+
+TEST(Runtime, TopsPerWatt)
+{
+    RunReport r;
+    r.tops = 256.0;
+    r.macroPowerMw = 4.0;
+    EXPECT_NEAR(r.topsPerWatt(64), 1000.0, 1e-9);
+}

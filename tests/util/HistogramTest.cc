@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "util/Histogram.hh"
+
+using namespace aim::util;
+
+TEST(Histogram, BinAssignment)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(9.5);
+    h.add(5.0);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(9), 1u);
+    EXPECT_EQ(h.count(5), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(7.0);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.25, 10);
+    EXPECT_EQ(h.count(0), 10u);
+    EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(Histogram, BinCentersAndEdges)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binLow(4), 8.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(4), 9.0);
+}
+
+TEST(Histogram, Fractions)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    h.add(3.5);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+    EXPECT_DOUBLE_EQ(h.fraction(2), 0.0);
+}
+
+TEST(Histogram, TracksMaxSample)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(0.2);
+    h.add(0.9);
+    h.add(0.4);
+    EXPECT_DOUBLE_EQ(h.maxSample(), 0.9);
+}
+
+TEST(Histogram, RenderContainsBars)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.25);
+    h.add(0.25);
+    h.add(0.75);
+    const std::string s = h.render(10);
+    EXPECT_NE(s.find('#'), std::string::npos);
+    EXPECT_NE(s.find('\n'), std::string::npos);
+}
+
+TEST(Histogram, EmptyFractionIsZero)
+{
+    Histogram h(0.0, 1.0, 3);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}

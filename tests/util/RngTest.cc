@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/Rng.hh"
+#include "util/Stats.hh"
+
+using namespace aim::util;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespected)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int64_t v = rng.uniformInt(0, 7);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 7);
+        saw_lo = saw_lo || v == 0;
+        saw_hi = saw_hi || v == 7;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsApproximate)
+{
+    Rng rng(13);
+    RunningStats rs;
+    for (int i = 0; i < 50000; ++i)
+        rs.add(rng.normal(2.0, 3.0));
+    EXPECT_NEAR(rs.mean(), 2.0, 0.1);
+    EXPECT_NEAR(rs.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (rng.bernoulli(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng parent(23);
+    Rng c1 = parent.fork(1);
+    Rng c2 = parent.fork(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (c1.next() == c2.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkDeterministic)
+{
+    Rng p1(29);
+    Rng p2(29);
+    Rng c1 = p1.fork(5);
+    Rng c2 = p2.fork(5);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(c1.next(), c2.next());
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(31);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto copy = v;
+    rng.shuffle(copy);
+    std::sort(copy.begin(), copy.end());
+    EXPECT_EQ(copy, v);
+}

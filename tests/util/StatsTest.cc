@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/Stats.hh"
+
+using namespace aim::util;
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats rs;
+    rs.add(42.0);
+    EXPECT_EQ(rs.count(), 1u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.min(), 42.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 42.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats rs;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        rs.add(x);
+    EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+    // Population variance is 4; sample variance is 32/7.
+    EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+    EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStats, AddAllMatchesAdd)
+{
+    std::vector<double> xs = {1.5, -2.25, 3.0, 0.0, 9.75};
+    RunningStats a;
+    RunningStats b;
+    for (double x : xs)
+        a.add(x);
+    b.addAll(xs);
+    EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+    EXPECT_DOUBLE_EQ(a.variance(), b.variance());
+}
+
+TEST(StatsFree, MeanAndStddev)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+    EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+    EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Percentile, MedianOfOddRange)
+{
+    std::vector<double> xs = {5.0, 1.0, 3.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 3.0);
+}
+
+TEST(Percentile, Interpolates)
+{
+    std::vector<double> xs = {0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 10.0);
+}
+
+TEST(Percentile, UnsortedInput)
+{
+    std::vector<double> xs = {9.0, 1.0, 5.0, 3.0, 7.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 5.0);
+}
+
+TEST(Pearson, PerfectPositive)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    std::vector<double> ys = {2.0, 4.0, 6.0, 8.0};
+    EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0};
+    std::vector<double> ys = {3.0, 2.0, 1.0};
+    EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesIsZero)
+{
+    std::vector<double> xs = {1.0, 1.0, 1.0};
+    std::vector<double> ys = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Pearson, MismatchedSizesIsZero)
+{
+    std::vector<double> xs = {1.0, 2.0};
+    std::vector<double> ys = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Pearson, KnownValue)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+    std::vector<double> ys = {2.0, 1.0, 4.0, 3.0, 5.0};
+    // r = cov / (sx sy) = 0.8 for this classic example.
+    EXPECT_NEAR(pearson(xs, ys), 0.8, 1e-12);
+}
+
+TEST(FitLine, RecoversSlopeIntercept)
+{
+    std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+    std::vector<double> ys = {1.0, 3.0, 5.0, 7.0};
+    const LineFit fit = fitLine(xs, ys);
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(fit.r, 1.0, 1e-12);
+}
+
+TEST(FitLine, DegenerateXGivesZero)
+{
+    std::vector<double> xs = {2.0, 2.0, 2.0};
+    std::vector<double> ys = {1.0, 2.0, 3.0};
+    const LineFit fit = fitLine(xs, ys);
+    EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+}
+
+TEST(NormalizeToPeak, ScalesToUnitPeak)
+{
+    std::vector<double> xs = {1.0, -4.0, 2.0};
+    const auto out = normalizeToPeak(xs);
+    EXPECT_DOUBLE_EQ(out[0], 0.25);
+    EXPECT_DOUBLE_EQ(out[1], -1.0);
+    EXPECT_DOUBLE_EQ(out[2], 0.5);
+}
+
+TEST(NormalizeToPeak, AllZerosUnchanged)
+{
+    std::vector<double> xs = {0.0, 0.0};
+    const auto out = normalizeToPeak(xs);
+    EXPECT_DOUBLE_EQ(out[0], 0.0);
+    EXPECT_DOUBLE_EQ(out[1], 0.0);
+}

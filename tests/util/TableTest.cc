@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "util/Table.hh"
+
+using namespace aim::util;
+
+TEST(Table, RenderContainsTitleHeaderRows)
+{
+    Table t("demo");
+    t.setHeader({"a", "bb"});
+    t.addRow({"1", "2"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("bb"), std::string::npos);
+    EXPECT_NE(s.find('1'), std::string::npos);
+}
+
+TEST(Table, CsvFormat)
+{
+    Table t("demo");
+    t.setHeader({"x", "y"});
+    t.addRow({"1", "2"});
+    t.addRow({"3", "4"});
+    EXPECT_EQ(t.csv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Table, FmtAndPct)
+{
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fmt(-1.0, 0), "-1");
+    EXPECT_EQ(Table::pct(0.345, 1), "34.5%");
+    EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Table, RowCount)
+{
+    Table t("demo");
+    t.setHeader({"a"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"r"});
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, ColumnsAligned)
+{
+    Table t("demo");
+    t.setHeader({"name", "v"});
+    t.addRow({"longername", "1"});
+    const std::string s = t.render();
+    // The header's second column must start at the same offset as the
+    // row's second column.
+    const auto header_pos = s.find("v");
+    const auto row_pos = s.find("1");
+    const auto header_line_start = s.find("name");
+    const auto row_line_start = s.find("longername");
+    EXPECT_EQ(header_pos - header_line_start,
+              row_pos - row_line_start);
+}

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "quant/QatTrainer.hh"
+#include "workload/AccuracyProxy.hh"
+#include "workload/WeightSynth.hh"
+
+using namespace aim::workload;
+using aim::quant::QatConfig;
+using aim::quant::QatResult;
+using aim::quant::QatTrainer;
+using aim::quant::quantizeBaseline;
+
+namespace
+{
+
+struct Setup
+{
+    ModelSpec model;
+    std::vector<aim::quant::FloatLayer> layers;
+    QatResult result;
+};
+
+Setup
+baselineSetup(const char *name)
+{
+    Setup s;
+    s.model = modelByName(name);
+    SynthConfig cfg;
+    cfg.maxElementsPerLayer = 4096;
+    s.layers = synthesizeWeights(s.model, cfg);
+    s.result = quantizeBaseline(s.layers, 8);
+    return s;
+}
+
+} // namespace
+
+TEST(AccuracyProxy, BaselineNearPaperMetric)
+{
+    auto s = baselineSetup("ResNet18");
+    const auto rep = evaluateAccuracy(s.model, s.result, s.layers);
+    EXPECT_NEAR(rep.metric, s.model.baselineMetric, 0.5);
+    EXPECT_FALSE(rep.isPerplexity);
+}
+
+TEST(AccuracyProxy, LhrCostsLittleAccuracy)
+{
+    auto s = baselineSetup("ResNet18");
+    auto layers = s.layers;
+    QatConfig cfg;
+    cfg.lambda = 2.0;
+    const auto lhr = QatTrainer(cfg).run(layers);
+    const auto rep = evaluateAccuracy(s.model, lhr, layers);
+    // Paper Figure 13: LHR costs well under a point of top-1.
+    EXPECT_GT(rep.metric, s.model.baselineMetric - 1.0);
+}
+
+TEST(AccuracyProxy, TransformersGainFromLhr)
+{
+    // Paper Section 6.2: ViT and Llama3 *improve* under LHR.
+    auto s = baselineSetup("ViT");
+    auto layers = s.layers;
+    QatConfig cfg;
+    cfg.lambda = 2.0;
+    const auto lhr = QatTrainer(cfg).run(layers);
+    const auto rep = evaluateAccuracy(s.model, lhr, layers);
+    EXPECT_GT(rep.metric, s.model.baselineMetric);
+}
+
+TEST(AccuracyProxy, PerplexityDegradesUpward)
+{
+    auto s = baselineSetup("GPT2");
+    AccuracyExtras extras;
+    extras.wdsClampedFraction = 0.02; // exaggerated clamping
+    const auto rep =
+        evaluateAccuracy(s.model, s.result, s.layers, extras);
+    EXPECT_TRUE(rep.isPerplexity);
+    EXPECT_GT(rep.metric, s.model.baselineMetric);
+}
+
+TEST(AccuracyProxy, WdsClampingCostsAccuracy)
+{
+    auto s = baselineSetup("ResNet18");
+    const auto clean = evaluateAccuracy(s.model, s.result, s.layers);
+    AccuracyExtras extras;
+    extras.wdsClampedFraction = 0.008;
+    const auto shifted =
+        evaluateAccuracy(s.model, s.result, s.layers, extras);
+    EXPECT_LT(shifted.metric, clean.metric);
+    // At sub-1% clamping the cost stays under ~1 point (Fig. 13).
+    EXPECT_GT(shifted.metric, clean.metric - 1.2);
+}
+
+TEST(AccuracyProxy, PruningCostGrowsWithSparsity)
+{
+    auto s = baselineSetup("ResNet18");
+    double prev = 1e9;
+    for (double sp : {0.1, 0.3, 0.5}) {
+        AccuracyExtras extras;
+        extras.pruneSparsity = sp;
+        const auto rep =
+            evaluateAccuracy(s.model, s.result, s.layers, extras);
+        EXPECT_LT(rep.metric, prev);
+        prev = rep.metric;
+    }
+}
+
+TEST(AccuracyProxy, DeltaSignConsistency)
+{
+    auto s = baselineSetup("MobileNetV2");
+    AccuracyExtras extras;
+    extras.pruneSparsity = 0.4;
+    const auto rep =
+        evaluateAccuracy(s.model, s.result, s.layers, extras);
+    EXPECT_NEAR(rep.metric - s.model.baselineMetric, rep.delta, 1e-9);
+    EXPECT_LT(rep.delta, 0.0);
+}

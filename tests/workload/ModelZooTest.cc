@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "workload/ModelZoo.hh"
+
+using namespace aim::workload;
+
+TEST(ModelZoo, SixModelsPresent)
+{
+    const auto models = allModels();
+    ASSERT_EQ(models.size(), 6u);
+    EXPECT_EQ(models[0].name, "ResNet18");
+    EXPECT_EQ(models[5].name, "GPT2");
+}
+
+TEST(ModelZoo, LookupByName)
+{
+    EXPECT_EQ(modelByName("ViT").name, "ViT");
+    EXPECT_EQ(modelByName("Llama3").name, "Llama3");
+}
+
+TEST(ModelZoo, ResNet18Topology)
+{
+    const auto m = resnet18();
+    EXPECT_FALSE(m.transformer);
+    // conv1 + layer1 (4 convs) + layers2-4 (5 convs each, incl.
+    // downsample) + fc = 21.
+    EXPECT_EQ(m.layers.size(), 21u);
+    EXPECT_EQ(m.layers.front().name, "conv1");
+    EXPECT_EQ(m.layers.back().name, "fc");
+    // ~1.8 GMACs for 224x224 ImageNet inference.
+    EXPECT_GT(m.totalMacs(), 1'500'000'000L);
+    EXPECT_LT(m.totalMacs(), 2'100'000'000L);
+}
+
+TEST(ModelZoo, TransformersContainAttention)
+{
+    for (const auto &m : {vitB16(), llama3_1b(), gpt2()}) {
+        EXPECT_TRUE(m.transformer);
+        int qkt = 0;
+        int sv = 0;
+        for (const auto &l : m.layers) {
+            qkt += l.type == OpType::QkT;
+            sv += l.type == OpType::Sv;
+        }
+        EXPECT_GT(qkt, 0) << m.name;
+        EXPECT_EQ(qkt, sv) << m.name;
+    }
+}
+
+TEST(ModelZoo, ConvModelsHaveNoAttention)
+{
+    for (const auto &m : {resnet18(), mobilenetV2(), yolov5s()}) {
+        EXPECT_FALSE(m.transformer);
+        for (const auto &l : m.layers)
+            EXPECT_FALSE(isInputDetermined(l.type)) << l.name;
+    }
+}
+
+TEST(ModelZoo, InputDeterminedClassification)
+{
+    EXPECT_TRUE(isInputDetermined(OpType::QkT));
+    EXPECT_TRUE(isInputDetermined(OpType::Sv));
+    EXPECT_FALSE(isInputDetermined(OpType::Conv));
+    EXPECT_FALSE(isInputDetermined(OpType::QkvGen));
+    EXPECT_FALSE(isInputDetermined(OpType::Linear));
+}
+
+TEST(ModelZoo, LayerMacsArithmetic)
+{
+    LayerSpec l;
+    l.outChannels = 64;
+    l.reduction = 147;
+    l.spatial = 100;
+    EXPECT_EQ(l.macs(), 64L * 147 * 100);
+    EXPECT_EQ(l.weightCount(), 64L * 147);
+}
+
+TEST(ModelZoo, ViTBlockStructure)
+{
+    const auto m = vitB16();
+    // patch embed + 12 blocks x 8 ops + head.
+    EXPECT_EQ(m.layers.size(), 2u + 12u * 8u);
+    // fc1 expands 768 -> 3072.
+    bool found = false;
+    for (const auto &l : m.layers)
+        if (l.name == "blocks.6.mlp.fc1") {
+            EXPECT_EQ(l.outChannels, 3072);
+            EXPECT_EQ(l.reduction, 768);
+            found = true;
+        }
+    EXPECT_TRUE(found);
+}
+
+TEST(ModelZoo, LlamaUsesGqa)
+{
+    const auto m = llama3_1b();
+    for (const auto &l : m.layers)
+        if (l.name == "layers.0.k_proj") {
+            // 8 KV heads x 64 = 512 out of hidden 2048.
+            EXPECT_EQ(l.outChannels, 512);
+            EXPECT_EQ(l.reduction, 2048);
+        }
+}
+
+TEST(ModelZoo, PerplexityModelsFlagged)
+{
+    EXPECT_TRUE(llama3_1b().metricIsPerplexity);
+    EXPECT_TRUE(gpt2().metricIsPerplexity);
+    EXPECT_FALSE(resnet18().metricIsPerplexity);
+    EXPECT_FALSE(vitB16().metricIsPerplexity);
+}
+
+TEST(ModelZoo, StreamFamilies)
+{
+    // Conv models: sparse non-negative post-ReLU streams.
+    EXPECT_TRUE(resnet18().stream.nonNegative);
+    EXPECT_LT(resnet18().stream.density, 1.0);
+    // Transformers: dense signed streams.
+    EXPECT_FALSE(gpt2().stream.nonNegative);
+    EXPECT_DOUBLE_EQ(gpt2().stream.density, 1.0);
+}
+
+TEST(ModelZoo, BaselineMetricsMatchPaper)
+{
+    // Table 3 anchors.
+    EXPECT_NEAR(llama3_1b().baselineMetric, 11.16, 0.01);
+    EXPECT_NEAR(gpt2().baselineMetric, 28.69, 0.01);
+}
+
+TEST(ModelZoo, OpTypeNames)
+{
+    EXPECT_STREQ(opTypeName(OpType::Conv), "conv");
+    EXPECT_STREQ(opTypeName(OpType::QkT), "qkt");
+    EXPECT_STREQ(opTypeName(OpType::Sv), "sv");
+}

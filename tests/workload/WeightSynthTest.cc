@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "quant/QatTrainer.hh"
+#include "util/Stats.hh"
+#include "workload/WeightSynth.hh"
+
+using namespace aim::workload;
+
+TEST(WeightSynth, SkipsInputDeterminedOps)
+{
+    const auto model = vitB16();
+    const auto layers = synthesizeWeights(model);
+    size_t weight_ops = 0;
+    for (const auto &l : model.layers)
+        if (!isInputDetermined(l.type))
+            ++weight_ops;
+    EXPECT_EQ(layers.size(), weight_ops);
+}
+
+TEST(WeightSynth, CapsLayerSize)
+{
+    SynthConfig cfg;
+    cfg.maxElementsPerLayer = 4096;
+    const auto layers = synthesizeWeights(resnet18(), cfg);
+    for (const auto &l : layers)
+        EXPECT_LE(l.weights.size(), 4800u) << l.name; // cap + rounding
+}
+
+TEST(WeightSynth, DeterministicPerSeed)
+{
+    const auto a = synthesizeWeights(resnet18());
+    const auto b = synthesizeWeights(resnet18());
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].weights, b[i].weights);
+}
+
+TEST(WeightSynth, DifferentSeedsDiffer)
+{
+    SynthConfig c1;
+    SynthConfig c2;
+    c2.seed = 999;
+    const auto a = synthesizeWeights(resnet18(), c1);
+    const auto b = synthesizeWeights(resnet18(), c2);
+    EXPECT_NE(a[0].weights, b[0].weights);
+}
+
+TEST(WeightSynth, FanInScaling)
+{
+    // Layers with larger fan-in get proportionally smaller weights.
+    const auto layers = synthesizeWeights(resnet18());
+    const aim::quant::FloatLayer *small_fanin = nullptr;
+    const aim::quant::FloatLayer *large_fanin = nullptr;
+    for (const auto &l : layers) {
+        if (l.name == "conv1")
+            small_fanin = &l; // fan-in 147
+        if (l.name == "layer4.1.conv1")
+            large_fanin = &l; // fan-in 4608
+    }
+    ASSERT_NE(small_fanin, nullptr);
+    ASSERT_NE(large_fanin, nullptr);
+    auto spread = [](const aim::quant::FloatLayer &l) {
+        aim::util::RunningStats rs;
+        for (float w : l.weights)
+            rs.add(w);
+        return rs.stddev();
+    };
+    EXPECT_GT(spread(*small_fanin), 2.0 * spread(*large_fanin));
+}
+
+TEST(WeightSynth, PretrainedEqualsWeights)
+{
+    const auto layers = synthesizeWeights(gpt2());
+    for (const auto &l : layers)
+        EXPECT_EQ(l.weights, l.pretrained);
+}
+
+TEST(WeightSynth, SensitivityPropagated)
+{
+    const auto model = resnet18();
+    const auto layers = synthesizeWeights(model);
+    EXPECT_DOUBLE_EQ(layers.front().sensitivity, 2.0); // conv1
+}
+
+TEST(WeightSynth, ActivationTileForAttention)
+{
+    const auto model = vitB16();
+    const LayerSpec *qkt = nullptr;
+    for (const auto &l : model.layers)
+        if (l.type == OpType::QkT)
+            qkt = &l;
+    ASSERT_NE(qkt, nullptr);
+    const auto tile =
+        synthesizeActivationTile(*qkt, model.stream, 3);
+    EXPECT_FALSE(tile.values.empty());
+    // Dense signed activations quantize near HR 0.5: exactly the
+    // "cannot be pre-optimized" property of input-determined ops.
+    EXPECT_NEAR(tile.hr(), 0.5, 0.1);
+}
+
+TEST(WeightSynth, ActivationTileRejectsWeightOps)
+{
+    const auto model = resnet18();
+    EXPECT_DEATH(synthesizeActivationTile(model.layers[0],
+                                          model.stream, 1),
+                 "weight operator");
+}
+
+class AllModelsSynth
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(AllModelsSynth, GaussianBaselineHrNearHalf)
+{
+    // Property (paper Table 3 baselines): every model's synthesized
+    // weights quantize to HR ~= 0.5 under the [64] baseline.
+    auto model = modelByName(GetParam());
+    auto layers = synthesizeWeights(model);
+    const auto res = aim::quant::quantizeBaseline(layers, 8);
+    EXPECT_NEAR(res.hrAverage(), 0.5, 0.05) << model.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, AllModelsSynth,
+                         ::testing::Values("ResNet18", "MobileNetV2",
+                                           "YOLOv5", "ViT", "Llama3",
+                                           "GPT2"));
