@@ -22,6 +22,75 @@ AimOptions::dvfsBaseline()
     return o;
 }
 
+std::string
+validateOptions(const AimOptions &opts)
+{
+    if (opts.bits < 2 || opts.bits > 16)
+        return util::detail::concat(
+            "bits must be in [2, 16], got ", opts.bits);
+    if (opts.useWds) {
+        if (opts.wdsDelta <= 0 ||
+            (opts.wdsDelta & (opts.wdsDelta - 1)) != 0)
+            return util::detail::concat(
+                "wdsDelta must be a positive power of two (the shift "
+                "compensator multiplies by bit-shifting), got ",
+                opts.wdsDelta);
+        if (opts.wdsDelta >= (1 << (opts.bits - 1)))
+            return util::detail::concat(
+                "wdsDelta ", opts.wdsDelta,
+                " overflows the signed INT", opts.bits,
+                " range; maximum is ", (1 << (opts.bits - 1)) / 2);
+    }
+    if (!(opts.workScale > 0.0) || opts.workScale > 1.0)
+        return util::detail::concat(
+            "workScale must be in (0, 1], got ", opts.workScale);
+    if (opts.useLhr && opts.lambda < 0.0)
+        return util::detail::concat(
+            "lambda must be non-negative, got ", opts.lambda);
+    if (opts.useBooster && opts.beta < 1)
+        return util::detail::concat(
+            "beta must be at least 1 (Algorithm-2 window), got ",
+            opts.beta);
+    return {};
+}
+
+sim::RunConfig
+runConfigFor(const AimOptions &opts)
+{
+    sim::RunConfig rcfg;
+    rcfg.useBooster = opts.useBooster;
+    rcfg.boost.beta = opts.beta;
+    rcfg.boost.mode = opts.mode;
+    rcfg.boost.aggressiveAdjustment = opts.aggressiveAdjustment;
+    rcfg.mapper = opts.mapper;
+    rcfg.seed = opts.seed ^ 0x9e3779b9ULL;
+    return rcfg;
+}
+
+namespace
+{
+
+/** aim_fatal on invalid options, quoting the offending value. */
+void
+checkOptions(const AimOptions &opts)
+{
+    const std::string problem = validateOptions(opts);
+    if (!problem.empty())
+        aim_fatal("invalid AimOptions: ", problem);
+}
+
+} // namespace
+
+double
+CompiledModel::scaledMacs() const
+{
+    double macs = 0.0;
+    for (const auto &round : rounds)
+        for (const auto &task : round.tasks)
+            macs += static_cast<double>(task.macs);
+    return macs;
+}
+
 AimPipeline::AimPipeline(const pim::PimConfig &cfg,
                          const power::Calibration &cal)
     : cfg(cfg), cal(cal)
@@ -32,6 +101,7 @@ AimPipeline::OfflineResult
 AimPipeline::runOffline(const workload::ModelSpec &model,
                         const AimOptions &opts) const
 {
+    checkOptions(opts);
     OfflineResult out;
     workload::SynthConfig synth;
     synth.seed = opts.seed;
@@ -66,17 +136,21 @@ AimPipeline::runOffline(const workload::ModelSpec &model,
     return out;
 }
 
-AimReport
-AimPipeline::run(const workload::ModelSpec &model,
-                 const AimOptions &opts) const
+CompiledModel
+AimPipeline::compile(const workload::ModelSpec &model,
+                     const AimOptions &opts) const
 {
-    AimReport rep;
+    checkOptions(opts);
+    CompiledModel out;
+    out.modelName = model.name;
+    out.options = opts;
+    out.stream = model.stream;
 
     // Offline software passes.
     OfflineResult offline = runOffline(model, opts);
-    rep.hrAverage = offline.quantized.hrAverage();
-    rep.hrMax = offline.quantized.hrMax();
-    rep.wdsClampedFraction = offline.wdsClampedFraction;
+    out.hrAverage = offline.quantized.hrAverage();
+    out.hrMax = offline.quantized.hrMax();
+    out.wdsClampedFraction = offline.wdsClampedFraction;
 
     // Reference baseline HR of the identical pretrained weights.
     {
@@ -85,38 +159,49 @@ AimPipeline::run(const workload::ModelSpec &model,
         auto base_layers = workload::synthesizeWeights(model, synth);
         const auto base =
             quant::quantizeBaseline(base_layers, opts.bits);
-        rep.baselineHrAverage = base.hrAverage();
-        rep.baselineHrMax = base.hrMax();
+        out.baselineHrAverage = base.hrAverage();
+        out.baselineHrMax = base.hrMax();
     }
 
-    // Accuracy proxy.
+    // Accuracy proxy (runtime-independent, so owned by the artifact).
     workload::AccuracyExtras extras;
     extras.wdsClampedFraction = offline.wdsClampedFraction;
-    rep.accuracy = workload::evaluateAccuracy(
+    out.accuracy = workload::evaluateAccuracy(
         model, offline.quantized, offline.floatLayers, extras);
 
-    // Compile and execute.
+    // Tile into rounds and scale to the simulated work fraction.
     sim::CompilerConfig ccfg;
     ccfg.seed = opts.seed ^ 0xc2b2ae35ULL;
-    auto rounds =
+    out.rounds =
         sim::compileModel(model, offline.quantized.layers, cfg, ccfg);
     if (opts.workScale < 1.0) {
-        for (auto &round : rounds)
+        for (auto &round : out.rounds)
             for (auto &task : round.tasks)
                 task.macs = std::max<long>(
                     static_cast<long>(task.macs * opts.workScale),
                     static_cast<long>(cfg.macsPerMacroPerPass()));
     }
+    return out;
+}
 
-    sim::RunConfig rcfg;
-    rcfg.useBooster = opts.useBooster;
-    rcfg.boost.beta = opts.beta;
-    rcfg.boost.mode = opts.mode;
-    rcfg.boost.aggressiveAdjustment = opts.aggressiveAdjustment;
-    rcfg.mapper = opts.mapper;
-    rcfg.seed = opts.seed ^ 0x9e3779b9ULL;
+AimReport
+AimPipeline::execute(const CompiledModel &compiled,
+                     uint64_t runtime_seed) const
+{
+    const AimOptions &opts = compiled.options;
+    AimReport rep;
+    rep.hrAverage = compiled.hrAverage;
+    rep.hrMax = compiled.hrMax;
+    rep.baselineHrAverage = compiled.baselineHrAverage;
+    rep.baselineHrMax = compiled.baselineHrMax;
+    rep.wdsClampedFraction = compiled.wdsClampedFraction;
+    rep.accuracy = compiled.accuracy;
+
+    sim::RunConfig rcfg = runConfigFor(opts);
+    if (runtime_seed != 0)
+        rcfg.seed = runtime_seed;
     sim::Runtime runtime(cfg, cal, rcfg);
-    rep.run = runtime.run(rounds, model.stream);
+    rep.run = runtime.run(compiled.rounds, compiled.stream);
 
     const power::IrModel ir(cal);
     rep.irMitigationVsSignoff =
@@ -126,6 +211,13 @@ AimPipeline::run(const workload::ModelSpec &model,
             ? cal.macroPowerBaselineMw / rep.run.macroPowerMw
             : 0.0;
     return rep;
+}
+
+AimReport
+AimPipeline::run(const workload::ModelSpec &model,
+                 const AimOptions &opts) const
+{
+    return execute(compile(model, opts));
 }
 
 } // namespace aim

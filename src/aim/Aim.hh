@@ -59,6 +59,62 @@ struct AimOptions
     static AimOptions dvfsBaseline();
 };
 
+/**
+ * Check an option set for values the models cannot represent.
+ *
+ * @return an empty string when the options are valid, otherwise a
+ *         human-readable description of the first problem found
+ *         (non-power-of-two wdsDelta, out-of-range bits / workScale /
+ *         lambda / beta).  Pipeline entry points call this and
+ *         aim_fatal on a non-empty result.
+ */
+std::string validateOptions(const AimOptions &opts);
+
+/**
+ * The sim::RunConfig an option set implies.  Single source of the
+ * AimOptions-to-runtime field mapping, shared by AimPipeline::execute
+ * and the serving fleet; the returned seed is the historical
+ * run() derivation (opts.seed ^ golden ratio) and callers running
+ * many requests override it per request.
+ */
+sim::RunConfig runConfigFor(const AimOptions &opts);
+
+/**
+ * The cacheable product of the offline flow: everything `AimOptions`
+ * and a model determine before the chip executes a single cycle.
+ * Compiling once and executing many times is what an inference
+ * service amortizes (src/serve/ModelCache); `AimPipeline::run` is now
+ * exactly compile() followed by execute().
+ */
+struct CompiledModel
+{
+    /** Zoo name of the compiled network. */
+    std::string modelName;
+    /** Options the artifact was compiled under. */
+    AimOptions options;
+
+    /** HRaverage of the deployed (LHR/WDS-processed) weights. */
+    double hrAverage = 0.0;
+    /** HRmax across layers. */
+    double hrMax = 0.0;
+    /** Baseline ([64] quantization) HRaverage of the same weights. */
+    double baselineHrAverage = 0.0;
+    /** Baseline HRmax. */
+    double baselineHrMax = 0.0;
+    /** Fraction of weights clamped by WDS. */
+    double wdsClampedFraction = 0.0;
+    /** Accuracy proxy result (runtime-independent). */
+    workload::AccuracyReport accuracy;
+
+    /** Compiled rounds, already scaled by options.workScale. */
+    std::vector<sim::Round> rounds;
+    /** Activation statistics of the workload. */
+    pim::StreamSpec stream;
+
+    /** Total MAC work of the scaled rounds (one request's work). */
+    double scaledMacs() const;
+};
+
 /** Everything a pipeline run produces. */
 struct AimReport
 {
@@ -93,6 +149,28 @@ class AimPipeline
     /** Execute the full offline + runtime flow for one model. */
     AimReport run(const workload::ModelSpec &model,
                   const AimOptions &opts) const;
+
+    /**
+     * Offline flow + compilation only: quantize, shift, evaluate the
+     * accuracy proxy, tile into rounds and apply workScale.  The
+     * result is immutable and reusable across any number of execute()
+     * calls (and across threads, since execute() does not touch it).
+     */
+    CompiledModel compile(const workload::ModelSpec &model,
+                          const AimOptions &opts) const;
+
+    /**
+     * Chip-execution half of run(): run a compiled artifact on the
+     * modelled chip and assemble the full report.
+     *
+     * @param compiled artifact from compile()
+     * @param runtimeSeed overrides the runtime noise seed; pass
+     *        distinct values to simulate independent requests.  The
+     *        default (0) derives the seed from the compiled options
+     *        exactly as run() historically did.
+     */
+    AimReport execute(const CompiledModel &compiled,
+                      uint64_t runtimeSeed = 0) const;
 
     /** Offline stages only: quantized layers + clamp stats. */
     struct OfflineResult

@@ -1,0 +1,203 @@
+#include "serve/Fleet.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "power/VfTable.hh"
+#include "sim/Runtime.hh"
+#include "util/Logging.hh"
+#include "util/Rng.hh"
+#include "util/Stats.hh"
+#include "workload/ModelZoo.hh"
+
+namespace aim::serve
+{
+
+Fleet::Fleet(const pim::PimConfig &cfg, const power::Calibration &cal,
+             const FleetConfig &fcfg)
+    : cfg(cfg), cal(cal), fcfg(fcfg)
+{
+    aim_assert(fcfg.chips >= 1, "fleet needs at least one chip, got ",
+               fcfg.chips);
+}
+
+ServeReport
+Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
+{
+    ServeReport rep;
+    rep.policy = fcfg.policy;
+    rep.chips.resize(fcfg.chips);
+    if (trace.empty())
+        return rep;
+
+    const double work_scale = fcfg.options.workScale;
+    const power::VfTable table(cal);
+
+    // Annotate the trace with artifacts and scheduling keys.  The
+    // cache makes the per-model compile a one-time cost, and the
+    // per-artifact derived quantities are memoized alongside.
+    std::vector<QueuedRequest> annotated;
+    annotated.reserve(trace.size());
+    std::map<std::string, double> reload_us;
+    struct ArtifactInfo
+    {
+        double estServiceUs = 0.0;
+        int safeLevel = 100;
+    };
+    std::map<const CompiledModel *, ArtifactInfo> artifact_info;
+    for (const auto &request : trace) {
+        aim_assert(request.id >= 0 &&
+                       request.id < static_cast<long>(trace.size()),
+                   "request ids must be dense in [0, N), got ",
+                   request.id);
+        aim_assert(annotated.empty() ||
+                       request.arrivalUs >=
+                           annotated.back().request.arrivalUs,
+                   "trace must be sorted by arrival time");
+        QueuedRequest q;
+        q.request = request;
+        q.compiled = cache.get(request.model, fcfg.options);
+        auto info_it = artifact_info.find(q.compiled.get());
+        if (info_it == artifact_info.end()) {
+            ArtifactInfo info;
+            const double full_macs =
+                q.compiled->scaledMacs() / work_scale;
+            info.estServiceUs =
+                2.0 * full_macs / cal.peakTops / 1e6;
+            info.safeLevel = artifactSafeLevel(*q.compiled, table);
+            info_it = artifact_info
+                          .emplace(q.compiled.get(), info)
+                          .first;
+        }
+        q.estServiceUs = info_it->second.estServiceUs;
+        q.safeLevel = info_it->second.safeLevel;
+        if (!reload_us.count(request.model)) {
+            const auto spec = workload::modelByName(request.model);
+            reload_us[request.model] =
+                spec.totalWeights() / 1e6 * fcfg.reloadUsPerMweight;
+        }
+        annotated.push_back(std::move(q));
+    }
+
+    // One chip = one Runtime plus its serving state.  The per-chip
+    // RunConfig seed is irrelevant: every run gets a per-request
+    // seed through the run() overload.
+    const sim::RunConfig rcfg = runConfigFor(fcfg.options);
+    struct ChipState
+    {
+        double freeAtUs = 0.0;
+        std::string resident;
+        int safeLevel = 100;
+    };
+    std::vector<ChipState> chips(fcfg.chips);
+    std::vector<sim::Runtime> runtimes;
+    runtimes.reserve(fcfg.chips);
+    for (int c = 0; c < fcfg.chips; ++c)
+        runtimes.emplace_back(cfg, cal, rcfg);
+
+    // Per-request runtime seeds keyed by id (not by chip), so every
+    // policy sees identical chip noise for the same request.
+    util::Rng seeder(fcfg.seed);
+    std::vector<uint64_t> request_seed(trace.size());
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const uint64_t s =
+            seeder.fork(static_cast<uint64_t>(i) + 1).next();
+        request_seed[i] = s != 0 ? s : 1;
+    }
+
+    const Scheduler sched(fcfg.policy);
+    rep.requests = static_cast<long>(trace.size());
+    rep.latencyUs.assign(trace.size(), 0.0);
+    rep.queueUs.assign(trace.size(), 0.0);
+
+    // Event loop: whenever the earliest-free chip can take work,
+    // advance its clock to the earliest unserved arrival (if it is
+    // idle) and let the policy pick among the requests that have
+    // actually arrived by then -- the dispatcher never sees the
+    // future, and nothing starts before it arrives.
+    std::vector<QueuedRequest> pending;
+    size_t next_arrival = 0;
+    double last_completion = 0.0;
+    for (long served = 0; served < rep.requests; ++served) {
+        int c = 0;
+        for (int i = 1; i < fcfg.chips; ++i)
+            if (chips[i].freeAtUs < chips[c].freeAtUs)
+                c = i;
+        double now = chips[c].freeAtUs;
+        double earliest_work = 1e300;
+        for (const auto &p : pending)
+            earliest_work =
+                std::min(earliest_work, p.request.arrivalUs);
+        if (next_arrival < annotated.size())
+            earliest_work =
+                std::min(earliest_work,
+                         annotated[next_arrival].request.arrivalUs);
+        now = std::max(now, earliest_work);
+        while (next_arrival < annotated.size() &&
+               annotated[next_arrival].request.arrivalUs <= now)
+            pending.push_back(annotated[next_arrival++]);
+
+        ChipContext ctx;
+        ctx.chip = c;
+        ctx.residentModel = chips[c].resident;
+        ctx.safeLevel = chips[c].safeLevel;
+        std::vector<QueuedRequest> arrived;
+        std::vector<size_t> arrived_idx;
+        for (size_t i = 0; i < pending.size(); ++i)
+            if (pending[i].request.arrivalUs <= now) {
+                arrived.push_back(pending[i]);
+                arrived_idx.push_back(i);
+            }
+        const size_t idx = arrived_idx[sched.pick(arrived, ctx)];
+        const QueuedRequest q = pending[idx];
+        pending.erase(pending.begin() +
+                      static_cast<std::ptrdiff_t>(idx));
+
+        auto &chip = chips[c];
+        auto &usage = rep.chips[c];
+        double reload = 0.0;
+        if (chip.resident != q.request.model) {
+            reload = reload_us.at(q.request.model);
+            ++usage.modelSwitches;
+        }
+        double retune = 0.0;
+        if (fcfg.options.useBooster && cal.levelStepPct > 0)
+            retune = std::abs(q.safeLevel - chip.safeLevel) /
+                     cal.levelStepPct * fcfg.retuneUsPerStep;
+
+        const auto run = runtimes[c].run(
+            q.compiled->rounds, q.compiled->stream,
+            request_seed[q.request.id]);
+        const double service_us =
+            run.wallTimeNs / 1000.0 / work_scale;
+
+        const double finish = now + reload + retune + service_us;
+        chip.freeAtUs = finish;
+        chip.resident = q.request.model;
+        chip.safeLevel = q.safeLevel;
+        last_completion = std::max(last_completion, finish);
+
+        usage.busyUs += service_us;
+        usage.reloadUs += reload;
+        usage.retuneUs += retune;
+        ++usage.served;
+        rep.latencyUs[q.request.id] = finish - q.request.arrivalUs;
+        rep.queueUs[q.request.id] = now - q.request.arrivalUs;
+        if (q.request.sloUs > 0.0 &&
+            rep.latencyUs[q.request.id] > q.request.sloUs)
+            ++rep.sloViolations;
+        rep.totalMacs += run.totalMacs / work_scale;
+        rep.irFailures += run.failures;
+        rep.stallWindows += run.stallWindows;
+    }
+
+    rep.makespanUs = last_completion - trace.front().arrivalUs;
+    std::vector<double> sorted = rep.latencyUs;
+    std::sort(sorted.begin(), sorted.end());
+    rep.p50Us = util::percentileSorted(sorted, 50.0);
+    rep.p95Us = util::percentileSorted(sorted, 95.0);
+    rep.p99Us = util::percentileSorted(sorted, 99.0);
+    return rep;
+}
+
+} // namespace aim::serve

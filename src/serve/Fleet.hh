@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Multi-chip serving fleet: an event-driven, chip-exclusive queueing
+ * simulation over N instances of the modelled AIM chip.  Every
+ * request executes its cached CompiledModel through sim::Runtime with
+ * a per-request noise seed, so service times carry the real IR-drop /
+ * booster dynamics of the chip model rather than a fitted constant.
+ *
+ * Two serving-specific costs sit on top of the chip model:
+ *
+ *   weight reload -- switching a chip's resident model rewrites every
+ *       macro's SRAM-resident weights; the cost scales with the
+ *       model's pretrained weight count
+ *   booster retune -- moving the chip between workloads of different
+ *       safe Rtog levels forces the IR-Booster through V-f retune
+ *       transients, one settle per level step
+ *
+ * The IR-aware scheduler exists to dodge exactly these two costs.
+ *
+ * workScale extrapolation: compiled artifacts simulate a fraction of
+ * each inference (AimOptions::workScale); the fleet scales measured
+ * wall times and MAC counts back to full-inference magnitudes so
+ * latencies, SLOs and TOPS are in real units.
+ */
+
+#ifndef AIM_SERVE_FLEET_HH
+#define AIM_SERVE_FLEET_HH
+
+#include <vector>
+
+#include "aim/Aim.hh"
+#include "serve/ModelCache.hh"
+#include "serve/Scheduler.hh"
+#include "serve/ServeReport.hh"
+
+namespace aim::serve
+{
+
+/** Fleet shape and serving-cost calibration. */
+struct FleetConfig
+{
+    /** Chips in the fleet. */
+    int chips = 3;
+    /** Dispatch policy. */
+    SchedPolicy policy = SchedPolicy::Fcfs;
+    /** Compile / runtime options applied to every served model. */
+    AimOptions options;
+    /** Fleet seed; per-request runtime seeds derive from it. */
+    uint64_t seed = 99;
+    /**
+     * Macro weight reload cost per million weight elements [us]
+     * (default ~ 8-bit weights over a ~100 GB/s on-package link).
+     */
+    double reloadUsPerMweight = 8.0;
+    /** Booster V-f retune cost per safe-level step [us]. */
+    double retuneUsPerStep = 0.5;
+};
+
+/** Simulates serving a request trace on a fleet of AIM chips. */
+class Fleet
+{
+  public:
+    Fleet(const pim::PimConfig &cfg, const power::Calibration &cal,
+          const FleetConfig &fcfg);
+
+    /**
+     * Serve a trace to completion (non-preemptive, chip-exclusive).
+     * Artifacts come from @p cache, compiled on first use; the trace
+     * must be sorted by arrival time (generateTrace output is).
+     */
+    ServeReport serve(const std::vector<Request> &trace,
+                      ModelCache &cache);
+
+    const FleetConfig &config() const { return fcfg; }
+
+  private:
+    pim::PimConfig cfg;
+    power::Calibration cal;
+    FleetConfig fcfg;
+};
+
+} // namespace aim::serve
+
+#endif // AIM_SERVE_FLEET_HH

@@ -1,0 +1,67 @@
+#include "serve/ModelCache.hh"
+
+#include <chrono>
+#include <ios>
+#include <sstream>
+
+#include "workload/ModelZoo.hh"
+
+namespace aim::serve
+{
+
+ModelCache::ModelCache(const AimPipeline &pipeline) : pipe(&pipeline)
+{
+}
+
+std::string
+ModelCache::key(const std::string &model, const AimOptions &opts)
+{
+    // Every option field participates: two artifacts are shared only
+    // when they are byte-for-byte interchangeable, including the
+    // runtime fields execute() reads back from CompiledModel::options.
+    // Doubles print as hexfloat so near-equal values cannot collide.
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << model << "|lhr=" << opts.useLhr << ",l=" << opts.lambda
+       << ",wds=" << opts.useWds << ",d=" << opts.wdsDelta
+       << ",boost=" << opts.useBooster
+       << ",agg=" << opts.aggressiveAdjustment
+       << ",mode=" << static_cast<int>(opts.mode)
+       << ",beta=" << opts.beta
+       << ",map=" << static_cast<int>(opts.mapper)
+       << ",bits=" << opts.bits << ",work=" << opts.workScale
+       << ",seed=" << opts.seed;
+    return os.str();
+}
+
+std::shared_ptr<const CompiledModel>
+ModelCache::get(const std::string &model, const AimOptions &opts)
+{
+    const std::string k = key(model, opts);
+    auto it = entries.find(k);
+    if (it != entries.end()) {
+        ++hitCount;
+        return it->second;
+    }
+    ++missCount;
+    const auto spec = workload::modelByName(model);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto compiled = std::make_shared<const CompiledModel>(
+        pipe->compile(spec, opts));
+    const auto t1 = std::chrono::steady_clock::now();
+    compileWallMs +=
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    entries.emplace(k, compiled);
+    return compiled;
+}
+
+void
+ModelCache::clear()
+{
+    entries.clear();
+    hitCount = 0;
+    missCount = 0;
+    compileWallMs = 0.0;
+}
+
+} // namespace aim::serve

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Compiled-model cache of the serving layer.  AimPipeline::compile
+ * (weight synthesis + QAT/LHR + WDS + tiling) costs seconds per
+ * model; chip execution costs milliseconds.  A service amortizes the
+ * offline flow by compiling each (model, AimOptions) combination once
+ * and sharing the immutable artifact across every request, chip and
+ * thread that needs it.
+ */
+
+#ifndef AIM_SERVE_MODELCACHE_HH
+#define AIM_SERVE_MODELCACHE_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "aim/Aim.hh"
+
+namespace aim::serve
+{
+
+/** Keyed store of immutable CompiledModel artifacts. */
+class ModelCache
+{
+  public:
+    /** @param pipeline compiles artifacts on miss; must outlive us */
+    explicit ModelCache(const AimPipeline &pipeline);
+
+    /**
+     * Fetch the artifact for a zoo model under @p opts, compiling on
+     * first use.  The returned pointer stays valid for the cache's
+     * lifetime and is safe to hold across further get() calls.
+     */
+    std::shared_ptr<const CompiledModel>
+    get(const std::string &model, const AimOptions &opts);
+
+    /** Cache key of a (model, options) combination. */
+    static std::string key(const std::string &model,
+                           const AimOptions &opts);
+
+    /** Lookups served from the cache. */
+    long hits() const { return hitCount; }
+
+    /** Lookups that compiled a new artifact. */
+    long misses() const { return missCount; }
+
+    /** Artifacts currently held. */
+    size_t size() const { return entries.size(); }
+
+    /** Host wall-clock time spent compiling on misses [ms]. */
+    double compileMs() const { return compileWallMs; }
+
+    /** Drop every artifact and reset the hit/miss counters. */
+    void clear();
+
+  private:
+    const AimPipeline *pipe;
+    std::map<std::string, std::shared_ptr<const CompiledModel>>
+        entries;
+    long hitCount = 0;
+    long missCount = 0;
+    double compileWallMs = 0.0;
+};
+
+} // namespace aim::serve
+
+#endif // AIM_SERVE_MODELCACHE_HH

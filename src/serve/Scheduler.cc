@@ -1,0 +1,117 @@
+#include "serve/Scheduler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/Logging.hh"
+
+namespace aim::serve
+{
+
+const char *
+policyName(SchedPolicy policy)
+{
+    switch (policy) {
+      case SchedPolicy::Fcfs:    return "fcfs";
+      case SchedPolicy::Sjf:     return "sjf";
+      case SchedPolicy::IrAware: return "ir-aware";
+    }
+    return "?";
+}
+
+std::vector<SchedPolicy>
+allPolicies()
+{
+    return {SchedPolicy::Fcfs, SchedPolicy::Sjf, SchedPolicy::IrAware};
+}
+
+Scheduler::Scheduler(SchedPolicy policy) : kind(policy)
+{
+}
+
+int
+artifactSafeLevel(const CompiledModel &compiled,
+                  const power::VfTable &table)
+{
+    int level = table.safeLevelFor(compiled.hrMax);
+    for (const auto &round : compiled.rounds)
+        for (const auto &task : round.tasks) {
+            const int task_level =
+                task.inputDetermined ? 100
+                                     : table.safeLevelFor(task.hr);
+            level = std::max(level, task_level);
+        }
+    return level;
+}
+
+namespace
+{
+
+/**
+ * IR-aware rank of a candidate: model affinity outweighs level
+ * proximity, which outweighs arrival order.  A resident-model hit
+ * skips the macro weight reload entirely; a level match spares the
+ * booster the V-f retune transient that resets its safe counters.
+ */
+struct IrRank
+{
+    int reload;
+    int levelDist;
+    double arrivalUs;
+
+    bool
+    operator<(const IrRank &o) const
+    {
+        if (reload != o.reload)
+            return reload < o.reload;
+        if (levelDist != o.levelDist)
+            return levelDist < o.levelDist;
+        return arrivalUs < o.arrivalUs;
+    }
+};
+
+IrRank
+irRank(const QueuedRequest &q, const ChipContext &chip)
+{
+    IrRank r;
+    r.reload = q.request.model == chip.residentModel ? 0 : 1;
+    r.levelDist = std::abs(q.safeLevel - chip.safeLevel);
+    r.arrivalUs = q.request.arrivalUs;
+    return r;
+}
+
+} // namespace
+
+size_t
+Scheduler::pick(const std::vector<QueuedRequest> &queue,
+                const ChipContext &chip) const
+{
+    aim_assert(!queue.empty(), "scheduler asked to pick from an "
+               "empty queue");
+    size_t best = 0;
+    for (size_t i = 1; i < queue.size(); ++i) {
+        const auto &cand = queue[i];
+        const auto &lead = queue[best];
+        bool better = false;
+        switch (kind) {
+          case SchedPolicy::Fcfs:
+            better =
+                cand.request.arrivalUs < lead.request.arrivalUs;
+            break;
+          case SchedPolicy::Sjf:
+            better = cand.estServiceUs < lead.estServiceUs ||
+                     (cand.estServiceUs == lead.estServiceUs &&
+                      cand.request.arrivalUs <
+                          lead.request.arrivalUs);
+            break;
+          case SchedPolicy::IrAware:
+            better = irRank(cand, chip) < irRank(lead, chip);
+            break;
+        }
+        if (better)
+            best = i;
+    }
+    return best;
+}
+
+} // namespace aim::serve

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Dispatch policies of the serving fleet.  Whenever a chip frees up,
+ * the scheduler picks the next request from the pending queue:
+ *
+ *   Fcfs    -- earliest arrival first; the fairness baseline
+ *   Sjf     -- shortest predicted service first; minimizes mean
+ *              latency under load at the cost of tail fairness
+ *   IrAware -- exploits the AIM chip model: keep a chip on its
+ *              resident model (no macro weight reload) and on
+ *              requests whose safe Rtog level is close to what the
+ *              chip's IR-Booster is currently tuned for, so the
+ *              booster avoids V-f retune transients and the recompute
+ *              stalls that level churn provokes
+ *
+ * Policies are pure functions of the queue and the chip context, so
+ * the fleet can swap them per experiment without touching the event
+ * loop.
+ */
+
+#ifndef AIM_SERVE_SCHEDULER_HH
+#define AIM_SERVE_SCHEDULER_HH
+
+#include <memory>
+#include <vector>
+
+#include "aim/Aim.hh"
+#include "power/VfTable.hh"
+#include "serve/Trace.hh"
+
+namespace aim::serve
+{
+
+/** Dispatch policy selector. */
+enum class SchedPolicy
+{
+    Fcfs,
+    Sjf,
+    IrAware,
+};
+
+/** Printable name of a policy. */
+const char *policyName(SchedPolicy policy);
+
+/** All policies, for sweeps. */
+std::vector<SchedPolicy> allPolicies();
+
+/** A pending request plus everything the policies rank by. */
+struct QueuedRequest
+{
+    Request request;
+    /** Cached artifact the request will execute. */
+    std::shared_ptr<const CompiledModel> compiled;
+    /** Predicted full-inference service time [us] (SJF key). */
+    double estServiceUs = 0.0;
+    /** Safe Rtog level of the artifact's worst layer [%]. */
+    int safeLevel = 100;
+};
+
+/** What a policy may know about the chip asking for work. */
+struct ChipContext
+{
+    int chip = 0;
+    /** Model whose weights are resident ("" when cold). */
+    std::string residentModel;
+    /** Safe level the chip's booster is currently tuned for [%]. */
+    int safeLevel = 100;
+};
+
+/**
+ * Worst-case safe Rtog level the IR-Booster needs anywhere in an
+ * artifact: input-determined attention tiles force the 100% (DVFS)
+ * level since their in-memory HR is unknown offline; weight tiles map
+ * their HR through the V-f table.  This is the level a chip's booster
+ * is effectively parked at while serving the model, and what the
+ * IR-aware policy matches chips on.
+ */
+int artifactSafeLevel(const CompiledModel &compiled,
+                      const power::VfTable &table);
+
+/** Picks the next request for a freed chip. */
+class Scheduler
+{
+  public:
+    explicit Scheduler(SchedPolicy policy);
+
+    /**
+     * Index into @p queue of the request the chip should run next.
+     * The queue must be non-empty; entries are not reordered.
+     */
+    size_t pick(const std::vector<QueuedRequest> &queue,
+                const ChipContext &chip) const;
+
+    SchedPolicy policy() const { return kind; }
+
+  private:
+    SchedPolicy kind;
+};
+
+} // namespace aim::serve
+
+#endif // AIM_SERVE_SCHEDULER_HH

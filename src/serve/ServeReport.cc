@@ -1,0 +1,98 @@
+#include "serve/ServeReport.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/Stats.hh"
+#include "util/Table.hh"
+
+namespace aim::serve
+{
+
+double
+ChipUsage::utilization(double makespan_us) const
+{
+    return makespan_us > 0.0 ? busyUs / makespan_us : 0.0;
+}
+
+double
+ServeReport::latencyPercentile(double p) const
+{
+    if (latencyUs.empty())
+        return 0.0;
+    return util::percentile(latencyUs, p);
+}
+
+double
+ServeReport::meanLatencyUs() const
+{
+    return util::mean(latencyUs);
+}
+
+double
+ServeReport::throughputRps() const
+{
+    return makespanUs > 0.0 ? requests / (makespanUs / 1e6) : 0.0;
+}
+
+double
+ServeReport::aggregateTops() const
+{
+    if (makespanUs <= 0.0)
+        return 0.0;
+    // ops/s = 2 * macs / (makespanUs / 1e6); TOPS divides by 1e12.
+    return 2.0 * totalMacs / makespanUs / 1e6;
+}
+
+long
+ServeReport::totalModelSwitches() const
+{
+    long switches = 0;
+    for (const auto &c : chips)
+        switches += c.modelSwitches;
+    return switches;
+}
+
+std::string
+ServeReport::render() const
+{
+    std::ostringstream os;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "policy %s: %ld requests in %.2f ms "
+                  "(%.0f req/s, %.1f effective TOPS)\n",
+                  policyName(policy), requests, makespanUs / 1e3,
+                  throughputRps(), aggregateTops());
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "latency  p50 %.1f us  p95 %.1f us  p99 %.1f us  "
+                  "mean %.1f us\n",
+                  p50Us, p95Us, p99Us, meanLatencyUs());
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "SLO violations %ld/%ld  model switches %ld  "
+                  "IRFailures %ld  stall windows %ld\n",
+                  sloViolations, requests, totalModelSwitches(),
+                  irFailures, stallWindows);
+    os << line;
+
+    util::Table t("per-chip usage");
+    t.setHeader({"chip", "served", "busy %", "reload %", "retune %",
+                 "switches"});
+    for (size_t c = 0; c < chips.size(); ++c) {
+        const auto &u = chips[c];
+        t.addRow({std::to_string(c), std::to_string(u.served),
+                  util::Table::pct(u.utilization(makespanUs)),
+                  util::Table::pct(makespanUs > 0.0
+                                       ? u.reloadUs / makespanUs
+                                       : 0.0),
+                  util::Table::pct(makespanUs > 0.0
+                                       ? u.retuneUs / makespanUs
+                                       : 0.0),
+                  std::to_string(u.modelSwitches)});
+    }
+    os << t.render();
+    return os.str();
+}
+
+} // namespace aim::serve

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Aggregated outcome of one serving simulation: request latency
+ * percentiles, SLO accounting, per-chip utilization breakdown and
+ * fleet-level throughput.  Rendered with util::Table for the example
+ * and benchmark binaries.
+ */
+
+#ifndef AIM_SERVE_SERVEREPORT_HH
+#define AIM_SERVE_SERVEREPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "serve/Scheduler.hh"
+
+namespace aim::serve
+{
+
+/** Where one chip's makespan went. */
+struct ChipUsage
+{
+    /** Requests this chip served. */
+    long served = 0;
+    /** Time spent executing inferences [us]. */
+    double busyUs = 0.0;
+    /** Time spent reloading macro weights on model switches [us]. */
+    double reloadUs = 0.0;
+    /** Time spent retuning the IR-Booster across levels [us]. */
+    double retuneUs = 0.0;
+    /** Model switches (each implies a full weight reload). */
+    long modelSwitches = 0;
+
+    /** Fraction of the makespan doing useful inference work. */
+    double utilization(double makespanUs) const;
+};
+
+/** Everything a Fleet::serve run produces. */
+struct ServeReport
+{
+    SchedPolicy policy = SchedPolicy::Fcfs;
+    /** Requests served. */
+    long requests = 0;
+    /** First arrival to last completion [us]. */
+    double makespanUs = 0.0;
+    /** End-to-end latency per request, indexed by request id [us]. */
+    std::vector<double> latencyUs;
+    /** Queueing delay per request, indexed by request id [us]. */
+    std::vector<double> queueUs;
+    /** Requests whose latency exceeded their SLO. */
+    long sloViolations = 0;
+    /** Full-inference MAC work served (workScale extrapolated). */
+    double totalMacs = 0.0;
+    /** IRFailures raised across all request executions. */
+    long irFailures = 0;
+    /** Runtime windows lost to recompute / V-f settling. */
+    long stallWindows = 0;
+    /** Per-chip usage, indexed by chip id. */
+    std::vector<ChipUsage> chips;
+
+    /** Latency percentiles, precomputed by the fleet [us]. */
+    double p50Us = 0.0;
+    double p95Us = 0.0;
+    double p99Us = 0.0;
+
+    /** Any latency percentile [us] (p in [0, 100]). */
+    double latencyPercentile(double p) const;
+
+    /** Mean end-to-end latency [us]. */
+    double meanLatencyUs() const;
+
+    /** Served requests per second of makespan. */
+    double throughputRps() const;
+
+    /** Aggregate effective throughput over the makespan [TOPS]. */
+    double aggregateTops() const;
+
+    /** Model switches summed over chips. */
+    long totalModelSwitches() const;
+
+    /** Human-readable summary (tables + headline lines). */
+    std::string render() const;
+};
+
+} // namespace aim::serve
+
+#endif // AIM_SERVE_SERVEREPORT_HH

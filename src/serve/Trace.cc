@@ -1,0 +1,176 @@
+#include "serve/Trace.hh"
+
+#include <cmath>
+
+#include "util/Logging.hh"
+#include "util/Rng.hh"
+
+namespace aim::serve
+{
+
+const char *
+arrivalName(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::Poisson: return "poisson";
+      case ArrivalKind::Bursty:  return "bursty";
+      case ArrivalKind::Diurnal: return "diurnal";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Exponential variate with the given mean (inverse-CDF sampling). */
+double
+expVariate(util::Rng &rng, double mean)
+{
+    // uniform() is in [0, 1); flip so the log argument is in (0, 1].
+    return -mean * std::log(1.0 - rng.uniform());
+}
+
+void
+checkConfig(const TraceConfig &cfg)
+{
+    if (cfg.requests <= 0)
+        aim_fatal("trace must contain at least one request, got ",
+                  cfg.requests);
+    if (!(cfg.meanRatePerSec > 0.0))
+        aim_fatal("trace meanRatePerSec must be positive, got ",
+                  cfg.meanRatePerSec);
+    if (cfg.mix.empty())
+        aim_fatal("trace mix must name at least one model");
+    for (const auto &m : cfg.mix)
+        if (!(m.weight > 0.0))
+            aim_fatal("trace mix weight of ", m.model,
+                      " must be positive, got ", m.weight);
+    if (cfg.arrivals == ArrivalKind::Bursty) {
+        if (cfg.burstFactor < 1.0)
+            aim_fatal("burstFactor must be >= 1, got ",
+                      cfg.burstFactor);
+        if (!(cfg.burstDutyCycle > 0.0) || cfg.burstDutyCycle >= 1.0)
+            aim_fatal("burstDutyCycle must be in (0, 1), got ",
+                      cfg.burstDutyCycle);
+        if (!(cfg.meanBurstUs > 0.0))
+            aim_fatal("meanBurstUs must be positive, got ",
+                      cfg.meanBurstUs);
+    }
+    if (cfg.arrivals == ArrivalKind::Diurnal) {
+        if (cfg.diurnalAmplitude < 0.0 || cfg.diurnalAmplitude >= 1.0)
+            aim_fatal("diurnalAmplitude must be in [0, 1), got ",
+                      cfg.diurnalAmplitude);
+        if (!(cfg.diurnalPeriodUs > 0.0))
+            aim_fatal("diurnalPeriodUs must be positive, got ",
+                      cfg.diurnalPeriodUs);
+    }
+}
+
+/** Arrival instants [us] of the configured process. */
+std::vector<double>
+arrivalTimes(const TraceConfig &cfg, util::Rng &rng)
+{
+    const double rate_us = cfg.meanRatePerSec / 1e6;
+    std::vector<double> times;
+    times.reserve(cfg.requests);
+    double t = 0.0;
+
+    switch (cfg.arrivals) {
+      case ArrivalKind::Poisson:
+        for (long i = 0; i < cfg.requests; ++i) {
+            t += expVariate(rng, 1.0 / rate_us);
+            times.push_back(t);
+        }
+        break;
+
+      case ArrivalKind::Bursty: {
+        // Two-state MMPP.  The base rate is chosen so the long-run
+        // mean over both states equals meanRatePerSec.  Candidate
+        // gaps that cross an episode boundary are discarded and
+        // resampled at the new state's rate from the boundary --
+        // exact for exponential gaps (memorylessness), and it keeps
+        // short bursts from being jumped over entirely.
+        const double duty = cfg.burstDutyCycle;
+        const double base_rate =
+            rate_us / (1.0 - duty + cfg.burstFactor * duty);
+        const double mean_quiet_us =
+            cfg.meanBurstUs * (1.0 - duty) / duty;
+        bool burst = false;
+        double episode_end = expVariate(rng, mean_quiet_us);
+        for (long i = 0; i < cfg.requests; ++i) {
+            for (;;) {
+                const double r =
+                    burst ? base_rate * cfg.burstFactor : base_rate;
+                const double gap = expVariate(rng, 1.0 / r);
+                if (t + gap < episode_end) {
+                    t += gap;
+                    break;
+                }
+                t = episode_end;
+                burst = !burst;
+                episode_end =
+                    t + expVariate(rng, burst ? cfg.meanBurstUs
+                                              : mean_quiet_us);
+            }
+            times.push_back(t);
+        }
+        break;
+      }
+
+      case ArrivalKind::Diurnal: {
+        // Lewis-Shedler thinning against the peak rate.
+        const double peak = rate_us * (1.0 + cfg.diurnalAmplitude);
+        while (times.size() < static_cast<size_t>(cfg.requests)) {
+            t += expVariate(rng, 1.0 / peak);
+            const double rate_t =
+                rate_us *
+                (1.0 + cfg.diurnalAmplitude *
+                           std::sin(2.0 * M_PI * t /
+                                    cfg.diurnalPeriodUs));
+            if (rng.uniform() * peak < rate_t)
+                times.push_back(t);
+        }
+        break;
+      }
+    }
+    return times;
+}
+
+} // namespace
+
+std::vector<Request>
+generateTrace(const TraceConfig &cfg)
+{
+    checkConfig(cfg);
+    util::Rng arrival_rng(cfg.seed);
+    util::Rng pick_rng = arrival_rng.fork(0x7261ce);
+
+    const auto times = arrivalTimes(cfg, arrival_rng);
+
+    double total_weight = 0.0;
+    for (const auto &m : cfg.mix)
+        total_weight += m.weight;
+
+    std::vector<Request> trace;
+    trace.reserve(times.size());
+    for (size_t i = 0; i < times.size(); ++i) {
+        double r = pick_rng.uniform() * total_weight;
+        const TraceMix *chosen = &cfg.mix.back();
+        for (const auto &m : cfg.mix) {
+            r -= m.weight;
+            if (r < 0.0) {
+                chosen = &m;
+                break;
+            }
+        }
+        Request req;
+        req.id = static_cast<long>(i);
+        req.model = chosen->model;
+        req.arrivalUs = times[i];
+        req.sloUs = chosen->sloUs;
+        trace.push_back(std::move(req));
+    }
+    return trace;
+}
+
+} // namespace aim::serve

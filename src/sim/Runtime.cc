@@ -41,11 +41,17 @@ RunReport
 Runtime::run(const std::vector<Round> &rounds,
              const pim::StreamSpec &stream)
 {
+    return run(rounds, stream, rcfg.seed);
+}
+
+RunReport
+Runtime::run(const std::vector<Round> &rounds,
+             const pim::StreamSpec &stream, uint64_t seed)
+{
     const auto toggles =
-        pim::estimateToggleStats(stream, cfg.rows, 200, rcfg.seed);
+        pim::estimateToggleStats(stream, cfg.rows, 200, seed);
     std::vector<RunReport> parts;
     parts.reserve(rounds.size());
-    uint64_t seed = rcfg.seed;
     for (const auto &round : rounds)
         parts.push_back(runRound(round, toggles, ++seed));
     return mergeReports(parts);
@@ -313,6 +319,7 @@ Runtime::runRound(const Round &round, const pim::ToggleStats &toggles,
             ? useful_freq_sum / rep.usefulWindows
             : cal.fNominal;
     rep.tops = pm.chipTops(mean_f, rep.utilization());
+    rep.roundLatencyNs.push_back(rep.wallTimeNs);
     return rep;
 }
 
@@ -327,6 +334,9 @@ mergeReports(const std::vector<RunReport> &parts)
     double tops_time = 0.0;
     for (const auto &p : parts) {
         out.wallTimeNs += p.wallTimeNs;
+        out.roundLatencyNs.insert(out.roundLatencyNs.end(),
+                                  p.roundLatencyNs.begin(),
+                                  p.roundLatencyNs.end());
         out.totalMacs += p.totalMacs;
         out.failures += p.failures;
         out.stallWindows += p.stallWindows;

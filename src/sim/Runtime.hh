@@ -69,6 +69,13 @@ struct RunReport
     double meanLevel = 0.0;
     /** Work-weighted mean cycle Rtog. */
     double meanRtog = 0.0;
+    /**
+     * Wall time of each executed round [ns], in execution order.
+     * mergeReports concatenates, so a merged report carries the full
+     * per-round latency breakdown of the model (the serving layer
+     * consumes this for queueing and latency accounting).
+     */
+    std::vector<double> roundLatencyNs;
 
     /** Fraction of windows doing useful work. */
     double utilization() const;
@@ -91,6 +98,14 @@ class Runtime
      */
     RunReport run(const std::vector<Round> &rounds,
                   const pim::StreamSpec &stream);
+
+    /**
+     * Run a compiled model with an explicit seed overriding
+     * RunConfig::seed.  Lets one Runtime serve many requests with
+     * decorrelated (but individually reproducible) noise streams.
+     */
+    RunReport run(const std::vector<Round> &rounds,
+                  const pim::StreamSpec &stream, uint64_t seed);
 
     /** Access the V-f table (for reporting). */
     const power::VfTable &vfTable() const { return table; }

@@ -70,9 +70,16 @@ double
 percentile(std::span<const double> xs, double p)
 {
     aim_assert(!xs.empty(), "percentile of empty range");
-    aim_assert(p >= 0.0 && p <= 100.0, "percentile ", p, " out of range");
     std::vector<double> sorted(xs.begin(), xs.end());
     std::sort(sorted.begin(), sorted.end());
+    return percentileSorted(sorted, p);
+}
+
+double
+percentileSorted(std::span<const double> sorted, double p)
+{
+    aim_assert(!sorted.empty(), "percentile of empty range");
+    aim_assert(p >= 0.0 && p <= 100.0, "percentile ", p, " out of range");
     if (sorted.size() == 1)
         return sorted.front();
     const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);

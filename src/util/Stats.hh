@@ -82,6 +82,13 @@ double stddev(std::span<const double> xs);
 double percentile(std::span<const double> xs, double p);
 
 /**
+ * Linear-interpolated percentile of an already ascending-sorted range.
+ * Avoids the per-call copy+sort of percentile() when many quantiles
+ * of one sample set are needed (latency p50/p95/p99 reporting).
+ */
+double percentileSorted(std::span<const double> sorted, double p);
+
+/**
  * Pearson correlation coefficient of two equally sized ranges.
  * Returns 0 when either range is constant or sizes mismatch.
  */

@@ -105,6 +105,16 @@ ModelSpec::totalMacs() const
     return total;
 }
 
+long
+ModelSpec::totalWeights() const
+{
+    long total = 0;
+    for (const auto &l : layers)
+        if (!isInputDetermined(l.type))
+            total += l.weightCount();
+    return total;
+}
+
 ModelSpec
 resnet18()
 {

@@ -94,6 +94,13 @@ struct ModelSpec
 
     /** Total MACs of one inference. */
     long totalMacs() const;
+
+    /**
+     * Total pretrained weight elements (input-determined attention
+     * operators excluded).  Drives the macro-reload cost a serving
+     * fleet pays when a chip switches resident models.
+     */
+    long totalWeights() const;
 };
 
 /** ResNet18 on ImageNet (top-1 %). */

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "aim/Aim.hh"
+#include "serve/Fleet.hh"
+
+using namespace aim;
+
+namespace
+{
+
+/** Bit-identical comparison of two full pipeline reports. */
+void
+expectIdentical(const AimReport &a, const AimReport &b)
+{
+    EXPECT_EQ(a.hrAverage, b.hrAverage);
+    EXPECT_EQ(a.hrMax, b.hrMax);
+    EXPECT_EQ(a.baselineHrAverage, b.baselineHrAverage);
+    EXPECT_EQ(a.baselineHrMax, b.baselineHrMax);
+    EXPECT_EQ(a.wdsClampedFraction, b.wdsClampedFraction);
+    EXPECT_EQ(a.accuracy.metric, b.accuracy.metric);
+    EXPECT_EQ(a.run.wallTimeNs, b.run.wallTimeNs);
+    EXPECT_EQ(a.run.totalMacs, b.run.totalMacs);
+    EXPECT_EQ(a.run.tops, b.run.tops);
+    EXPECT_EQ(a.run.macroPowerMw, b.run.macroPowerMw);
+    EXPECT_EQ(a.run.irWorstMv, b.run.irWorstMv);
+    EXPECT_EQ(a.run.irMeanMv, b.run.irMeanMv);
+    EXPECT_EQ(a.run.failures, b.run.failures);
+    EXPECT_EQ(a.run.stallWindows, b.run.stallWindows);
+    EXPECT_EQ(a.run.usefulWindows, b.run.usefulWindows);
+    EXPECT_EQ(a.run.vfSwitches, b.run.vfSwitches);
+    EXPECT_EQ(a.run.meanLevel, b.run.meanLevel);
+    EXPECT_EQ(a.run.meanRtog, b.run.meanRtog);
+    ASSERT_EQ(a.run.roundLatencyNs.size(),
+              b.run.roundLatencyNs.size());
+    for (size_t i = 0; i < a.run.roundLatencyNs.size(); ++i)
+        EXPECT_EQ(a.run.roundLatencyNs[i], b.run.roundLatencyNs[i]);
+    EXPECT_EQ(a.irMitigationVsSignoff, b.irMitigationVsSignoff);
+    EXPECT_EQ(a.efficiencyGain, b.efficiencyGain);
+}
+
+} // namespace
+
+TEST(Determinism, PipelineRunIsBitIdentical)
+{
+    pim::PimConfig cfg;
+    AimPipeline pipe(cfg, power::defaultCalibration());
+    const auto model = workload::resnet18();
+    AimOptions opts;
+    opts.workScale = 0.05;
+    opts.seed = 123;
+    expectIdentical(pipe.run(model, opts), pipe.run(model, opts));
+}
+
+TEST(Determinism, CompileThenExecuteMatchesRun)
+{
+    pim::PimConfig cfg;
+    AimPipeline pipe(cfg, power::defaultCalibration());
+    const auto model = workload::resnet18();
+    AimOptions opts;
+    opts.useLhr = false; // keep the double compile cheap
+    opts.workScale = 0.05;
+    const auto compiled = pipe.compile(model, opts);
+    expectIdentical(pipe.execute(compiled), pipe.run(model, opts));
+}
+
+TEST(Determinism, ServeSimIsBitIdentical)
+{
+    pim::PimConfig cfg;
+    const auto cal = power::defaultCalibration();
+    AimPipeline pipe(cfg, cal);
+    serve::ModelCache cache(pipe);
+
+    serve::TraceConfig tcfg;
+    tcfg.arrivals = serve::ArrivalKind::Bursty;
+    tcfg.meanRatePerSec = 20000.0;
+    tcfg.requests = 16;
+    tcfg.seed = 31;
+    tcfg.mix = {{"ResNet18", 1.0, 4000.0}};
+
+    serve::FleetConfig fcfg;
+    fcfg.chips = 2;
+    fcfg.policy = serve::SchedPolicy::IrAware;
+    fcfg.options.useLhr = false;
+    fcfg.options.workScale = 0.05;
+    fcfg.options.mapper = mapping::MapperKind::Sequential;
+    fcfg.seed = 77;
+
+    const auto trace_a = serve::generateTrace(tcfg);
+    const auto trace_b = serve::generateTrace(tcfg);
+    serve::Fleet fleet_a(cfg, cal, fcfg);
+    serve::Fleet fleet_b(cfg, cal, fcfg);
+    const auto a = fleet_a.serve(trace_a, cache);
+    const auto b = fleet_b.serve(trace_b, cache);
+
+    EXPECT_EQ(a.makespanUs, b.makespanUs);
+    EXPECT_EQ(a.totalMacs, b.totalMacs);
+    EXPECT_EQ(a.irFailures, b.irFailures);
+    EXPECT_EQ(a.stallWindows, b.stallWindows);
+    EXPECT_EQ(a.sloViolations, b.sloViolations);
+    EXPECT_EQ(a.p50Us, b.p50Us);
+    EXPECT_EQ(a.p95Us, b.p95Us);
+    EXPECT_EQ(a.p99Us, b.p99Us);
+    ASSERT_EQ(a.latencyUs.size(), b.latencyUs.size());
+    for (size_t i = 0; i < a.latencyUs.size(); ++i) {
+        EXPECT_EQ(a.latencyUs[i], b.latencyUs[i]);
+        EXPECT_EQ(a.queueUs[i], b.queueUs[i]);
+    }
+    ASSERT_EQ(a.chips.size(), b.chips.size());
+    for (size_t c = 0; c < a.chips.size(); ++c) {
+        EXPECT_EQ(a.chips[c].served, b.chips[c].served);
+        EXPECT_EQ(a.chips[c].busyUs, b.chips[c].busyUs);
+        EXPECT_EQ(a.chips[c].reloadUs, b.chips[c].reloadUs);
+        EXPECT_EQ(a.chips[c].retuneUs, b.chips[c].retuneUs);
+    }
+}

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "aim/Aim.hh"
+
+using namespace aim;
+
+TEST(OptionsValidation, DefaultsAreValid)
+{
+    EXPECT_TRUE(validateOptions(AimOptions{}).empty());
+    EXPECT_TRUE(validateOptions(AimOptions::dvfsBaseline()).empty());
+}
+
+TEST(OptionsValidation, RecommendedDeltasAreValid)
+{
+    AimOptions o;
+    for (int delta : {8, 16}) {
+        o.wdsDelta = delta;
+        EXPECT_TRUE(validateOptions(o).empty()) << delta;
+    }
+}
+
+TEST(OptionsValidation, RejectsNonPowerOfTwoDelta)
+{
+    AimOptions o;
+    for (int delta : {3, 12, -16, 0}) {
+        o.wdsDelta = delta;
+        const auto msg = validateOptions(o);
+        EXPECT_NE(msg.find("wdsDelta"), std::string::npos)
+            << "delta " << delta << " gave: " << msg;
+    }
+}
+
+TEST(OptionsValidation, RejectsDeltaOverflowingBitRange)
+{
+    AimOptions o;
+    o.wdsDelta = 128; // INT8 max positive value is 127
+    EXPECT_NE(validateOptions(o).find("overflow"),
+              std::string::npos);
+    o.bits = 4;
+    o.wdsDelta = 8;
+    EXPECT_NE(validateOptions(o).find("overflow"),
+              std::string::npos);
+    o.wdsDelta = 4;
+    EXPECT_TRUE(validateOptions(o).empty());
+}
+
+TEST(OptionsValidation, DeltaIgnoredWhenWdsDisabled)
+{
+    AimOptions o;
+    o.useWds = false;
+    o.wdsDelta = 12;
+    EXPECT_TRUE(validateOptions(o).empty());
+}
+
+TEST(OptionsValidation, RejectsOutOfRangeBits)
+{
+    AimOptions o;
+    o.bits = 1;
+    EXPECT_NE(validateOptions(o).find("bits"), std::string::npos);
+    o.bits = 17;
+    EXPECT_NE(validateOptions(o).find("bits"), std::string::npos);
+}
+
+TEST(OptionsValidation, RejectsOutOfRangeWorkScale)
+{
+    AimOptions o;
+    o.workScale = 0.0;
+    EXPECT_NE(validateOptions(o).find("workScale"),
+              std::string::npos);
+    o.workScale = -0.5;
+    EXPECT_NE(validateOptions(o).find("workScale"),
+              std::string::npos);
+    o.workScale = 1.5;
+    EXPECT_NE(validateOptions(o).find("workScale"),
+              std::string::npos);
+    o.workScale = 1.0;
+    EXPECT_TRUE(validateOptions(o).empty());
+}
+
+TEST(OptionsValidation, RejectsNegativeLambdaAndZeroBeta)
+{
+    AimOptions o;
+    o.lambda = -1.0;
+    EXPECT_NE(validateOptions(o).find("lambda"), std::string::npos);
+    o = AimOptions{};
+    o.beta = 0;
+    EXPECT_NE(validateOptions(o).find("beta"), std::string::npos);
+    // Neither matters when the stage that reads it is disabled.
+    o.useBooster = false;
+    EXPECT_TRUE(validateOptions(o).empty());
+}
+
+TEST(OptionsValidation, PipelineRefusesInvalidOptions)
+{
+    pim::PimConfig cfg;
+    AimPipeline pipe(cfg, power::defaultCalibration());
+    const auto model = workload::resnet18();
+    AimOptions o;
+    o.wdsDelta = 12;
+    EXPECT_DEATH(pipe.runOffline(model, o), "wdsDelta");
+    o = AimOptions{};
+    o.workScale = 0.0;
+    EXPECT_DEATH(pipe.compile(model, o), "workScale");
+}

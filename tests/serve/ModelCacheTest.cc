@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "serve/ModelCache.hh"
+
+using namespace aim;
+using namespace aim::serve;
+
+namespace
+{
+
+struct Fixture
+{
+    pim::PimConfig cfg;
+    power::Calibration cal = power::defaultCalibration();
+    AimPipeline pipe{cfg, cal};
+    ModelCache cache{pipe};
+
+    /** Cheap options: no QAT, so a compile is milliseconds. */
+    AimOptions quick() const
+    {
+        AimOptions o;
+        o.useLhr = false;
+        o.workScale = 0.05;
+        return o;
+    }
+};
+
+} // namespace
+
+TEST(ModelCache, MissCompilesThenHitShares)
+{
+    Fixture f;
+    const auto opts = f.quick();
+    const auto a = f.cache.get("ResNet18", opts);
+    EXPECT_EQ(f.cache.misses(), 1);
+    EXPECT_EQ(f.cache.hits(), 0);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->modelName, "ResNet18");
+    EXPECT_FALSE(a->rounds.empty());
+
+    const auto b = f.cache.get("ResNet18", opts);
+    EXPECT_EQ(f.cache.misses(), 1);
+    EXPECT_EQ(f.cache.hits(), 1);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(f.cache.size(), 1u);
+}
+
+TEST(ModelCache, DistinctOptionsCompileSeparately)
+{
+    Fixture f;
+    auto opts = f.quick();
+    const auto a = f.cache.get("ResNet18", opts);
+    opts.wdsDelta = 8;
+    const auto b = f.cache.get("ResNet18", opts);
+    EXPECT_EQ(f.cache.misses(), 2);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(f.cache.size(), 2u);
+}
+
+TEST(ModelCache, DistinctModelsCompileSeparately)
+{
+    Fixture f;
+    const auto opts = f.quick();
+    const auto a = f.cache.get("ResNet18", opts);
+    const auto b = f.cache.get("MobileNetV2", opts);
+    EXPECT_EQ(f.cache.misses(), 2);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(b->modelName, "MobileNetV2");
+}
+
+TEST(ModelCache, KeyCoversModelAndOptions)
+{
+    AimOptions opts;
+    const auto base = ModelCache::key("ResNet18", opts);
+    EXPECT_NE(base, ModelCache::key("GPT2", opts));
+
+    AimOptions changed = opts;
+    changed.wdsDelta = 8;
+    EXPECT_NE(base, ModelCache::key("ResNet18", changed));
+    changed = opts;
+    changed.seed = 1234;
+    EXPECT_NE(base, ModelCache::key("ResNet18", changed));
+    changed = opts;
+    changed.workScale = 0.5;
+    EXPECT_NE(base, ModelCache::key("ResNet18", changed));
+    EXPECT_EQ(base, ModelCache::key("ResNet18", opts));
+}
+
+TEST(ModelCache, ArtifactHeldAcrossClear)
+{
+    Fixture f;
+    const auto opts = f.quick();
+    const auto a = f.cache.get("ResNet18", opts);
+    f.cache.clear();
+    EXPECT_EQ(f.cache.size(), 0u);
+    EXPECT_EQ(f.cache.misses(), 0);
+    // The shared_ptr keeps the artifact alive past eviction.
+    EXPECT_EQ(a->modelName, "ResNet18");
+    const auto b = f.cache.get("ResNet18", opts);
+    EXPECT_EQ(f.cache.misses(), 1);
+    EXPECT_NE(a.get(), b.get());
+}
+
+TEST(ModelCache, CompileTimeAccountedOnMissOnly)
+{
+    Fixture f;
+    const auto opts = f.quick();
+    f.cache.get("ResNet18", opts);
+    const double after_miss = f.cache.compileMs();
+    EXPECT_GT(after_miss, 0.0);
+    f.cache.get("ResNet18", opts);
+    EXPECT_EQ(f.cache.compileMs(), after_miss);
+}

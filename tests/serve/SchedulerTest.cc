@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "serve/Scheduler.hh"
+
+using namespace aim;
+using namespace aim::serve;
+
+namespace
+{
+
+QueuedRequest
+queued(long id, const std::string &model, double arrival_us,
+       double est_service_us, int safe_level)
+{
+    QueuedRequest q;
+    q.request.id = id;
+    q.request.model = model;
+    q.request.arrivalUs = arrival_us;
+    q.estServiceUs = est_service_us;
+    q.safeLevel = safe_level;
+    return q;
+}
+
+ChipContext
+chipOn(const std::string &model, int level)
+{
+    ChipContext ctx;
+    ctx.residentModel = model;
+    ctx.safeLevel = level;
+    return ctx;
+}
+
+} // namespace
+
+TEST(Scheduler, FcfsPicksEarliestArrival)
+{
+    const std::vector<QueuedRequest> queue = {
+        queued(0, "GPT2", 30.0, 1.0, 40),
+        queued(1, "ResNet18", 10.0, 9.0, 40),
+        queued(2, "ViT", 20.0, 5.0, 40),
+    };
+    const Scheduler s(SchedPolicy::Fcfs);
+    EXPECT_EQ(s.pick(queue, chipOn("GPT2", 40)), 1u);
+}
+
+TEST(Scheduler, SjfPicksShortestJob)
+{
+    const std::vector<QueuedRequest> queue = {
+        queued(0, "GPT2", 10.0, 7.0, 40),
+        queued(1, "ResNet18", 20.0, 2.0, 40),
+        queued(2, "ViT", 30.0, 5.0, 40),
+    };
+    const Scheduler s(SchedPolicy::Sjf);
+    EXPECT_EQ(s.pick(queue, chipOn("GPT2", 40)), 1u);
+}
+
+TEST(Scheduler, SjfBreaksTiesByArrival)
+{
+    const std::vector<QueuedRequest> queue = {
+        queued(0, "GPT2", 20.0, 2.0, 40),
+        queued(1, "ResNet18", 10.0, 2.0, 40),
+    };
+    const Scheduler s(SchedPolicy::Sjf);
+    EXPECT_EQ(s.pick(queue, chipOn("", 100)), 1u);
+}
+
+TEST(Scheduler, IrAwarePrefersResidentModel)
+{
+    const std::vector<QueuedRequest> queue = {
+        queued(0, "GPT2", 10.0, 1.0, 100),
+        queued(1, "ResNet18", 30.0, 9.0, 40),
+        queued(2, "ViT", 20.0, 5.0, 100),
+    };
+    const Scheduler s(SchedPolicy::IrAware);
+    // ResNet18 arrives last and is the longest job, but it is the
+    // resident model: no weight reload.
+    EXPECT_EQ(s.pick(queue, chipOn("ResNet18", 40)), 1u);
+}
+
+TEST(Scheduler, IrAwareFallsBackToLevelProximity)
+{
+    const std::vector<QueuedRequest> queue = {
+        queued(0, "GPT2", 10.0, 1.0, 100),
+        queued(1, "ViT", 20.0, 5.0, 45),
+    };
+    const Scheduler s(SchedPolicy::IrAware);
+    // Nothing is resident; the chip booster sits at level 40, so the
+    // level-45 request avoids the longer retune.
+    EXPECT_EQ(s.pick(queue, chipOn("MobileNetV2", 40)), 1u);
+}
+
+TEST(Scheduler, IrAwareBreaksTiesByArrival)
+{
+    const std::vector<QueuedRequest> queue = {
+        queued(0, "GPT2", 20.0, 1.0, 40),
+        queued(1, "GPT2", 10.0, 1.0, 40),
+    };
+    const Scheduler s(SchedPolicy::IrAware);
+    EXPECT_EQ(s.pick(queue, chipOn("GPT2", 40)), 1u);
+}
+
+TEST(Scheduler, AllPoliciesCoverTheEnum)
+{
+    const auto policies = allPolicies();
+    ASSERT_EQ(policies.size(), 3u);
+    EXPECT_STREQ(policyName(policies[0]), "fcfs");
+    EXPECT_STREQ(policyName(policies[1]), "sjf");
+    EXPECT_STREQ(policyName(policies[2]), "ir-aware");
+}
+
+TEST(Scheduler, ArtifactSafeLevelTracksWorstTask)
+{
+    const power::VfTable table(power::defaultCalibration());
+    CompiledModel cm;
+    cm.hrMax = 0.22;
+
+    sim::Round round;
+    mapping::Task task;
+    task.hr = 0.38;
+    round.tasks.push_back(task);
+    cm.rounds.push_back(round);
+    EXPECT_EQ(artifactSafeLevel(cm, table),
+              table.safeLevelFor(0.38));
+
+    // An input-determined attention tile forces the DVFS level.
+    mapping::Task qkt;
+    qkt.hr = 0.3;
+    qkt.inputDetermined = true;
+    cm.rounds.back().tasks.push_back(qkt);
+    EXPECT_EQ(artifactSafeLevel(cm, table), 100);
+}

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "sim/Runtime.hh"
+
+using namespace aim::sim;
+
+namespace
+{
+
+RunReport
+part(double wall_ns, double power_mw, double tops, double level,
+     double rtog, double ir_mean)
+{
+    RunReport r;
+    r.wallTimeNs = wall_ns;
+    r.macroPowerMw = power_mw;
+    r.tops = tops;
+    r.meanLevel = level;
+    r.meanRtog = rtog;
+    r.irMeanMv = ir_mean;
+    r.roundLatencyNs.push_back(wall_ns);
+    return r;
+}
+
+} // namespace
+
+TEST(MergeReports, EmptyInputYieldsDefaultReport)
+{
+    const auto m = mergeReports({});
+    EXPECT_EQ(m.wallTimeNs, 0.0);
+    EXPECT_EQ(m.totalMacs, 0.0);
+    EXPECT_EQ(m.tops, 0.0);
+    EXPECT_EQ(m.macroPowerMw, 0.0);
+    EXPECT_EQ(m.failures, 0);
+    EXPECT_TRUE(m.roundLatencyNs.empty());
+    EXPECT_DOUBLE_EQ(m.utilization(), 1.0);
+}
+
+TEST(MergeReports, SingleRoundPassesThrough)
+{
+    auto a = part(250.0, 3.25, 280.0, 35.0, 0.31, 42.0);
+    a.totalMacs = 1e6;
+    a.failures = 3;
+    a.stallWindows = 7;
+    a.usefulWindows = 93;
+    a.vfSwitches = 5;
+    a.irWorstMv = 88.0;
+    const auto m = mergeReports({a});
+    EXPECT_DOUBLE_EQ(m.wallTimeNs, a.wallTimeNs);
+    EXPECT_DOUBLE_EQ(m.macroPowerMw, a.macroPowerMw);
+    EXPECT_DOUBLE_EQ(m.tops, a.tops);
+    EXPECT_DOUBLE_EQ(m.meanLevel, a.meanLevel);
+    EXPECT_DOUBLE_EQ(m.meanRtog, a.meanRtog);
+    EXPECT_DOUBLE_EQ(m.irMeanMv, a.irMeanMv);
+    EXPECT_EQ(m.failures, 3);
+    EXPECT_EQ(m.stallWindows, 7);
+    EXPECT_EQ(m.usefulWindows, 93);
+    EXPECT_EQ(m.vfSwitches, 5);
+    EXPECT_DOUBLE_EQ(m.irWorstMv, 88.0);
+    ASSERT_EQ(m.roundLatencyNs.size(), 1u);
+    EXPECT_DOUBLE_EQ(m.roundLatencyNs[0], 250.0);
+}
+
+TEST(MergeReports, MultiRoundMeansAreTimeWeighted)
+{
+    // Round b runs 3x longer: its means dominate 3:1.
+    const auto a = part(100.0, 2.0, 200.0, 20.0, 0.2, 30.0);
+    const auto b = part(300.0, 4.0, 280.0, 40.0, 0.4, 50.0);
+    const auto m = mergeReports({a, b});
+    EXPECT_DOUBLE_EQ(m.wallTimeNs, 400.0);
+    EXPECT_DOUBLE_EQ(m.macroPowerMw, 3.5);
+    EXPECT_DOUBLE_EQ(m.tops, 260.0);
+    EXPECT_DOUBLE_EQ(m.meanLevel, 35.0);
+    EXPECT_DOUBLE_EQ(m.meanRtog, 0.35);
+    EXPECT_DOUBLE_EQ(m.irMeanMv, 45.0);
+}
+
+TEST(MergeReports, CountersSumAndWorstIsMax)
+{
+    auto a = part(100.0, 2.0, 200.0, 20.0, 0.2, 30.0);
+    auto b = part(300.0, 4.0, 280.0, 40.0, 0.4, 50.0);
+    a.totalMacs = 1e6;
+    b.totalMacs = 3e6;
+    a.failures = 2;
+    b.failures = 5;
+    a.stallWindows = 10;
+    b.stallWindows = 20;
+    a.usefulWindows = 90;
+    b.usefulWindows = 180;
+    a.vfSwitches = 1;
+    b.vfSwitches = 4;
+    a.irWorstMv = 90.0;
+    b.irWorstMv = 70.0;
+    const auto m = mergeReports({a, b});
+    EXPECT_DOUBLE_EQ(m.totalMacs, 4e6);
+    EXPECT_EQ(m.failures, 7);
+    EXPECT_EQ(m.stallWindows, 30);
+    EXPECT_EQ(m.usefulWindows, 270);
+    EXPECT_EQ(m.vfSwitches, 5);
+    EXPECT_DOUBLE_EQ(m.irWorstMv, 90.0);
+}
+
+TEST(MergeReports, ZeroWallTimePartsDoNotPoisonMeans)
+{
+    // An empty round (no tasks) contributes zero wall time; the
+    // merged means must not divide by it or absorb its zeros.
+    RunReport empty;
+    const auto b = part(200.0, 4.0, 280.0, 40.0, 0.4, 50.0);
+    const auto m = mergeReports({empty, b});
+    EXPECT_DOUBLE_EQ(m.wallTimeNs, 200.0);
+    EXPECT_DOUBLE_EQ(m.macroPowerMw, 4.0);
+    EXPECT_DOUBLE_EQ(m.tops, 280.0);
+    EXPECT_DOUBLE_EQ(m.meanLevel, 40.0);
+    EXPECT_DOUBLE_EQ(m.irMeanMv, 50.0);
+}
+
+TEST(MergeReports, RoundLatenciesConcatenateInOrder)
+{
+    const auto a = part(100.0, 2.0, 200.0, 20.0, 0.2, 30.0);
+    const auto b = part(300.0, 4.0, 280.0, 40.0, 0.4, 50.0);
+    const auto c = part(50.0, 1.0, 100.0, 25.0, 0.3, 20.0);
+    const auto m = mergeReports({a, b, c});
+    ASSERT_EQ(m.roundLatencyNs.size(), 3u);
+    EXPECT_DOUBLE_EQ(m.roundLatencyNs[0], 100.0);
+    EXPECT_DOUBLE_EQ(m.roundLatencyNs[1], 300.0);
+    EXPECT_DOUBLE_EQ(m.roundLatencyNs[2], 50.0);
+    // And a merge of merges keeps the flat per-round view.
+    const auto mm = mergeReports({m, a});
+    ASSERT_EQ(mm.roundLatencyNs.size(), 4u);
+    EXPECT_DOUBLE_EQ(mm.roundLatencyNs[3], 100.0);
+}

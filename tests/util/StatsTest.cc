@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -149,4 +150,21 @@ TEST(NormalizeToPeak, AllZerosUnchanged)
     const auto out = normalizeToPeak(xs);
     EXPECT_DOUBLE_EQ(out[0], 0.0);
     EXPECT_DOUBLE_EQ(out[1], 0.0);
+}
+
+TEST(Percentile, SortedVariantMatchesUnsorted)
+{
+    std::vector<double> xs = {9.0, 1.0, 5.0, 3.0, 7.0};
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    for (double p : {0.0, 25.0, 50.0, 90.0, 100.0})
+        EXPECT_DOUBLE_EQ(percentileSorted(sorted, p),
+                         percentile(xs, p));
+}
+
+TEST(Percentile, SortedSingleElement)
+{
+    const std::vector<double> one = {4.0};
+    EXPECT_DOUBLE_EQ(percentileSorted(one, 0.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(one, 99.0), 4.0);
 }

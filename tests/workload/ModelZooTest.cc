@@ -133,3 +133,24 @@ TEST(ModelZoo, OpTypeNames)
     EXPECT_STREQ(opTypeName(OpType::QkT), "qkt");
     EXPECT_STREQ(opTypeName(OpType::Sv), "sv");
 }
+
+TEST(ModelZoo, TotalWeightsExcludesInputDetermined)
+{
+    // Conv networks: every layer carries pretrained weights.
+    const auto resnet = resnet18();
+    long expect = 0;
+    for (const auto &l : resnet.layers)
+        expect += l.weightCount();
+    EXPECT_EQ(resnet.totalWeights(), expect);
+    // ResNet18 has ~11.2M parameters in its conv/linear layers.
+    EXPECT_GT(resnet.totalWeights(), 10'000'000);
+    EXPECT_LT(resnet.totalWeights(), 13'000'000);
+
+    // Transformers: QKT / SV tiles hold runtime data, not weights.
+    const auto vit = vitB16();
+    long with_attention = 0;
+    for (const auto &l : vit.layers)
+        with_attention += l.weightCount();
+    EXPECT_LT(vit.totalWeights(), with_attention);
+    EXPECT_GT(vit.totalWeights(), 0);
+}
