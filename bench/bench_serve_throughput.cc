@@ -12,11 +12,21 @@
  *  (b) policy sweep -- FCFS / SJF / IR-aware on the identical trace
  *      and cache, comparing latency percentiles, SLO violations,
  *      model switches and effective TOPS.
+ *  (c) parallel scaling -- the same warm serve at 1 host thread vs
+ *      --threads N (default 8).  Chip executions are pure functions
+ *      of (artifact, seed), so the N-thread ServeReport is verified
+ *      bit-identical to serial while host wall clock drops; the
+ *      headline is the speedup (threshold 3x at 8 threads on a
+ *      multi-core runner).
+ *
+ * Usage: bench_serve_throughput [--threads N]
  */
 
 #include <chrono>
+#include <thread>
 
 #include "BenchCommon.hh"
+#include "exec/ExecPool.hh"
 #include "serve/Fleet.hh"
 
 using namespace aim;
@@ -36,10 +46,14 @@ secondsSince(Clock::time_point start)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Scaling section default is 8 threads; an explicit --threads 1
+    // really does compare serial against serial.
+    const int threads =
+        exec::ExecPool::stripThreadsFlag(argc, argv, 8);
     banner("serve-throughput",
-           "compiled-model cache amortization + policy sweep");
+           "cache amortization + policy sweep + parallel scaling");
 
     pim::PimConfig chip;
     const auto cal = power::defaultCalibration();
@@ -121,5 +135,66 @@ main()
                       util::Table::fmt(rep.aggregateTops(), 1)});
     }
     sweep.print();
+
+    // ---- (c) parallel scaling: serial vs --threads N --------------
+    serve::TraceConfig scale_cfg = tcfg;
+    scale_cfg.requests = 48;
+    scale_cfg.seed = 3307;
+    const auto scale_trace = serve::generateTrace(scale_cfg);
+
+    fcfg.policy = serve::SchedPolicy::Fcfs;
+    fcfg.threads = 1;
+    serve::Fleet serial_fleet(chip, cal, fcfg);
+    const auto serial_start = Clock::now();
+    const auto serial_rep = serial_fleet.serve(scale_trace, cache);
+    const double serial_s = secondsSince(serial_start);
+
+    fcfg.threads = threads;
+    serve::Fleet parallel_fleet(chip, cal, fcfg);
+    const auto parallel_start = Clock::now();
+    const auto parallel_rep =
+        parallel_fleet.serve(scale_trace, cache);
+    const double parallel_s = secondsSince(parallel_start);
+
+    bool identical =
+        serial_rep.render() == parallel_rep.render() &&
+        serial_rep.latencyUs == parallel_rep.latencyUs &&
+        serial_rep.queueUs == parallel_rep.queueUs &&
+        serial_rep.totalMacs == parallel_rep.totalMacs &&
+        serial_rep.irFailures == parallel_rep.irFailures;
+
+    const double speedup = serial_s / parallel_s;
+    const unsigned cores = std::thread::hardware_concurrency();
+    util::Table scaling("parallel fleet scaling "
+                        "(host wall clock, 48-request serve)");
+    scaling.setHeader(
+        {"threads", "time s", "req/s", "speedup", "identical"});
+    scaling.addRow({"1", util::Table::fmt(serial_s, 2),
+                    util::Table::fmt(scale_trace.size() / serial_s,
+                                     2),
+                    "1.00", "-"});
+    scaling.addRow({std::to_string(threads),
+                    util::Table::fmt(parallel_s, 2),
+                    util::Table::fmt(
+                        scale_trace.size() / parallel_s, 2),
+                    util::Table::fmt(speedup, 2),
+                    identical ? "yes" : "NO"});
+    scaling.print();
+    if (!identical) {
+        std::printf("FAIL: %d-thread report differs from serial\n",
+                    threads);
+        return 1;
+    }
+    if (cores >= 4) {
+        std::printf("parallel speedup: %.2fx at %d threads on %u "
+                    "cores (threshold 3x) %s\n",
+                    speedup, threads, cores,
+                    speedup >= 3.0 ? "PASS" : "FAIL");
+    } else {
+        std::printf("parallel speedup: %.2fx at %d threads (only %u "
+                    "host core%s: scaling not measurable here; "
+                    "reports verified identical)\n",
+                    speedup, threads, cores, cores == 1 ? "" : "s");
+    }
     return 0;
 }

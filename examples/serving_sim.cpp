@@ -11,13 +11,17 @@
  *
  * Build & run:
  *   ./build/examples/serving_sim [requests] [rate_rps] [arrivals]
- * with arrivals one of poisson (default), bursty, diurnal.
+ *               [--threads N]
+ * with arrivals one of poisson (default), bursty, diurnal.  N host
+ * threads execute chip runs concurrently (N <= 0 = all cores); the
+ * reports are bit-identical at any thread count.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "exec/ExecPool.hh"
 #include "serve/Fleet.hh"
 
 int
@@ -25,6 +29,7 @@ main(int argc, char **argv)
 {
     using namespace aim;
 
+    const int threads = exec::ExecPool::stripThreadsFlag(argc, argv);
     long requests = 120;
     double rate_rps = 6000.0;
     auto arrivals = serve::ArrivalKind::Poisson;
@@ -40,7 +45,7 @@ main(int argc, char **argv)
         else if (std::strcmp(argv[3], "poisson")) {
             std::fprintf(stderr,
                          "usage: serving_sim [requests] [rate_rps] "
-                         "[poisson|bursty|diurnal]\n");
+                         "[poisson|bursty|diurnal] [--threads N]\n");
             return 2;
         }
     }
@@ -60,13 +65,15 @@ main(int argc, char **argv)
                 {"ViT", 0.25, 5000.0}};
     const auto trace = serve::generateTrace(tcfg);
     std::printf("trace: %ld requests, %s %.0f req/s, mix "
-                "ResNet18/GPT2/ViT = 50/25/25\n\n",
-                requests, serve::arrivalName(arrivals), rate_rps);
+                "ResNet18/GPT2/ViT = 50/25/25, %d host thread%s\n\n",
+                requests, serve::arrivalName(arrivals), rate_rps,
+                threads, threads == 1 ? "" : "s");
 
     serve::FleetConfig fcfg;
     fcfg.chips = 3;
     fcfg.options.workScale = 0.02;
     fcfg.seed = 17;
+    fcfg.threads = threads;
 
     for (const auto policy : serve::allPolicies()) {
         fcfg.policy = policy;

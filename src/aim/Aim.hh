@@ -26,7 +26,19 @@
 namespace aim
 {
 
-/** Feature toggles and tuning of a pipeline run. */
+/**
+ * Feature toggles and tuning of a pipeline run.
+ *
+ * With the compile/execute split, every field participates in the
+ * identity of a CompiledModel: the offline fields (useLhr, lambda,
+ * useWds, wdsDelta, bits, workScale, seed, mapper) shape the
+ * artifact itself, while the runtime fields (useBooster,
+ * aggressiveAdjustment, mode, beta) travel inside it to configure
+ * execution via runConfigFor().  serve::ModelCache therefore keys
+ * artifacts on the full (model, options) pair -- two option sets
+ * that differ anywhere never share an artifact, even if only their
+ * runtime half differs.
+ */
 struct AimOptions
 {
     /** Enable the LHR regularizer during quantization (S5.3). */

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Parameter-sweep harness on top of ExecPool.  The paper-figure
+ * benches are mostly "evaluate a pure function at N parameter
+ * points, print a table in point order"; SweepDriver runs the points
+ * concurrently and hands the results back **in point order**, so a
+ * converted bench prints byte-identical output at any thread count.
+ *
+ * Points may be stochastic: the seeded overload derives each point's
+ * seed from (sweep seed, point index), exactly like
+ * ExecPool::parallelFor's TaskContext.
+ */
+
+#ifndef AIM_EXEC_SWEEPDRIVER_HH
+#define AIM_EXEC_SWEEPDRIVER_HH
+
+#include <functional>
+#include <vector>
+
+#include "exec/ExecPool.hh"
+
+namespace aim::exec
+{
+
+/** Runs independent sweep points on an ExecPool, in-order results. */
+class SweepDriver
+{
+  public:
+    /** @param pool executes the points; must outlive the driver */
+    explicit SweepDriver(ExecPool &pool) : pool(&pool) {}
+
+    /**
+     * Evaluate @p point at indices [0, n); returns results indexed
+     * by point.  @p point must be safe to call concurrently from
+     * several threads and a pure function of its index (plus
+     * read-only shared state); R needs a default constructor.
+     */
+    template <typename R>
+    std::vector<R>
+    run(long n, const std::function<R(long)> &point)
+    {
+        std::vector<R> out(static_cast<size_t>(n));
+        pool->parallelFor(n, [&](long i) {
+            out[static_cast<size_t>(i)] = point(i);
+        });
+        return out;
+    }
+
+    /**
+     * Seeded variant: the point function also receives the derived
+     * per-point seed (ExecPool::taskSeed(seed, index)).
+     */
+    template <typename R>
+    std::vector<R>
+    run(long n, uint64_t seed,
+        const std::function<R(const TaskContext &)> &point)
+    {
+        std::vector<R> out(static_cast<size_t>(n));
+        pool->parallelFor(n, seed, [&](const TaskContext &ctx) {
+            out[static_cast<size_t>(ctx.index)] = point(ctx);
+        });
+        return out;
+    }
+
+    /** Worker count of the underlying pool. */
+    int threads() const { return pool->threads(); }
+
+  private:
+    ExecPool *pool;
+};
+
+} // namespace aim::exec
+
+#endif // AIM_EXEC_SWEEPDRIVER_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "exec/ExecPool.hh"
 #include "power/VfTable.hh"
 #include "sim/Runtime.hh"
 #include "util/Logging.hh"
@@ -79,10 +80,13 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
         annotated.push_back(std::move(q));
     }
 
-    // One chip = one Runtime plus its serving state.  The per-chip
-    // RunConfig seed is irrelevant: every run gets a per-request
-    // seed through the run() overload.
+    // The modelled chips are identical and sim::Runtime::run is
+    // const and stateless across calls, so one Runtime instance
+    // executes every request; the per-chip state below is purely the
+    // queueing simulation's.  The RunConfig seed is irrelevant:
+    // every run gets a per-request seed through the run() overload.
     const sim::RunConfig rcfg = runConfigFor(fcfg.options);
+    const sim::Runtime runtime(cfg, cal, rcfg);
     struct ChipState
     {
         double freeAtUs = 0.0;
@@ -90,10 +94,6 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
         int safeLevel = 100;
     };
     std::vector<ChipState> chips(fcfg.chips);
-    std::vector<sim::Runtime> runtimes;
-    runtimes.reserve(fcfg.chips);
-    for (int c = 0; c < fcfg.chips; ++c)
-        runtimes.emplace_back(cfg, cal, rcfg);
 
     // Per-request runtime seeds keyed by id (not by chip), so every
     // policy sees identical chip noise for the same request.
@@ -104,6 +104,23 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
             seeder.fork(static_cast<uint64_t>(i) + 1).next();
         request_seed[i] = s != 0 ? s : 1;
     }
+
+    // Execute phase, the hot path.  A request's RunReport depends
+    // only on its artifact and id-keyed seed -- not on the chip, the
+    // dispatch order, or the thread that computes it -- so requests
+    // execute concurrently on the pool (workers pull indices from a
+    // shared cursor) and the dispatch replay below merges the
+    // memoized reports in arrival order.  threads = 1 runs the same
+    // loop inline: the N-thread report is bit-identical to it.
+    exec::ExecPool pool(fcfg.threads);
+    std::vector<sim::RunReport> executed(trace.size());
+    pool.parallelFor(
+        static_cast<long>(annotated.size()), [&](long i) {
+            const auto &q = annotated[static_cast<size_t>(i)];
+            executed[static_cast<size_t>(q.request.id)] =
+                runtime.run(q.compiled->rounds, q.compiled->stream,
+                            request_seed[q.request.id]);
+        });
 
     const Scheduler sched(fcfg.policy);
     rep.requests = static_cast<long>(trace.size());
@@ -165,9 +182,7 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
             retune = std::abs(q.safeLevel - chip.safeLevel) /
                      cal.levelStepPct * fcfg.retuneUsPerStep;
 
-        const auto run = runtimes[c].run(
-            q.compiled->rounds, q.compiled->stream,
-            request_seed[q.request.id]);
+        const auto &run = executed[q.request.id];
         const double service_us =
             run.wallTimeNs / 1000.0 / work_scale;
 

@@ -21,6 +21,17 @@
  * each inference (AimOptions::workScale); the fleet scales measured
  * wall times and MAC counts back to full-inference magnitudes so
  * latencies, SLOs and TOPS are in real units.
+ *
+ * Parallel execution (FleetConfig::threads): chip executions are the
+ * hot path and every request's RunReport is a pure function of its
+ * (artifact, derived seed) -- sim::Runtime::run is const and
+ * stateless across calls -- so the fleet executes requests on an
+ * exec::ExecPool whose workers pull request indices from a shared
+ * atomic cursor, then replays the dispatch simulation serially on the
+ * memoized reports, merging results in arrival order.  The
+ * ServeReport is bit-identical at any thread count (enforced by
+ * tests/serve/FleetParallelTest); threads = 1 is the inline serial
+ * reference path.
  */
 
 #ifndef AIM_SERVE_FLEET_HH
@@ -36,7 +47,16 @@
 namespace aim::serve
 {
 
-/** Fleet shape and serving-cost calibration. */
+/**
+ * Fleet shape and serving-cost calibration.
+ *
+ * `options` participates on both sides of the compile/execute split:
+ * it keys the ModelCache artifacts the fleet requests (so two fleets
+ * with different options never share artifacts) and, via
+ * runConfigFor(), configures the per-chip runtimes that execute
+ * them.  The fleet never compiles -- artifacts always come from the
+ * caller's ModelCache.
+ */
 struct FleetConfig
 {
     /** Chips in the fleet. */
@@ -47,6 +67,12 @@ struct FleetConfig
     AimOptions options;
     /** Fleet seed; per-request runtime seeds derive from it. */
     uint64_t seed = 99;
+    /**
+     * Host worker threads executing chip runs (simulated results do
+     * not depend on it).  1 = inline serial execution; <= 0 resolves
+     * to the hardware concurrency.
+     */
+    int threads = 1;
     /**
      * Macro weight reload cost per million weight elements [us]
      * (default ~ 8-bit weights over a ~100 GB/s on-package link).
@@ -67,6 +93,8 @@ class Fleet
      * Serve a trace to completion (non-preemptive, chip-exclusive).
      * Artifacts come from @p cache, compiled on first use; the trace
      * must be sorted by arrival time (generateTrace output is).
+     * Chip executions run on FleetConfig::threads host workers; the
+     * returned report is bit-identical at any thread count.
      */
     ServeReport serve(const std::vector<Request> &trace,
                       ModelCache &cache);

@@ -39,14 +39,14 @@ Runtime::Runtime(const pim::PimConfig &cfg,
 
 RunReport
 Runtime::run(const std::vector<Round> &rounds,
-             const pim::StreamSpec &stream)
+             const pim::StreamSpec &stream) const
 {
     return run(rounds, stream, rcfg.seed);
 }
 
 RunReport
 Runtime::run(const std::vector<Round> &rounds,
-             const pim::StreamSpec &stream, uint64_t seed)
+             const pim::StreamSpec &stream, uint64_t seed) const
 {
     const auto toggles =
         pim::estimateToggleStats(stream, cfg.rows, 200, seed);
@@ -59,7 +59,7 @@ Runtime::run(const std::vector<Round> &rounds,
 
 RunReport
 Runtime::runRound(const Round &round, const pim::ToggleStats &toggles,
-                  uint64_t round_seed)
+                  uint64_t round_seed) const
 {
     RunReport rep;
     if (round.tasks.empty())

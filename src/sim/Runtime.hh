@@ -97,15 +97,25 @@ class Runtime
      * @param stream activation statistics of the workload
      */
     RunReport run(const std::vector<Round> &rounds,
-                  const pim::StreamSpec &stream);
+                  const pim::StreamSpec &stream) const;
 
     /**
      * Run a compiled model with an explicit seed overriding
      * RunConfig::seed.  Lets one Runtime serve many requests with
      * decorrelated (but individually reproducible) noise streams.
+     *
+     * Thread-safety: run() is const and keeps all mutable execution
+     * state (RNG, group/set bookkeeping, monitors, boosters) in
+     * stack-local objects, so one Runtime may execute concurrent
+     * run() calls from many threads.  The report is a pure function
+     * of (rounds, stream, seed) and the construction-time config --
+     * neither the calling thread nor the interleaving of concurrent
+     * runs can change it, which is what lets exec::ExecPool
+     * parallelize fleet serving bit-identically (src/serve/Fleet).
      */
     RunReport run(const std::vector<Round> &rounds,
-                  const pim::StreamSpec &stream, uint64_t seed);
+                  const pim::StreamSpec &stream,
+                  uint64_t seed) const;
 
     /** Access the V-f table (for reporting). */
     const power::VfTable &vfTable() const { return table; }
@@ -113,7 +123,7 @@ class Runtime
   private:
     RunReport runRound(const Round &round,
                        const pim::ToggleStats &toggles,
-                       uint64_t roundSeed);
+                       uint64_t roundSeed) const;
 
     pim::PimConfig cfg;
     power::Calibration cal;

@@ -3,6 +3,12 @@
  * Descriptive statistics used by the profiling and benchmark harnesses:
  * streaming moments, percentiles, Pearson correlation and ordinary
  * least-squares fits.
+ *
+ * The free functions are pure over their input ranges and safe to
+ * call from concurrent exec::ExecPool workers; RunningStats is a
+ * plain accumulator with no internal locking -- keep one instance
+ * per task (as sim::Runtime::runRound does) and merge after the
+ * parallel region if cross-task aggregation is needed.
  */
 
 #ifndef AIM_UTIL_STATS_HH

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "serve/Fleet.hh"
+
+using namespace aim;
+using namespace aim::serve;
+
+namespace
+{
+
+/** Compiles are slow; share one cache across the whole suite. */
+ModelCache &
+sharedCache()
+{
+    static AimPipeline pipe{pim::PimConfig{},
+                            power::defaultCalibration()};
+    static ModelCache cache(pipe);
+    return cache;
+}
+
+FleetConfig
+fleetConfig(SchedPolicy policy, int threads)
+{
+    FleetConfig f;
+    f.chips = 3;
+    f.policy = policy;
+    f.options.useLhr = false; // skip QAT: compile in ms
+    f.options.workScale = 0.05;
+    f.options.mapper = mapping::MapperKind::Sequential;
+    f.seed = 5;
+    f.threads = threads;
+    return f;
+}
+
+std::vector<Request>
+trace(long requests = 24)
+{
+    TraceConfig t;
+    t.arrivals = ArrivalKind::Bursty;
+    t.meanRatePerSec = 20000.0;
+    t.requests = requests;
+    t.seed = 7;
+    t.mix = {{"ResNet18", 1.0, 4000.0},
+             {"MobileNetV2", 1.0, 4000.0}};
+    return generateTrace(t);
+}
+
+ServeReport
+run(SchedPolicy policy, int threads, long requests = 24)
+{
+    pim::PimConfig cfg;
+    const auto cal = power::defaultCalibration();
+    Fleet fleet(cfg, cal, fleetConfig(policy, threads));
+    return fleet.serve(trace(requests), sharedCache());
+}
+
+/** Field-by-field bit-identity of two serve reports. */
+void
+expectIdentical(const ServeReport &a, const ServeReport &b)
+{
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_EQ(a.makespanUs, b.makespanUs);
+    EXPECT_EQ(a.sloViolations, b.sloViolations);
+    EXPECT_EQ(a.totalMacs, b.totalMacs);
+    EXPECT_EQ(a.irFailures, b.irFailures);
+    EXPECT_EQ(a.stallWindows, b.stallWindows);
+    EXPECT_EQ(a.p50Us, b.p50Us);
+    EXPECT_EQ(a.p95Us, b.p95Us);
+    EXPECT_EQ(a.p99Us, b.p99Us);
+    ASSERT_EQ(a.latencyUs.size(), b.latencyUs.size());
+    for (size_t i = 0; i < a.latencyUs.size(); ++i) {
+        EXPECT_EQ(a.latencyUs[i], b.latencyUs[i]) << "request " << i;
+        EXPECT_EQ(a.queueUs[i], b.queueUs[i]) << "request " << i;
+    }
+    ASSERT_EQ(a.chips.size(), b.chips.size());
+    for (size_t c = 0; c < a.chips.size(); ++c) {
+        EXPECT_EQ(a.chips[c].served, b.chips[c].served);
+        EXPECT_EQ(a.chips[c].busyUs, b.chips[c].busyUs);
+        EXPECT_EQ(a.chips[c].reloadUs, b.chips[c].reloadUs);
+        EXPECT_EQ(a.chips[c].retuneUs, b.chips[c].retuneUs);
+        EXPECT_EQ(a.chips[c].modelSwitches,
+                  b.chips[c].modelSwitches);
+    }
+    // The rendered text is a function of the fields above, so it
+    // must match byte for byte as well.
+    EXPECT_EQ(a.render(), b.render());
+}
+
+} // namespace
+
+TEST(FleetParallel, NThreadReportIsBitIdenticalToSerial)
+{
+    const auto serial = run(SchedPolicy::Fcfs, 1);
+    for (int threads : {2, 4, 8})
+        expectIdentical(serial, run(SchedPolicy::Fcfs, threads));
+}
+
+TEST(FleetParallel, IdenticalAcrossThreadsForEveryPolicy)
+{
+    for (const auto policy : allPolicies()) {
+        const auto serial = run(policy, 1);
+        expectIdentical(serial, run(policy, 4));
+    }
+}
+
+TEST(FleetParallel, HardwareDefaultThreadsMatchesSerial)
+{
+    // threads <= 0 resolves to the hardware concurrency.
+    const auto serial = run(SchedPolicy::IrAware, 1);
+    expectIdentical(serial, run(SchedPolicy::IrAware, 0));
+}
+
+TEST(FleetParallel, RepeatedParallelRunsAreStable)
+{
+    // Parallel runs are deterministic against themselves too (no
+    // dependence on thread scheduling between repetitions).
+    const auto a = run(SchedPolicy::Sjf, 4);
+    const auto b = run(SchedPolicy::Sjf, 4);
+    expectIdentical(a, b);
+}
