@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 #include "exec/ExecPool.hh"
 #include "power/VfTable.hh"
@@ -14,12 +15,65 @@
 namespace aim::serve
 {
 
+std::string
+validateFleetConfig(const FleetConfig &fcfg)
+{
+    if (fcfg.chips < 1)
+        return util::detail::concat(
+            "chips must be at least 1, got ", fcfg.chips);
+    if (fcfg.threads < 0)
+        return util::detail::concat(
+            "threads must be non-negative (0 = hardware "
+            "concurrency), got ",
+            fcfg.threads);
+    if (fcfg.reloadUsPerMweight < 0.0)
+        return util::detail::concat(
+            "reloadUsPerMweight must be non-negative, got ",
+            fcfg.reloadUsPerMweight);
+    if (fcfg.retuneUsPerStep < 0.0)
+        return util::detail::concat(
+            "retuneUsPerStep must be non-negative, got ",
+            fcfg.retuneUsPerStep);
+    const std::string options = validateOptions(fcfg.options);
+    if (!options.empty())
+        return util::detail::concat("options: ", options);
+    const std::string link =
+        shard::validateInterconnectConfig(fcfg.interconnect);
+    if (!link.empty())
+        return util::detail::concat("interconnect: ", link);
+    std::set<std::string> seen;
+    for (const auto &gang : fcfg.gangs) {
+        if (gang.model.empty())
+            return "gang model name must not be empty";
+        if (!seen.insert(gang.model).second)
+            return util::detail::concat(
+                "duplicate gang entry for model '", gang.model, "'");
+        const std::string part =
+            shard::validatePartitionConfig(gang.partition);
+        if (!part.empty())
+            return util::detail::concat("gang '", gang.model,
+                                        "': ", part);
+        if (gang.partition.chips > fcfg.chips)
+            return util::detail::concat(
+                "gang '", gang.model, "' needs ",
+                gang.partition.chips, " chips but the fleet has ",
+                fcfg.chips);
+        if (gang.microBatches < 1)
+            return util::detail::concat(
+                "gang '", gang.model,
+                "': microBatches must be at least 1, got ",
+                gang.microBatches);
+    }
+    return {};
+}
+
 Fleet::Fleet(const pim::PimConfig &cfg, const power::Calibration &cal,
              const FleetConfig &fcfg)
     : cfg(cfg), cal(cal), fcfg(fcfg)
 {
-    aim_assert(fcfg.chips >= 1, "fleet needs at least one chip, got ",
-               fcfg.chips);
+    const std::string problem = validateFleetConfig(fcfg);
+    if (!problem.empty())
+        aim_fatal("invalid FleetConfig: ", problem);
 }
 
 ServeReport
@@ -34,6 +88,10 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
     const double work_scale = fcfg.options.workScale;
     const power::VfTable table(cal);
 
+    std::map<std::string, const GangSpec *> gang_of;
+    for (const auto &gang : fcfg.gangs)
+        gang_of[gang.model] = &gang;
+
     // Annotate the trace with artifacts and scheduling keys.  The
     // cache makes the per-model compile a one-time cost, and the
     // per-artifact derived quantities are memoized alongside.
@@ -46,6 +104,17 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
         int safeLevel = 100;
     };
     std::map<const CompiledModel *, ArtifactInfo> artifact_info;
+    // Per-gang-artifact dispatch data: one slot per member chip, in
+    // stage order (tensor-parallel stages occupy ways slots).
+    struct GangInfo
+    {
+        double estServiceUs = 0.0;
+        int safeLevel = 100;
+        std::vector<std::string> slotResident;
+        std::vector<int> slotLevel;
+        std::vector<double> slotReloadUs;
+    };
+    std::map<const shard::ShardedModel *, GangInfo> gang_info;
     for (const auto &request : trace) {
         aim_assert(request.id >= 0 &&
                        request.id < static_cast<long>(trace.size()),
@@ -57,25 +126,68 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
                    "trace must be sorted by arrival time");
         QueuedRequest q;
         q.request = request;
-        q.compiled = cache.get(request.model, fcfg.options);
-        auto info_it = artifact_info.find(q.compiled.get());
-        if (info_it == artifact_info.end()) {
-            ArtifactInfo info;
-            const double full_macs =
-                q.compiled->scaledMacs() / work_scale;
-            info.estServiceUs =
-                2.0 * full_macs / cal.peakTops / 1e6;
-            info.safeLevel = artifactSafeLevel(*q.compiled, table);
-            info_it = artifact_info
-                          .emplace(q.compiled.get(), info)
-                          .first;
-        }
-        q.estServiceUs = info_it->second.estServiceUs;
-        q.safeLevel = info_it->second.safeLevel;
-        if (!reload_us.count(request.model)) {
-            const auto spec = workload::modelByName(request.model);
-            reload_us[request.model] =
-                spec.totalWeights() / 1e6 * fcfg.reloadUsPerMweight;
+        const auto gang_it = gang_of.find(request.model);
+        if (gang_it != gang_of.end()) {
+            q.sharded = cache.getSharded(
+                request.model, fcfg.options,
+                gang_it->second->partition);
+            q.gangChips = q.sharded->totalChips();
+            auto info_it = gang_info.find(q.sharded.get());
+            if (info_it == gang_info.end()) {
+                GangInfo info;
+                info.estServiceUs = 2.0 *
+                                    (q.sharded->scaledMacs() /
+                                     work_scale) /
+                                    cal.peakTops / 1e6;
+                info.safeLevel = 0; // worst stage level below
+                for (size_t s = 0; s < q.sharded->stages.size();
+                     ++s) {
+                    const auto &stage = q.sharded->plan.stages[s];
+                    const int level = artifactSafeLevel(
+                        q.sharded->stages[s], table);
+                    info.safeLevel =
+                        std::max(info.safeLevel, level);
+                    const double reload =
+                        stage.weights / 1e6 *
+                        fcfg.reloadUsPerMweight;
+                    for (int w = 0; w < stage.ways; ++w) {
+                        info.slotResident.push_back(
+                            stage.subModel.name);
+                        info.slotLevel.push_back(level);
+                        info.slotReloadUs.push_back(reload);
+                    }
+                }
+                info_it = gang_info
+                              .emplace(q.sharded.get(),
+                                       std::move(info))
+                              .first;
+            }
+            q.estServiceUs = info_it->second.estServiceUs;
+            q.safeLevel = info_it->second.safeLevel;
+        } else {
+            q.compiled = cache.get(request.model, fcfg.options);
+            auto info_it = artifact_info.find(q.compiled.get());
+            if (info_it == artifact_info.end()) {
+                ArtifactInfo info;
+                const double full_macs =
+                    q.compiled->scaledMacs() / work_scale;
+                info.estServiceUs =
+                    2.0 * full_macs / cal.peakTops / 1e6;
+                info.safeLevel =
+                    artifactSafeLevel(*q.compiled, table);
+                info_it = artifact_info
+                              .emplace(q.compiled.get(), info)
+                              .first;
+            }
+            q.estServiceUs = info_it->second.estServiceUs;
+            q.safeLevel = info_it->second.safeLevel;
+            if (!reload_us.count(request.model)) {
+                const auto spec =
+                    workload::modelByName(request.model);
+                reload_us[request.model] =
+                    spec.totalWeights() / 1e6 *
+                    fcfg.reloadUsPerMweight;
+            }
         }
         annotated.push_back(std::move(q));
     }
@@ -105,21 +217,39 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
         request_seed[i] = s != 0 ? s : 1;
     }
 
-    // Execute phase, the hot path.  A request's RunReport depends
-    // only on its artifact and id-keyed seed -- not on the chip, the
+    // Execute phase, the hot path.  A request's report depends only
+    // on its artifact and id-keyed seed -- not on the chips, the
     // dispatch order, or the thread that computes it -- so requests
     // execute concurrently on the pool (workers pull indices from a
     // shared cursor) and the dispatch replay below merges the
-    // memoized reports in arrival order.  threads = 1 runs the same
+    // memoized reports in arrival order.  Sharded requests run their
+    // whole (stage, micro-batch) grid inline on the worker (the
+    // inner runtime gets one thread); the outer pool already keeps
+    // every core busy across requests.  threads = 1 runs the same
     // loop inline: the N-thread report is bit-identical to it.
-    exec::ExecPool pool(fcfg.threads);
+    exec::ExecPool pool(fcfg.threads == 0 ? -1 : fcfg.threads);
     std::vector<sim::RunReport> executed(trace.size());
+    std::vector<shard::ShardReport> shard_executed(trace.size());
     pool.parallelFor(
         static_cast<long>(annotated.size()), [&](long i) {
             const auto &q = annotated[static_cast<size_t>(i)];
-            executed[static_cast<size_t>(q.request.id)] =
-                runtime.run(q.compiled->rounds, q.compiled->stream,
-                            request_seed[q.request.id]);
+            const auto id = static_cast<size_t>(q.request.id);
+            if (q.sharded) {
+                shard::ShardRuntimeConfig scfg;
+                scfg.microBatches =
+                    gang_of.at(q.request.model)->microBatches;
+                scfg.threads = 1;
+                scfg.interconnect = fcfg.interconnect;
+                const shard::ShardedRuntime sharded_rt(cfg, cal,
+                                                       scfg);
+                shard_executed[id] = sharded_rt.execute(
+                    *q.sharded, request_seed[id]);
+            } else {
+                executed[id] =
+                    runtime.run(q.compiled->rounds,
+                                q.compiled->stream,
+                                request_seed[id]);
+            }
         });
 
     const Scheduler sched(fcfg.policy);
@@ -169,6 +299,75 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
         const QueuedRequest q = pending[idx];
         pending.erase(pending.begin() +
                       static_cast<std::ptrdiff_t>(idx));
+
+        if (q.sharded) {
+            // Gang dispatch: acquire the gangChips earliest-free
+            // chips (non-backfilling -- members already free wait
+            // for the last one) and hold all of them for the
+            // pipeline makespan.
+            const GangInfo &info = gang_info.at(q.sharded.get());
+            const int g = q.gangChips;
+            std::vector<int> member(fcfg.chips);
+            for (int i = 0; i < fcfg.chips; ++i)
+                member[i] = i;
+            std::sort(member.begin(), member.end(),
+                      [&](int a, int b) {
+                          if (chips[a].freeAtUs != chips[b].freeAtUs)
+                              return chips[a].freeAtUs <
+                                     chips[b].freeAtUs;
+                          return a < b;
+                      });
+            member.resize(static_cast<size_t>(g));
+            double start = now;
+            for (int m : member)
+                start = std::max(start, chips[m].freeAtUs);
+
+            // Per-member stage preparation runs in parallel across
+            // the gang; the pipeline starts when the slowest member
+            // finishes reloading and retuning.
+            double prep = 0.0;
+            const auto &srep = shard_executed[q.request.id];
+            const double service = srep.makespanUs / work_scale;
+            for (size_t j = 0; j < member.size(); ++j) {
+                auto &chip = chips[member[j]];
+                auto &usage = rep.chips[member[j]];
+                double reload = 0.0;
+                if (chip.resident != info.slotResident[j]) {
+                    reload = info.slotReloadUs[j];
+                    ++usage.modelSwitches;
+                }
+                double retune = 0.0;
+                if (fcfg.options.useBooster && cal.levelStepPct > 0)
+                    retune = std::abs(info.slotLevel[j] -
+                                      chip.safeLevel) /
+                             cal.levelStepPct *
+                             fcfg.retuneUsPerStep;
+                prep = std::max(prep, reload + retune);
+                usage.reloadUs += reload;
+                usage.retuneUs += retune;
+                usage.busyUs += service;
+                ++usage.served;
+                chip.resident = info.slotResident[j];
+                chip.safeLevel = info.slotLevel[j];
+            }
+            const double finish = start + prep + service;
+            for (int m : member)
+                chips[m].freeAtUs = finish;
+            last_completion = std::max(last_completion, finish);
+
+            rep.latencyUs[q.request.id] =
+                finish - q.request.arrivalUs;
+            rep.queueUs[q.request.id] =
+                start - q.request.arrivalUs;
+            if (q.request.sloUs > 0.0 &&
+                rep.latencyUs[q.request.id] > q.request.sloUs)
+                ++rep.sloViolations;
+            rep.totalMacs += srep.totalMacs / work_scale;
+            rep.irFailures += srep.merged.failures;
+            rep.stallWindows += srep.merged.stallWindows;
+            ++rep.gangDispatches;
+            continue;
+        }
 
         auto &chip = chips[c];
         auto &usage = rep.chips[c];

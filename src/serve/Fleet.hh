@@ -37,15 +37,35 @@
 #ifndef AIM_SERVE_FLEET_HH
 #define AIM_SERVE_FLEET_HH
 
+#include <string>
 #include <vector>
 
 #include "aim/Aim.hh"
 #include "serve/ModelCache.hh"
 #include "serve/Scheduler.hh"
 #include "serve/ServeReport.hh"
+#include "shard/Partitioner.hh"
+#include "shard/ShardedRuntime.hh"
 
 namespace aim::serve
 {
+
+/**
+ * Gang-dispatch rule: requests for @p model execute sharded across
+ * a group of partition.chips chips (src/shard/) instead of on a
+ * single chip.  The gang is acquired atomically -- the request waits
+ * until that many chips are simultaneously free -- and every member
+ * chip is held for the whole pipeline makespan.
+ */
+struct GangSpec
+{
+    /** ModelZoo name served sharded. */
+    std::string model;
+    /** Partition shape (partition.chips = gang size). */
+    shard::PartitionConfig partition;
+    /** Micro-batches per request in the stage pipeline. */
+    int microBatches = 4;
+};
 
 /**
  * Fleet shape and serving-cost calibration.
@@ -69,8 +89,9 @@ struct FleetConfig
     uint64_t seed = 99;
     /**
      * Host worker threads executing chip runs (simulated results do
-     * not depend on it).  1 = inline serial execution; <= 0 resolves
-     * to the hardware concurrency.
+     * not depend on it).  1 = inline serial execution; 0 resolves to
+     * the hardware concurrency; negative is rejected by
+     * validateFleetConfig.
      */
     int threads = 1;
     /**
@@ -80,7 +101,24 @@ struct FleetConfig
     double reloadUsPerMweight = 8.0;
     /** Booster V-f retune cost per safe-level step [us]. */
     double retuneUsPerStep = 0.5;
+    /** Models served sharded across chip gangs (may be empty). */
+    std::vector<GangSpec> gangs;
+    /** Chip-to-chip link calibration for gang-dispatched models. */
+    shard::InterconnectConfig interconnect;
 };
+
+/**
+ * Check a fleet shape for values the simulation cannot represent.
+ *
+ * @return empty when valid, otherwise a human-readable description
+ *         of the first problem found: non-positive chips, negative
+ *         threads, invalid AimOptions / interconnect calibration, a
+ *         gang whose size exceeds the fleet or whose partition /
+ *         micro-batch shape is invalid, or duplicate gang models.
+ *         The Fleet constructor calls this and aim_fatal on a
+ *         non-empty result.
+ */
+std::string validateFleetConfig(const FleetConfig &fcfg);
 
 /** Simulates serving a request trace on a fleet of AIM chips. */
 class Fleet
@@ -95,6 +133,11 @@ class Fleet
      * must be sorted by arrival time (generateTrace output is).
      * Chip executions run on FleetConfig::threads host workers; the
      * returned report is bit-identical at any thread count.
+     *
+     * Requests for a FleetConfig::gangs model execute sharded: the
+     * fleet acquires the gang's chips atomically (start waits for
+     * all members to free up), charges per-chip stage reloads and
+     * retunes, and holds every member for the pipeline makespan.
      */
     ServeReport serve(const std::vector<Request> &trace,
                       ModelCache &cache);

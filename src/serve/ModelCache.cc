@@ -9,7 +9,23 @@
 namespace aim::serve
 {
 
-ModelCache::ModelCache(const AimPipeline &pipeline) : pipe(&pipeline)
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+} // namespace
+
+ModelCache::ModelCache(const AimPipeline &pipeline, size_t capacity)
+    : pipe(&pipeline), maxEntries(capacity)
 {
 }
 
@@ -34,25 +50,88 @@ ModelCache::key(const std::string &model, const AimOptions &opts)
     return os.str();
 }
 
-std::shared_ptr<const CompiledModel>
-ModelCache::get(const std::string &model, const AimOptions &opts)
+std::string
+ModelCache::shardedKey(const std::string &model,
+                       const AimOptions &opts,
+                       const shard::PartitionConfig &pcfg)
 {
-    const std::string k = key(model, opts);
-    auto it = entries.find(k);
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << key(model, opts) << "|shard|chips=" << pcfg.chips
+       << ",tp=" << pcfg.allowTensorParallel
+       << ",tsf=" << pcfg.tensorSplitFactor
+       << ",ways=" << pcfg.maxTensorWays
+       << ",aff=" << pcfg.rtogAffinityWeight;
+    return os.str();
+}
+
+template <typename Compile>
+ModelCache::Entry &
+ModelCache::lookup(const std::string &key, Compile &&compile)
+{
+    auto it = entries.find(key);
     if (it != entries.end()) {
         ++hitCount;
+        touch(it->second);
         return it->second;
     }
     ++missCount;
-    const auto spec = workload::modelByName(model);
-    const auto t0 = std::chrono::steady_clock::now();
-    auto compiled = std::make_shared<const CompiledModel>(
-        pipe->compile(spec, opts));
-    const auto t1 = std::chrono::steady_clock::now();
-    compileWallMs +=
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
-    entries.emplace(k, compiled);
-    return compiled;
+    Entry entry;
+    const auto t0 = Clock::now();
+    compile(entry);
+    compileWallMs += msSince(t0);
+    touch(entry);
+    it = entries.emplace(key, std::move(entry)).first;
+    enforceCapacity();
+    return it->second;
+}
+
+std::shared_ptr<const CompiledModel>
+ModelCache::get(const std::string &model, const AimOptions &opts)
+{
+    return lookup(key(model, opts), [&](Entry &entry) {
+        entry.plain = std::make_shared<const CompiledModel>(
+            pipe->compile(workload::modelByName(model), opts));
+    }).plain;
+}
+
+std::shared_ptr<const shard::ShardedModel>
+ModelCache::getSharded(const std::string &model,
+                       const AimOptions &opts,
+                       const shard::PartitionConfig &pcfg)
+{
+    return lookup(
+               shardedKey(model, opts, pcfg),
+               [&](Entry &entry) {
+                   entry.sharded =
+                       std::make_shared<const shard::ShardedModel>(
+                           shard::compileSharded(
+                               *pipe, workload::modelByName(model),
+                               opts, pcfg));
+               })
+        .sharded;
+}
+
+void
+ModelCache::setCapacity(size_t capacity)
+{
+    maxEntries = capacity;
+    enforceCapacity();
+}
+
+void
+ModelCache::enforceCapacity()
+{
+    if (maxEntries == 0)
+        return;
+    while (entries.size() > maxEntries) {
+        auto lru = entries.begin();
+        for (auto it = entries.begin(); it != entries.end(); ++it)
+            if (it->second.lastUse < lru->second.lastUse)
+                lru = it;
+        entries.erase(lru);
+        ++evictionCount;
+    }
 }
 
 void
@@ -61,6 +140,7 @@ ModelCache::clear()
     entries.clear();
     hitCount = 0;
     missCount = 0;
+    evictionCount = 0;
     compileWallMs = 0.0;
 }
 

@@ -16,6 +16,12 @@
  * Policies are pure functions of the queue and the chip context, so
  * the fleet can swap them per experiment without touching the event
  * loop.
+ *
+ * Chip-group dispatch: a QueuedRequest whose model is sharded
+ * (src/shard/) carries gangChips > 1 and a ShardedModel artifact.
+ * Policies rank it like any other request; when picked, the fleet
+ * acquires the gangChips earliest-free chips and holds them all for
+ * the pipeline makespan (src/serve/Fleet).
  */
 
 #ifndef AIM_SERVE_SCHEDULER_HH
@@ -27,6 +33,11 @@
 #include "aim/Aim.hh"
 #include "power/VfTable.hh"
 #include "serve/Trace.hh"
+
+namespace aim::shard
+{
+struct ShardedModel;
+}
 
 namespace aim::serve
 {
@@ -49,11 +60,20 @@ std::vector<SchedPolicy> allPolicies();
 struct QueuedRequest
 {
     Request request;
-    /** Cached artifact the request will execute. */
+    /** Cached artifact the request will execute (gang: null). */
     std::shared_ptr<const CompiledModel> compiled;
+    /** Sharded artifact of a gang-dispatched request (else null). */
+    std::shared_ptr<const shard::ShardedModel> sharded;
+    /**
+     * Chips the request occupies simultaneously.  1 for ordinary
+     * requests; gang-dispatched (sharded) requests hold this many
+     * chips for their whole pipeline makespan.
+     */
+    int gangChips = 1;
     /** Predicted full-inference service time [us] (SJF key). */
     double estServiceUs = 0.0;
-    /** Safe Rtog level of the artifact's worst layer [%]. */
+    /** Safe Rtog level of the artifact's worst layer [%] (gangs:
+     * worst stage). */
     int safeLevel = 100;
 };
 

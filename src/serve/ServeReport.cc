@@ -75,6 +75,13 @@ ServeReport::render() const
                   sloViolations, requests, totalModelSwitches(),
                   irFailures, stallWindows);
     os << line;
+    if (gangDispatches > 0) {
+        std::snprintf(line, sizeof(line),
+                      "gang dispatches %ld (sharded multi-chip "
+                      "requests)\n",
+                      gangDispatches);
+        os << line;
+    }
 
     util::Table t("per-chip usage");
     t.setHeader({"chip", "served", "busy %", "reload %", "retune %",

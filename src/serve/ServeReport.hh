@@ -55,6 +55,8 @@ struct ServeReport
     long irFailures = 0;
     /** Runtime windows lost to recompute / V-f settling. */
     long stallWindows = 0;
+    /** Requests dispatched to multi-chip gangs (sharded models). */
+    long gangDispatches = 0;
     /** Per-chip usage, indexed by chip id. */
     std::vector<ChipUsage> chips;
 

@@ -1,0 +1,72 @@
+#include "shard/Interconnect.hh"
+
+#include "util/Logging.hh"
+
+namespace aim::shard
+{
+
+std::string
+validateInterconnectConfig(const InterconnectConfig &cfg)
+{
+    if (cfg.linkLatencyUs < 0.0)
+        return util::detail::concat(
+            "linkLatencyUs must be non-negative, got ",
+            cfg.linkLatencyUs);
+    if (!(cfg.linkGBps > 0.0))
+        return util::detail::concat(
+            "linkGBps must be positive, got ", cfg.linkGBps);
+    if (!(cfg.bytesPerElement > 0.0))
+        return util::detail::concat(
+            "bytesPerElement must be positive, got ",
+            cfg.bytesPerElement);
+    return {};
+}
+
+InterconnectModel::InterconnectModel(const InterconnectConfig &cfg)
+    : cfg(cfg)
+{
+    const std::string problem = validateInterconnectConfig(cfg);
+    if (!problem.empty())
+        aim_fatal("invalid InterconnectConfig: ", problem);
+}
+
+double
+InterconnectModel::bytesOf(long elements) const
+{
+    return elements > 0
+               ? static_cast<double>(elements) * cfg.bytesPerElement
+               : 0.0;
+}
+
+double
+InterconnectModel::transferUs(long elements) const
+{
+    if (elements <= 0)
+        return 0.0;
+    // GB/s == bytes/us / 1e3.
+    return cfg.linkLatencyUs + bytesOf(elements) / (cfg.linkGBps * 1e3);
+}
+
+double
+InterconnectModel::allGatherUs(long elements, int ways) const
+{
+    if (ways <= 1 || elements <= 0)
+        return 0.0;
+    const double w = ways;
+    const double payload = bytesOf(elements) * (w - 1.0) / w;
+    return (w - 1.0) * cfg.linkLatencyUs +
+           payload / (cfg.linkGBps * 1e3);
+}
+
+double
+InterconnectModel::allReduceUs(long elements, int ways) const
+{
+    if (ways <= 1 || elements <= 0)
+        return 0.0;
+    const double w = ways;
+    const double payload = 2.0 * bytesOf(elements) * (w - 1.0) / w;
+    return 2.0 * (w - 1.0) * cfg.linkLatencyUs +
+           payload / (cfg.linkGBps * 1e3);
+}
+
+} // namespace aim::shard

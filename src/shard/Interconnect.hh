@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Chip-to-chip interconnect cost model of the sharded cluster.  The
+ * modelled AIM package exposes point-to-point links between chips
+ * (think on-package D2D or a PCB serdes ring); the sharding layer
+ * charges every stage-boundary activation transfer and every
+ * tensor-parallel collective against this model, so partitioning
+ * choices trade compute balance against link time explicitly.
+ *
+ * Costs follow the standard alpha-beta form: a transfer of B bytes
+ * over one link costs latency + B / bandwidth.  Collectives use the
+ * bandwidth-optimal ring algorithms (all-gather moves (w-1)/w of the
+ * full payload per member over w-1 steps; all-reduce is twice that),
+ * which is what NCCL-class libraries converge to on ring topologies.
+ */
+
+#ifndef AIM_SHARD_INTERCONNECT_HH
+#define AIM_SHARD_INTERCONNECT_HH
+
+#include <string>
+
+namespace aim::shard
+{
+
+/** Link calibration of the multi-chip package. */
+struct InterconnectConfig
+{
+    /** Per-message link latency [us] (serialization + hop). */
+    double linkLatencyUs = 0.5;
+    /**
+     * Per-link bandwidth [GB/s].  The default models an on-package
+     * die-to-die link, an order of magnitude below the ~100 GB/s
+     * on-chip reload path the fleet charges for weight loads.
+     */
+    double linkGBps = 25.0;
+    /** Bytes per transferred activation element (INT8 default). */
+    double bytesPerElement = 1.0;
+};
+
+/**
+ * Check an interconnect calibration for representable values.
+ *
+ * @return empty when valid, else a human-readable description of the
+ *         first problem (non-positive bandwidth or element size,
+ *         negative latency).
+ */
+std::string validateInterconnectConfig(const InterconnectConfig &cfg);
+
+/** Analytic link-time model over the package topology. */
+class InterconnectModel
+{
+  public:
+    /** Fatal on an invalid @p cfg. */
+    explicit InterconnectModel(const InterconnectConfig &cfg);
+
+    /** Point-to-point transfer of @p elements activations [us]. */
+    double transferUs(long elements) const;
+
+    /**
+     * Ring all-gather of @p elements *total* output elements across
+     * @p ways members [us]: each member contributes elements/ways and
+     * receives the rest over ways-1 steps.  ways <= 1 is free.
+     */
+    double allGatherUs(long elements, int ways) const;
+
+    /**
+     * Ring all-reduce of @p elements partial sums across @p ways
+     * members [us] (reduce-scatter + all-gather, 2(w-1)/w payload).
+     * ways <= 1 is free.
+     *
+     * The ShardedRuntime's column-parallel tensor splits only need
+     * allGatherUs; this is the matching primitive for reduction-
+     * split (row-parallel) layouts, exposed so partition experiments
+     * can price both without growing the model.
+     */
+    double allReduceUs(long elements, int ways) const;
+
+    const InterconnectConfig &config() const { return cfg; }
+
+  private:
+    double bytesOf(long elements) const;
+
+    InterconnectConfig cfg;
+};
+
+} // namespace aim::shard
+
+#endif // AIM_SHARD_INTERCONNECT_HH

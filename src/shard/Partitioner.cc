@@ -1,0 +1,335 @@
+#include "shard/Partitioner.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/Logging.hh"
+
+namespace aim::shard
+{
+
+std::string
+validatePartitionConfig(const PartitionConfig &cfg)
+{
+    if (cfg.chips < 1)
+        return util::detail::concat("chips must be at least 1, got ",
+                                    cfg.chips);
+    if (!(cfg.tensorSplitFactor > 0.0))
+        return util::detail::concat(
+            "tensorSplitFactor must be positive, got ",
+            cfg.tensorSplitFactor);
+    if (cfg.maxTensorWays < 1)
+        return util::detail::concat(
+            "maxTensorWays must be at least 1, got ",
+            cfg.maxTensorWays);
+    if (cfg.rtogAffinityWeight < 0.0)
+        return util::detail::concat(
+            "rtogAffinityWeight must be non-negative, got ",
+            cfg.rtogAffinityWeight);
+    return {};
+}
+
+int
+ShardPlan::totalChips() const
+{
+    int chips = 0;
+    for (const auto &s : stages)
+        chips += s.ways;
+    return chips;
+}
+
+long
+ShardPlan::maxStageMacs() const
+{
+    long worst = 0;
+    for (const auto &s : stages)
+        worst = std::max(worst, s.macs);
+    return worst;
+}
+
+long
+ShardPlan::minStageMacs() const
+{
+    if (stages.empty())
+        return 0;
+    long best = std::numeric_limits<long>::max();
+    for (const auto &s : stages)
+        best = std::min(best, s.macs);
+    return best;
+}
+
+double
+ShardPlan::imbalance() const
+{
+    if (stages.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &s : stages)
+        sum += static_cast<double>(s.macs);
+    const double mean = sum / static_cast<double>(stages.size());
+    return mean > 0.0 ? maxStageMacs() / mean - 1.0 : 0.0;
+}
+
+Partitioner::Partitioner(const PartitionConfig &cfg) : cfg(cfg)
+{
+    const std::string problem = validatePartitionConfig(cfg);
+    if (!problem.empty())
+        aim_fatal("invalid PartitionConfig: ", problem);
+}
+
+namespace
+{
+
+/** Booster level class of a layer: 100%-pinned vs weight-driven. */
+int
+levelClass(const workload::LayerSpec &layer)
+{
+    return workload::isInputDetermined(layer.type) ? 1 : 0;
+}
+
+/**
+ * Stage cost of layer range [a, b): total MACs, surcharged when the
+ * range mixes booster level classes (the DP then prefers cuts at
+ * class boundaries whenever balance allows).
+ */
+double
+rangeCost(const std::vector<const workload::LayerSpec *> &layers,
+          size_t a, size_t b, double affinity)
+{
+    double macs = 0.0;
+    bool has[2] = {false, false};
+    for (size_t i = a; i < b; ++i) {
+        macs += static_cast<double>(layers[i]->macs());
+        has[levelClass(*layers[i])] = true;
+    }
+    return has[0] && has[1] ? macs * (1.0 + affinity) : macs;
+}
+
+/**
+ * Min-max contiguous partition of @p layers into @p k ranges.
+ * Returns the k+1 cut positions (first 0, last layers.size()).
+ */
+std::vector<size_t>
+minMaxPartition(const std::vector<const workload::LayerSpec *> &layers,
+                size_t k, double affinity)
+{
+    const size_t n = layers.size();
+    aim_assert(k >= 1 && k <= n, "partition arity out of range: ", k,
+               " ranges over ", n, " layers");
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    // best[j][b]: minimal worst-range cost splitting [0, b) into j+1
+    // ranges; cut[j][b]: position of the last cut achieving it.
+    std::vector<std::vector<double>> best(
+        k, std::vector<double>(n + 1, inf));
+    std::vector<std::vector<size_t>> cut(
+        k, std::vector<size_t>(n + 1, 0));
+    for (size_t b = 1; b <= n; ++b)
+        best[0][b] = rangeCost(layers, 0, b, affinity);
+    for (size_t j = 1; j < k; ++j)
+        for (size_t b = j + 1; b <= n; ++b)
+            for (size_t a = j; a < b; ++a) {
+                const double worst =
+                    std::max(best[j - 1][a],
+                             rangeCost(layers, a, b, affinity));
+                if (worst < best[j][b]) {
+                    best[j][b] = worst;
+                    cut[j][b] = a;
+                }
+            }
+    std::vector<size_t> cuts(k + 1);
+    cuts[k] = n;
+    for (size_t j = k; j-- > 1;)
+        cuts[j] = cut[j][cuts[j + 1]];
+    cuts[0] = 0;
+    return cuts;
+}
+
+/** An alternating sequence element: a TP singleton or a plain run. */
+struct Item
+{
+    bool tensorParallel = false;
+    size_t first = 0; ///< layer range [first, last)
+    size_t last = 0;
+    int ways = 1; ///< TP items only
+};
+
+/** Sum of layer MACs over [first, last). */
+long
+itemMacs(const workload::ModelSpec &model, const Item &item)
+{
+    long macs = 0;
+    for (size_t i = item.first; i < item.last; ++i)
+        macs += model.layers[i].macs();
+    return macs;
+}
+
+} // namespace
+
+ShardPlan
+Partitioner::partition(const workload::ModelSpec &model) const
+{
+    aim_assert(!model.layers.empty(),
+               "cannot partition a model with no layers: ",
+               model.name);
+    ShardPlan plan;
+    plan.modelName = model.name;
+    plan.config = cfg;
+
+    const size_t n = model.layers.size();
+    const double total =
+        static_cast<double>(std::max(model.totalMacs(), 1L));
+    const double budget = total / cfg.chips;
+
+    // 1. Mark oversized operators for tensor-parallel splitting.
+    // Input-determined operators stay whole: their in-memory data is
+    // produced at runtime and cannot be pre-placed across chips.
+    std::vector<int> ways(n, 1);
+    if (cfg.chips >= 2 && cfg.allowTensorParallel &&
+        cfg.maxTensorWays >= 2) {
+        for (size_t i = 0; i < n; ++i) {
+            const auto &layer = model.layers[i];
+            if (workload::isInputDetermined(layer.type))
+                continue;
+            const double macs = static_cast<double>(layer.macs());
+            if (macs <= cfg.tensorSplitFactor * budget)
+                continue;
+            int w = static_cast<int>(std::ceil(macs / budget));
+            w = std::min({w, cfg.maxTensorWays, cfg.chips,
+                          layer.outChannels});
+            if (w >= 2)
+                ways[i] = w;
+        }
+    }
+
+    // 2. Shrink tensor-parallel ways until the chip budget also
+    // leaves one chip per pipeline item (every plain run between TP
+    // operators needs at least one stage of its own).
+    auto buildItems = [&] {
+        std::vector<Item> items;
+        size_t run = 0;
+        for (size_t i = 0; i < n; ++i) {
+            if (ways[i] <= 1)
+                continue;
+            if (run < i)
+                items.push_back({false, run, i, 1});
+            items.push_back({true, i, i + 1, ways[i]});
+            run = i + 1;
+        }
+        if (run < n)
+            items.push_back({false, run, n, 1});
+        return items;
+    };
+    std::vector<Item> items = buildItems();
+    for (;;) {
+        int extra = 0;
+        for (size_t i = 0; i < n; ++i)
+            extra += ways[i] - 1;
+        const int stagesAvailable = cfg.chips - extra;
+        if (stagesAvailable >= static_cast<int>(items.size()))
+            break;
+        // Decrement the widest TP operator (latest on ties: trimming
+        // the decoder tail first keeps early stages stable).
+        size_t widest = n;
+        for (size_t i = 0; i < n; ++i)
+            if (ways[i] >= 2 &&
+                (widest == n || ways[i] >= ways[widest]))
+                widest = i;
+        aim_assert(widest < n, "no tensor-parallel operator left to "
+                   "shrink while over chip budget");
+        --ways[widest];
+        if (ways[widest] == 1)
+            items = buildItems();
+    }
+    // Re-snapshot: the loop above mutates ways[] without refreshing
+    // the per-item copies unless an operator dropped out of TP.
+    items = buildItems();
+
+    // 3. Distribute the remaining pipeline stages across the plain
+    // runs proportionally to their MACs (largest remainder, every
+    // run keeps at least one stage, no run exceeds its layer count).
+    int extra = 0;
+    for (size_t i = 0; i < n; ++i)
+        extra += ways[i] - 1;
+    int spare = cfg.chips - extra - static_cast<int>(items.size());
+    std::vector<size_t> stagesOf(items.size(), 1);
+    while (spare > 0) {
+        // Give one stage to the plain run with the largest MACs per
+        // already-assigned stage that can still split further.
+        size_t pick = items.size();
+        double pickRate = -1.0;
+        for (size_t j = 0; j < items.size(); ++j) {
+            if (items[j].tensorParallel)
+                continue;
+            const size_t span = items[j].last - items[j].first;
+            if (stagesOf[j] >= span)
+                continue;
+            const double rate =
+                static_cast<double>(itemMacs(model, items[j])) /
+                static_cast<double>(stagesOf[j] + 1);
+            if (rate > pickRate) {
+                pickRate = rate;
+                pick = j;
+            }
+        }
+        if (pick == items.size())
+            break; // nothing can split further; use fewer chips
+        ++stagesOf[pick];
+        --spare;
+    }
+
+    // 4. Emit stages: DP-balance each plain run, slice TP operators.
+    auto makeSubModel = [&](size_t first, size_t last, int w) {
+        workload::ModelSpec sub = model;
+        sub.name = model.name + "#s" +
+                   std::to_string(plan.stages.size());
+        sub.layers.assign(model.layers.begin() +
+                              static_cast<std::ptrdiff_t>(first),
+                          model.layers.begin() +
+                              static_cast<std::ptrdiff_t>(last));
+        if (w > 1)
+            for (auto &layer : sub.layers)
+                layer.outChannels =
+                    (layer.outChannels + w - 1) / w;
+        return sub;
+    };
+    auto pushStage = [&](size_t first, size_t last, int w) {
+        StageSpec stage;
+        stage.subModel = makeSubModel(first, last, w);
+        stage.firstLayer = static_cast<int>(first);
+        stage.lastLayer = static_cast<int>(last);
+        stage.ways = w;
+        stage.macs = stage.subModel.totalMacs();
+        stage.weights = stage.subModel.totalWeights();
+        const auto &exit = model.layers[last - 1];
+        stage.exitActivations =
+            static_cast<long>(exit.outChannels) * exit.spatial;
+        bool has[2] = {false, false};
+        for (size_t i = first; i < last; ++i)
+            has[levelClass(model.layers[i])] = true;
+        stage.mixedLevels = has[0] && has[1];
+        plan.stages.push_back(std::move(stage));
+    };
+    for (size_t j = 0; j < items.size(); ++j) {
+        const Item &item = items[j];
+        if (item.tensorParallel) {
+            pushStage(item.first, item.last, item.ways);
+            continue;
+        }
+        std::vector<const workload::LayerSpec *> layers;
+        layers.reserve(item.last - item.first);
+        for (size_t i = item.first; i < item.last; ++i)
+            layers.push_back(&model.layers[i]);
+        const auto cuts = minMaxPartition(layers, stagesOf[j],
+                                          cfg.rtogAffinityWeight);
+        for (size_t s = 0; s + 1 < cuts.size(); ++s)
+            pushStage(item.first + cuts[s], item.first + cuts[s + 1],
+                      1);
+    }
+    aim_assert(plan.totalChips() <= cfg.chips,
+               "plan uses ", plan.totalChips(), " chips over budget ",
+               cfg.chips);
+    return plan;
+}
+
+} // namespace aim::shard

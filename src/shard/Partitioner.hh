@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Model partitioner of the sharding subsystem.  Splits a
+ * workload::ModelSpec whose weight footprint exceeds one 64-macro AIM
+ * chip into per-chip *stages*:
+ *
+ *   pipeline parallelism -- contiguous layer ranges, one range per
+ *       chip, balanced by MAC count through a min-max DP so no stage
+ *       becomes the bottleneck of the micro-batched pipeline
+ *   tensor parallelism   -- a single operator whose MAC count dwarfs
+ *       the per-chip budget is split across several chips along its
+ *       output channels; the member chips each run the slice and
+ *       all-gather the full activation afterwards
+ *
+ * The DP's stage cost carries an Rtog-affinity term: a stage mixing
+ * input-determined attention operators (which pin the IR-Booster at
+ * the 100% DVFS level) with low-HR weight layers is charged a small
+ * penalty, so cuts prefer class boundaries and chips can park their
+ * booster at one safe level for the whole stage (the same property
+ * the serving fleet's IR-aware policy exploits across requests).
+ *
+ * Partitioning is a pure function of (model, config): plans are
+ * deterministic and cacheable (serve::ModelCache stores the compiled
+ * stages keyed on the partition parameters).
+ */
+
+#ifndef AIM_SHARD_PARTITIONER_HH
+#define AIM_SHARD_PARTITIONER_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/ModelZoo.hh"
+
+namespace aim::shard
+{
+
+/** Shape of the requested sharding. */
+struct PartitionConfig
+{
+    /** Chips in the gang (pipeline stages + tensor-parallel extras). */
+    int chips = 2;
+    /** Allow splitting oversized single operators across chips. */
+    bool allowTensorParallel = true;
+    /**
+     * An operator is "oversized" when its MACs exceed this multiple
+     * of the per-chip MAC budget (totalMacs / chips); oversized
+     * operators become singleton tensor-parallel stages.
+     */
+    double tensorSplitFactor = 1.25;
+    /** Maximum chips one tensor-parallel operator may occupy. */
+    int maxTensorWays = 4;
+    /**
+     * Rtog-affinity weight: fractional cost surcharge on a stage that
+     * mixes input-determined (100%-level) and weight-bearing (low
+     * safe level) operators.  0 disables the affinity term.
+     */
+    double rtogAffinityWeight = 0.15;
+};
+
+/**
+ * Check a partition shape for representable values.
+ *
+ * @return empty when valid, else a description of the first problem
+ *         (non-positive chips / split factor / ways, negative
+ *         affinity weight).
+ */
+std::string validatePartitionConfig(const PartitionConfig &cfg);
+
+/** One pipeline stage of a sharded model. */
+struct StageSpec
+{
+    /**
+     * The stage's layers as a standalone model (metadata inherited
+     * from the parent; name suffixed "#s<index>").  For a
+     * tensor-parallel stage this is the *per-chip slice*: output
+     * channels are divided by ways, so compiling it yields the rounds
+     * one member chip executes.
+     */
+    workload::ModelSpec subModel;
+    /** Layer range [firstLayer, lastLayer) in the parent model. */
+    int firstLayer = 0;
+    int lastLayer = 0;
+    /** Chips executing this stage (> 1 = tensor-parallel). */
+    int ways = 1;
+    /** Per-chip MAC count of the stage (slice MACs for TP stages). */
+    long macs = 0;
+    /** Per-chip pretrained weight elements resident on the stage. */
+    long weights = 0;
+    /**
+     * Full activation elements leaving the stage per inference
+     * (outChannels x spatial of the last layer); drives the
+     * stage-boundary transfer and, for TP stages, the all-gather.
+     */
+    long exitActivations = 0;
+    /** True when the stage mixes booster level classes. */
+    bool mixedLevels = false;
+};
+
+/** A complete sharding of one model. */
+struct ShardPlan
+{
+    std::string modelName;
+    PartitionConfig config;
+    /** Stages in pipeline order. */
+    std::vector<StageSpec> stages;
+
+    /** Chips the plan occupies (sum of stage ways). */
+    int totalChips() const;
+    /** Largest / smallest per-chip stage MAC count. */
+    long maxStageMacs() const;
+    long minStageMacs() const;
+    /** Load imbalance: max per-chip stage MACs over mean, minus 1. */
+    double imbalance() const;
+};
+
+/** Splits models into balanced per-chip stages. */
+class Partitioner
+{
+  public:
+    /** Fatal on an invalid @p cfg. */
+    explicit Partitioner(const PartitionConfig &cfg);
+
+    /**
+     * Partition @p model into at most config().chips chips.  The
+     * plan always covers every layer exactly once, in order; a model
+     * with fewer layers than chips simply yields fewer stages.
+     */
+    ShardPlan partition(const workload::ModelSpec &model) const;
+
+    const PartitionConfig &config() const { return cfg; }
+
+  private:
+    PartitionConfig cfg;
+};
+
+} // namespace aim::shard
+
+#endif // AIM_SHARD_PARTITIONER_HH

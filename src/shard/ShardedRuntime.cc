@@ -1,0 +1,208 @@
+#include "shard/ShardedRuntime.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "exec/ExecPool.hh"
+#include "sim/Runtime.hh"
+#include "util/Logging.hh"
+#include "util/Table.hh"
+
+namespace aim::shard
+{
+
+std::string
+validateShardRuntimeConfig(const ShardRuntimeConfig &cfg)
+{
+    if (cfg.microBatches < 1)
+        return util::detail::concat(
+            "microBatches must be at least 1, got ",
+            cfg.microBatches);
+    if (cfg.threads < 0)
+        return util::detail::concat(
+            "threads must be non-negative (0 = hardware "
+            "concurrency), got ",
+            cfg.threads);
+    return validateInterconnectConfig(cfg.interconnect);
+}
+
+double
+ShardedModel::scaledMacs() const
+{
+    double macs = 0.0;
+    for (size_t s = 0; s < stages.size(); ++s)
+        macs += stages[s].scaledMacs() * plan.stages[s].ways;
+    return macs;
+}
+
+ShardedModel
+compileSharded(const AimPipeline &pipe,
+               const workload::ModelSpec &model,
+               const AimOptions &opts, const PartitionConfig &pcfg)
+{
+    Partitioner partitioner(pcfg);
+    ShardedModel out;
+    out.plan = partitioner.partition(model);
+    out.options = opts;
+    out.stages.reserve(out.plan.stages.size());
+    for (const auto &stage : out.plan.stages)
+        out.stages.push_back(pipe.compile(stage.subModel, opts));
+    return out;
+}
+
+ShardedRuntime::ShardedRuntime(const pim::PimConfig &cfg,
+                               const power::Calibration &cal,
+                               const ShardRuntimeConfig &rcfg)
+    : cfg(cfg), cal(cal), rcfg(rcfg)
+{
+    const std::string problem = validateShardRuntimeConfig(rcfg);
+    if (!problem.empty())
+        aim_fatal("invalid ShardRuntimeConfig: ", problem);
+}
+
+ShardReport
+ShardedRuntime::execute(const ShardedModel &sharded,
+                        uint64_t seed) const
+{
+    const int S = static_cast<int>(sharded.stages.size());
+    const int M = rcfg.microBatches;
+    aim_assert(S >= 1, "sharded model has no stages");
+
+    ShardReport rep;
+    rep.modelName = sharded.plan.modelName;
+    rep.stages = S;
+    rep.chips = sharded.totalChips();
+    rep.microBatches = M;
+    rep.stageImbalance = sharded.plan.imbalance();
+
+    // A micro-batch executes 1/M of the request's spatial work:
+    // derive per-stage micro-rounds by scaling task MACs (with the
+    // same one-pass floor the compiler's workScale pass applies), so
+    // every grid cell simulates -- and accounts -- exactly the work
+    // it represents.
+    std::vector<std::vector<sim::Round>> microRounds(
+        static_cast<size_t>(S));
+    for (int s = 0; s < S; ++s) {
+        microRounds[static_cast<size_t>(s)] =
+            sharded.stages[static_cast<size_t>(s)].rounds;
+        if (M > 1)
+            for (auto &round : microRounds[static_cast<size_t>(s)])
+                for (auto &task : round.tasks)
+                    task.macs = std::max<long>(
+                        task.macs / M, cfg.macsPerMacroPerPass());
+    }
+
+    // Execute the (stage, micro-batch) grid.  Each cell is a pure
+    // function of (stage artifact, index-derived seed): which worker
+    // computes it cannot change its bits, so the pipeline replay
+    // below is deterministic at any thread count.
+    const sim::RunConfig runcfg = runConfigFor(sharded.options);
+    const sim::Runtime runtime(cfg, cal, runcfg);
+    std::vector<sim::RunReport> grid(
+        static_cast<size_t>(S) * static_cast<size_t>(M));
+    exec::ExecPool pool(rcfg.threads == 0 ? -1 : rcfg.threads);
+    pool.parallelFor(
+        static_cast<long>(grid.size()), [&](long i) {
+            const int s = static_cast<int>(i) / M;
+            uint64_t cell = exec::ExecPool::taskSeed(seed, i);
+            if (cell == 0)
+                cell = 1;
+            grid[static_cast<size_t>(i)] = runtime.run(
+                microRounds[static_cast<size_t>(s)],
+                sharded.stages[static_cast<size_t>(s)].stream, cell);
+        });
+
+    const InterconnectModel link(rcfg.interconnect);
+    auto cellUs = [&](int s, int m) {
+        return grid[static_cast<size_t>(s) * M + m].wallTimeNs /
+               1000.0;
+    };
+
+    // Serial pipeline replay (GPipe fill/steady/drain).  finish[s]
+    // tracks stage s's completion of the previous micro-batch;
+    // ready[m] the time micro-batch m's input reaches the next stage.
+    std::vector<double> stageFinish(S, 0.0);
+    std::vector<double> ready(M, 0.0); // input available at stage s
+    rep.stageComputeUs.assign(S, 0.0);
+    // Activation traffic scales with the simulated work fraction:
+    // compiled rounds carry workScale of the inference's MACs, so a
+    // stage boundary carries workScale of its activations -- keeping
+    // compute and link time in the same (scaled) time base.
+    const double workScale = sharded.options.workScale;
+    for (int s = 0; s < S; ++s) {
+        const auto &stage = sharded.plan.stages[s];
+        const long exitScaled = static_cast<long>(
+            static_cast<double>(stage.exitActivations) * workScale);
+        const long exitPerMicro = (exitScaled + M - 1) / M;
+        const double gatherUs =
+            stage.ways > 1
+                ? link.allGatherUs(exitPerMicro, stage.ways)
+                : 0.0;
+        const double xferUs =
+            s + 1 < S ? link.transferUs(exitPerMicro) : 0.0;
+        for (int m = 0; m < M; ++m) {
+            const double compute = cellUs(s, m);
+            const double start =
+                std::max(stageFinish[s], ready[m]);
+            const double done = start + compute + gatherUs;
+            stageFinish[s] = done;
+            ready[m] = done + xferUs;
+            rep.stageComputeUs[static_cast<size_t>(s)] += compute;
+            rep.computeUs += compute * stage.ways;
+            rep.totalMacs +=
+                grid[static_cast<size_t>(s) * M + m].totalMacs *
+                stage.ways;
+            // Collectives busy every member chip's link; the
+            // stage-boundary transfer busies the sending link once.
+            rep.interconnectUs += gatherUs * stage.ways + xferUs;
+        }
+    }
+    rep.makespanUs = stageFinish[S - 1];
+
+    const double chipTime = rep.makespanUs * rep.chips;
+    if (chipTime > 0.0) {
+        rep.interconnectFraction = rep.interconnectUs / chipTime;
+        rep.bubbleFraction =
+            1.0 - (rep.computeUs + rep.interconnectUs) / chipTime;
+        rep.bubbleFraction = std::max(rep.bubbleFraction, 0.0);
+    }
+
+    rep.merged = sim::mergeReports(grid);
+    return rep;
+}
+
+std::string
+ShardReport::render() const
+{
+    std::ostringstream os;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%s: %d stage%s on %d chip%s, %d micro-batch%s, "
+                  "makespan %.2f ms\n",
+                  modelName.c_str(), stages, stages == 1 ? "" : "s",
+                  chips, chips == 1 ? "" : "s", microBatches,
+                  microBatches == 1 ? "" : "es", makespanUs / 1e3);
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "bubble %.1f%%  interconnect %.1f%%  imbalance "
+                  "%.1f%%  IRFailures %ld  stalls %ld\n",
+                  bubbleFraction * 100.0,
+                  interconnectFraction * 100.0,
+                  stageImbalance * 100.0, merged.failures,
+                  merged.stallWindows);
+    os << line;
+    util::Table t("per-stage compute (one request)");
+    t.setHeader({"stage", "compute ms", "share %"});
+    for (size_t s = 0; s < stageComputeUs.size(); ++s)
+        t.addRow({std::to_string(s),
+                  util::Table::fmt(stageComputeUs[s] / 1e3, 2),
+                  util::Table::pct(
+                      computeUs > 0.0
+                          ? stageComputeUs[s] / computeUs
+                          : 0.0)});
+    os << t.render();
+    return os.str();
+}
+
+} // namespace aim::shard

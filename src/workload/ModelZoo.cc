@@ -361,17 +361,65 @@ gpt2()
     return m;
 }
 
-std::vector<ModelSpec>
-allModels()
+ModelSpec
+llama3_8b()
 {
-    return {resnet18(), mobilenetV2(), yolov5s(),
-            vitB16(),   llama3_1b(),   gpt2()};
+    ModelSpec m;
+    m.name = "Llama3-8B";
+    m.transformer = true;
+    m.baselineMetric = 6.24; // Wikitext2 perplexity (Llama3.1-8B)
+    m.metricIsPerplexity = true;
+    m.sensitivity = 0.4; // larger models quantize more gracefully
+    m.generalizationBonus = 0.22;
+    m.stream = transformerStream();
+    m.stream.sigmaLsb = 58.0;
+
+    const int hidden = 4096;
+    const int kv = 1024; // 8 KV heads of 128 (GQA)
+    const int inter = 14336;
+    const int seq = 512;
+    auto &L = m.layers;
+    L.push_back(layer("embed_sample", OpType::Linear, hidden, 128, seq,
+                      0.5));
+    for (int b = 0; b < 32; ++b) {
+        const std::string p = "layers." + std::to_string(b);
+        L.push_back(layer(p + ".q_proj", OpType::QkvGen, hidden,
+                          hidden, seq));
+        L.push_back(layer(p + ".k_proj", OpType::QkvGen, kv, hidden,
+                          seq));
+        L.push_back(layer(p + ".v_proj", OpType::QkvGen, kv, hidden,
+                          seq));
+        L.push_back(layer(p + ".qkt", OpType::QkT, seq, hidden, seq));
+        L.push_back(layer(p + ".sv", OpType::Sv, hidden, seq, seq));
+        L.push_back(layer(p + ".o_proj", OpType::Linear, hidden,
+                          hidden, seq));
+        L.push_back(layer(p + ".gate_proj", OpType::Linear, inter,
+                          hidden, seq));
+        L.push_back(layer(p + ".up_proj", OpType::Linear, inter,
+                          hidden, seq));
+        L.push_back(layer(p + ".down_proj", OpType::Linear, hidden,
+                          inter, seq));
+    }
+    L.push_back(layer("lm_head_sample", OpType::Linear, 4096, hidden,
+                      seq, 1.2));
+    return m;
+}
+
+std::vector<ModelSpec>
+allModels(bool includeLarge)
+{
+    std::vector<ModelSpec> models = {resnet18(), mobilenetV2(),
+                                     yolov5s(),  vitB16(),
+                                     llama3_1b(), gpt2()};
+    if (includeLarge)
+        models.push_back(llama3_8b());
+    return models;
 }
 
 ModelSpec
 modelByName(const std::string &name)
 {
-    for (auto &m : allModels())
+    for (auto &m : allModels(true))
         if (m.name == name)
             return m;
     aim_fatal("unknown model '", name, "'");

@@ -115,11 +115,27 @@ ModelSpec vitB16();
 ModelSpec llama3_1b();
 /** GPT-2 (124M) on Wikitext2 (perplexity). */
 ModelSpec gpt2();
+/**
+ * Llama3.1-8B-scale transformer (synthetic, scaled up from
+ * llama3_1b: 32 blocks of hidden 4096 / GQA kv 1024 / FFN 14336).
+ * At ~7 GMAC/token-position and ~7 billion weight elements it
+ * genuinely cannot fit one 64-macro chip and exists to exercise the
+ * multi-chip sharding layer (src/shard/).
+ */
+ModelSpec llama3_8b();
 
-/** All six evaluation models, in the paper's Table 2 order. */
-std::vector<ModelSpec> allModels();
+/**
+ * The evaluation models, in the paper's Table 2 order.
+ *
+ * @param includeLarge also append the LLM-scale models (currently
+ *        llama3_8b).  Default false: the paper benches sweep
+ *        allModels() and assume small, single-chip networks -- the
+ *        size guard keeps them unchanged.
+ */
+std::vector<ModelSpec> allModels(bool includeLarge = false);
 
-/** Find a model by (case-sensitive) name; fatal when unknown. */
+/** Find a model by (case-sensitive) name, including the large
+ * models; fatal when unknown. */
 ModelSpec modelByName(const std::string &name);
 
 } // namespace aim::workload

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "serve/Fleet.hh"
+
+using namespace aim;
+using namespace aim::serve;
+
+namespace
+{
+
+FleetConfig
+valid()
+{
+    FleetConfig f;
+    f.chips = 4;
+    return f;
+}
+
+GangSpec
+gang(const std::string &model, int chips)
+{
+    GangSpec g;
+    g.model = model;
+    g.partition.chips = chips;
+    return g;
+}
+
+} // namespace
+
+TEST(FleetConfigValidation, DefaultsAreValid)
+{
+    EXPECT_TRUE(validateFleetConfig(valid()).empty());
+}
+
+TEST(FleetConfigValidation, RejectsNonPositiveChips)
+{
+    auto f = valid();
+    f.chips = 0;
+    EXPECT_NE(validateFleetConfig(f).find("chips"),
+              std::string::npos);
+    f.chips = -3;
+    EXPECT_NE(validateFleetConfig(f).find("chips"),
+              std::string::npos);
+}
+
+TEST(FleetConfigValidation, RejectsNegativeThreads)
+{
+    auto f = valid();
+    f.threads = -1;
+    const auto msg = validateFleetConfig(f);
+    EXPECT_NE(msg.find("threads"), std::string::npos);
+    // 0 is the documented "hardware concurrency" request.
+    f.threads = 0;
+    EXPECT_TRUE(validateFleetConfig(f).empty());
+}
+
+TEST(FleetConfigValidation, RejectsNegativeCosts)
+{
+    auto f = valid();
+    f.reloadUsPerMweight = -1.0;
+    EXPECT_NE(validateFleetConfig(f).find("reloadUsPerMweight"),
+              std::string::npos);
+    f = valid();
+    f.retuneUsPerStep = -0.5;
+    EXPECT_NE(validateFleetConfig(f).find("retuneUsPerStep"),
+              std::string::npos);
+}
+
+TEST(FleetConfigValidation, SurfacesInvalidOptions)
+{
+    auto f = valid();
+    f.options.workScale = 0.0;
+    const auto msg = validateFleetConfig(f);
+    EXPECT_NE(msg.find("options"), std::string::npos);
+    EXPECT_NE(msg.find("workScale"), std::string::npos);
+}
+
+TEST(FleetConfigValidation, SurfacesInvalidInterconnect)
+{
+    auto f = valid();
+    f.interconnect.linkGBps = -1.0;
+    const auto msg = validateFleetConfig(f);
+    EXPECT_NE(msg.find("interconnect"), std::string::npos);
+    EXPECT_NE(msg.find("linkGBps"), std::string::npos);
+}
+
+TEST(FleetConfigValidation, RejectsGangLargerThanFleet)
+{
+    auto f = valid();
+    f.gangs = {gang("Llama3-8B", 6)};
+    const auto msg = validateFleetConfig(f);
+    EXPECT_NE(msg.find("Llama3-8B"), std::string::npos);
+    EXPECT_NE(msg.find("needs 6 chips"), std::string::npos);
+    // Exactly the fleet size is allowed.
+    f.gangs = {gang("Llama3-8B", 4)};
+    EXPECT_TRUE(validateFleetConfig(f).empty());
+}
+
+TEST(FleetConfigValidation, RejectsBadGangShape)
+{
+    auto f = valid();
+    f.gangs = {gang("", 2)};
+    EXPECT_NE(validateFleetConfig(f).find("model name"),
+              std::string::npos);
+    f = valid();
+    f.gangs = {gang("Llama3-8B", 0)};
+    EXPECT_NE(validateFleetConfig(f).find("chips"),
+              std::string::npos);
+    f = valid();
+    f.gangs = {gang("Llama3-8B", 2)};
+    f.gangs[0].microBatches = 0;
+    EXPECT_NE(validateFleetConfig(f).find("microBatches"),
+              std::string::npos);
+    f = valid();
+    f.gangs = {gang("Llama3-8B", 2), gang("Llama3-8B", 3)};
+    EXPECT_NE(validateFleetConfig(f).find("duplicate"),
+              std::string::npos);
+}
+
+TEST(FleetConfigValidation, ConstructorRefusesInvalidConfig)
+{
+    pim::PimConfig cfg;
+    const auto cal = power::defaultCalibration();
+    auto f = valid();
+    f.chips = 0;
+    EXPECT_DEATH(Fleet(cfg, cal, f), "chips");
+    f = valid();
+    f.threads = -4;
+    EXPECT_DEATH(Fleet(cfg, cal, f), "threads");
+    f = valid();
+    f.gangs = {gang("Llama3-8B", 9)};
+    EXPECT_DEATH(Fleet(cfg, cal, f), "needs 9 chips");
+}

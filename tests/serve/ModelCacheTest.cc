@@ -111,3 +111,149 @@ TEST(ModelCache, CompileTimeAccountedOnMissOnly)
     f.cache.get("ResNet18", opts);
     EXPECT_EQ(f.cache.compileMs(), after_miss);
 }
+
+TEST(ModelCache, UnboundedByDefault)
+{
+    Fixture f;
+    EXPECT_EQ(f.cache.capacity(), 0u);
+    const auto opts = f.quick();
+    f.cache.get("ResNet18", opts);
+    f.cache.get("MobileNetV2", opts);
+    f.cache.get("GPT2", opts);
+    EXPECT_EQ(f.cache.size(), 3u);
+    EXPECT_EQ(f.cache.evictions(), 0);
+}
+
+TEST(ModelCache, CapacityEvictsLeastRecentlyUsed)
+{
+    Fixture f;
+    ModelCache cache(f.pipe, 2);
+    const auto opts = f.quick();
+    cache.get("ResNet18", opts);
+    cache.get("MobileNetV2", opts);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 0);
+    // Touch ResNet18 so MobileNetV2 becomes the LRU victim.
+    cache.get("ResNet18", opts);
+    cache.get("GPT2", opts);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1);
+    // ResNet18 survived; MobileNetV2 recompiles.
+    EXPECT_EQ(cache.misses(), 3);
+    cache.get("ResNet18", opts);
+    EXPECT_EQ(cache.misses(), 3);
+    cache.get("MobileNetV2", opts);
+    EXPECT_EQ(cache.misses(), 4);
+    EXPECT_EQ(cache.evictions(), 2);
+}
+
+TEST(ModelCache, EvictedArtifactStaysAliveForHolders)
+{
+    Fixture f;
+    ModelCache cache(f.pipe, 1);
+    const auto opts = f.quick();
+    const auto a = cache.get("ResNet18", opts);
+    cache.get("MobileNetV2", opts); // evicts ResNet18
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.evictions(), 1);
+    EXPECT_EQ(a->modelName, "ResNet18");
+    EXPECT_FALSE(a->rounds.empty());
+}
+
+TEST(ModelCache, SetCapacityShrinksImmediately)
+{
+    Fixture f;
+    const auto opts = f.quick();
+    f.cache.get("ResNet18", opts);
+    f.cache.get("MobileNetV2", opts);
+    f.cache.get("GPT2", opts);
+    f.cache.setCapacity(1);
+    EXPECT_EQ(f.cache.size(), 1u);
+    EXPECT_EQ(f.cache.evictions(), 2);
+    EXPECT_EQ(f.cache.capacity(), 1u);
+    // The most recently used artifact (GPT2) survives.
+    f.cache.get("GPT2", opts);
+    EXPECT_EQ(f.cache.hits(), 1);
+}
+
+TEST(ModelCache, HitMissAccountingUnderInterleavedTrace)
+{
+    Fixture f;
+    ModelCache cache(f.pipe, 2);
+    const auto opts = f.quick();
+    // Interleaved 3-model trace over a 2-artifact cache: ResNet18
+    // and MobileNetV2 keep alternating as the hot pair while GPT2
+    // periodically storms through and steals a slot.
+    const char *trace[] = {"ResNet18", "MobileNetV2", "ResNet18",
+                           "MobileNetV2", "GPT2",        "ResNet18",
+                           "MobileNetV2", "ResNet18",    "GPT2",
+                           "MobileNetV2"};
+    long misses = 0;
+    long hits = 0;
+    for (const char *model : trace) {
+        const long before = cache.misses();
+        const auto artifact = cache.get(model, opts);
+        EXPECT_EQ(artifact->modelName, model);
+        (cache.misses() > before ? misses : hits) += 1;
+        EXPECT_LE(cache.size(), 2u);
+    }
+    EXPECT_EQ(cache.hits(), hits);
+    EXPECT_EQ(cache.misses(), misses);
+    EXPECT_EQ(hits + misses, 10);
+    // Every request either hit or compiled; evictions happened
+    // (3 distinct models through 2 slots) but never exceeded need.
+    EXPECT_GT(cache.evictions(), 0);
+    EXPECT_EQ(cache.evictions(), misses - 2);
+}
+
+TEST(ModelCache, ShardedArtifactsCachedAlongsidePlain)
+{
+    Fixture f;
+    const auto opts = f.quick();
+    shard::PartitionConfig pcfg;
+    pcfg.chips = 2;
+    const auto sharded = f.cache.getSharded("ResNet18", opts, pcfg);
+    EXPECT_EQ(f.cache.misses(), 1);
+    ASSERT_NE(sharded, nullptr);
+    EXPECT_EQ(sharded->plan.modelName, "ResNet18");
+    EXPECT_GT(sharded->stages.size(), 1u);
+
+    // Hit on the identical (model, options, partition) triple.
+    const auto again = f.cache.getSharded("ResNet18", opts, pcfg);
+    EXPECT_EQ(again.get(), sharded.get());
+    EXPECT_EQ(f.cache.hits(), 1);
+
+    // The plain artifact of the same model is a distinct entry.
+    const auto plain = f.cache.get("ResNet18", opts);
+    EXPECT_EQ(plain->modelName, "ResNet18");
+    EXPECT_EQ(f.cache.misses(), 2);
+    EXPECT_EQ(f.cache.size(), 2u);
+
+    // A different partition shape compiles separately.
+    pcfg.chips = 3;
+    f.cache.getSharded("ResNet18", opts, pcfg);
+    EXPECT_EQ(f.cache.misses(), 3);
+    EXPECT_EQ(f.cache.size(), 3u);
+}
+
+TEST(ModelCache, ShardedKeyCoversPartitionShape)
+{
+    AimOptions opts;
+    shard::PartitionConfig pcfg;
+    const auto base =
+        ModelCache::shardedKey("Llama3-8B", opts, pcfg);
+    EXPECT_NE(base, ModelCache::key("Llama3-8B", opts));
+    auto changed = pcfg;
+    changed.chips = 7;
+    EXPECT_NE(base,
+              ModelCache::shardedKey("Llama3-8B", opts, changed));
+    changed = pcfg;
+    changed.allowTensorParallel = !changed.allowTensorParallel;
+    EXPECT_NE(base,
+              ModelCache::shardedKey("Llama3-8B", opts, changed));
+    changed = pcfg;
+    changed.maxTensorWays += 2;
+    EXPECT_NE(base,
+              ModelCache::shardedKey("Llama3-8B", opts, changed));
+    EXPECT_EQ(base, ModelCache::shardedKey("Llama3-8B", opts, pcfg));
+}

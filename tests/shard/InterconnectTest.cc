@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "shard/Interconnect.hh"
+
+using namespace aim::shard;
+
+TEST(InterconnectConfig, Validation)
+{
+    InterconnectConfig cfg;
+    EXPECT_TRUE(validateInterconnectConfig(cfg).empty());
+    cfg.linkLatencyUs = -1.0;
+    EXPECT_NE(validateInterconnectConfig(cfg).find("linkLatencyUs"),
+              std::string::npos);
+    cfg = InterconnectConfig{};
+    cfg.linkGBps = 0.0;
+    EXPECT_NE(validateInterconnectConfig(cfg).find("linkGBps"),
+              std::string::npos);
+    cfg = InterconnectConfig{};
+    cfg.bytesPerElement = -2.0;
+    EXPECT_NE(
+        validateInterconnectConfig(cfg).find("bytesPerElement"),
+        std::string::npos);
+    EXPECT_DEATH(InterconnectModel{cfg}, "bytesPerElement");
+}
+
+TEST(InterconnectModel, TransferIsAlphaBeta)
+{
+    InterconnectConfig cfg;
+    cfg.linkLatencyUs = 2.0;
+    cfg.linkGBps = 10.0; // 10 GB/s = 1e4 bytes/us
+    cfg.bytesPerElement = 1.0;
+    const InterconnectModel link(cfg);
+    EXPECT_DOUBLE_EQ(link.transferUs(0), 0.0);
+    EXPECT_DOUBLE_EQ(link.transferUs(-5), 0.0);
+    // 1e4 elements at 1 B each over 1e4 B/us = 1 us + latency.
+    EXPECT_DOUBLE_EQ(link.transferUs(10000), 3.0);
+    // Double the elements: only the bandwidth term doubles.
+    EXPECT_DOUBLE_EQ(link.transferUs(20000), 4.0);
+}
+
+TEST(InterconnectModel, CollectivesFreeBelowTwoWays)
+{
+    const InterconnectModel link(InterconnectConfig{});
+    EXPECT_DOUBLE_EQ(link.allGatherUs(1 << 20, 1), 0.0);
+    EXPECT_DOUBLE_EQ(link.allReduceUs(1 << 20, 1), 0.0);
+    EXPECT_DOUBLE_EQ(link.allGatherUs(0, 4), 0.0);
+}
+
+TEST(InterconnectModel, RingCollectiveShape)
+{
+    InterconnectConfig cfg;
+    cfg.linkLatencyUs = 1.0;
+    cfg.linkGBps = 1.0; // 1e3 bytes/us
+    const InterconnectModel link(cfg);
+    // 4-way all-gather of 4000 elements: 3 steps of latency plus
+    // 3/4 of the payload over the link.
+    EXPECT_DOUBLE_EQ(link.allGatherUs(4000, 4), 3.0 + 3.0);
+    // All-reduce moves twice the payload over twice the steps.
+    EXPECT_DOUBLE_EQ(link.allReduceUs(4000, 4), 6.0 + 6.0);
+}
+
+TEST(InterconnectModel, MonotonicInVolume)
+{
+    const InterconnectModel link(InterconnectConfig{});
+    EXPECT_LT(link.transferUs(1000), link.transferUs(100000));
+    EXPECT_LT(link.allGatherUs(1000, 4), link.allGatherUs(100000, 4));
+    EXPECT_LT(link.allReduceUs(50000, 2), link.allReduceUs(50000, 8));
+}

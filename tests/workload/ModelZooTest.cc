@@ -12,6 +12,37 @@ TEST(ModelZoo, SixModelsPresent)
     EXPECT_EQ(models[5].name, "GPT2");
 }
 
+TEST(ModelZoo, LargeModelsBehindSizeGuard)
+{
+    // The paper benches sweep allModels() assuming small networks;
+    // the LLM-scale specs only appear on request.
+    const auto large = allModels(true);
+    ASSERT_EQ(large.size(), 7u);
+    EXPECT_EQ(large.back().name, "Llama3-8B");
+    for (const auto &m : allModels())
+        EXPECT_NE(m.name, "Llama3-8B");
+}
+
+TEST(ModelZoo, Llama8bIsGenuinelyMultiChip)
+{
+    const auto m = llama3_8b();
+    EXPECT_TRUE(m.transformer);
+    EXPECT_TRUE(m.metricIsPerplexity);
+    // embed + 32 blocks x 9 ops + lm head.
+    EXPECT_EQ(m.layers.size(), 2u + 32u * 9u);
+    // ~7B weight elements vs ~1M resident elements per chip.
+    EXPECT_GT(m.totalWeights(), 6'500'000'000L);
+    EXPECT_GT(m.totalMacs(), llama3_1b().totalMacs() * 5);
+    // Scaled-up GQA shape.
+    for (const auto &l : m.layers)
+        if (l.name == "layers.0.k_proj") {
+            EXPECT_EQ(l.outChannels, 1024);
+            EXPECT_EQ(l.reduction, 4096);
+        }
+    // Reachable by name despite the allModels() guard.
+    EXPECT_EQ(modelByName("Llama3-8B").name, "Llama3-8B");
+}
+
 TEST(ModelZoo, LookupByName)
 {
     EXPECT_EQ(modelByName("ViT").name, "ViT");
