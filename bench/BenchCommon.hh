@@ -64,6 +64,27 @@ banner(const char *id, const char *what)
     std::printf("=== %s: %s ===\n", id, what);
 }
 
+/**
+ * Uniform synthetic round: @p tasks conv tiles of @p macs MACs at a
+ * fixed HR, four tiles per Set.  16 tasks occupy a quarter of the
+ * default 64-macro chip, 64 fill it -- the two occupancy points the
+ * droop-backend benches sweep.
+ */
+inline sim::Round
+syntheticRound(double hr, int tasks, long macs)
+{
+    sim::Round r;
+    for (int i = 0; i < tasks; ++i) {
+        mapping::Task t;
+        t.layerName = "sweep";
+        t.setId = i / 4;
+        t.hr = hr;
+        t.macs = macs;
+        r.tasks.push_back(t);
+    }
+    return r;
+}
+
 } // namespace aim::bench
 
 #endif // AIM_BENCH_BENCHCOMMON_HH

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Droop-backend fidelity/speed sweep: runs the model zoo and a
+ * synthetic HR sweep through both IR-drop backends (power/IrBackend)
+ * and reports how closely the warm-started PDN-mesh backend tracks
+ * the Equation-2 analytic backend, and at what cost.
+ *
+ * This is the repo's stand-in for the paper's model-vs-RedHawk
+ * validation (Figures 4/16/17): the analytic backend is the
+ * architecture-level model, the mesh backend the layout-level
+ * reference.  `--smoke` runs a reduced sweep and exits non-zero
+ * unless the droop correlation is >= 0.95 and the mesh backend
+ * sustains >= 10% of the analytic windows/sec (the CI gate).
+ */
+
+#include "BenchCommon.hh"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+#include "sim/Runtime.hh"
+#include "util/Stats.hh"
+#include "workload/ModelZoo.hh"
+
+using namespace aim;
+using namespace aim::bench;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+struct BackendRun
+{
+    double irMeanMv = 0.0;
+    double irWorstMv = 0.0;
+    double meanRtog = 0.0;
+    double tops = 0.0;
+    double windows = 0.0;
+    double hostMs = 0.0;
+};
+
+BackendRun
+measure(const AimPipeline &pipe, const CompiledModel &compiled)
+{
+    const auto t0 = Clock::now();
+    const AimReport rep = pipe.execute(compiled);
+    BackendRun out;
+    out.hostMs = std::chrono::duration<double, std::milli>(
+                     Clock::now() - t0)
+                     .count();
+    out.irMeanMv = rep.run.irMeanMv;
+    out.irWorstMv = rep.run.irWorstMv;
+    out.meanRtog = rep.run.meanRtog;
+    out.tops = rep.run.tops;
+    out.windows = static_cast<double>(rep.run.usefulWindows +
+                                      rep.run.stallWindows);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+
+    banner("Backend fidelity",
+           "analytic (Equation 2) vs mesh (warm-started PDN solves)");
+
+    pim::PimConfig cfg;
+    const auto cal = power::defaultCalibration();
+    const AimPipeline pipe(cfg, cal);
+
+    AimOptions opts;
+    opts.useLhr = false; // skip QAT: compile in milliseconds
+    opts.workScale = smoke ? 0.05 : 0.2;
+
+    auto zoo = workload::allModels();
+    if (smoke)
+        zoo.resize(2); // ResNet18 + MobileNetV2
+
+    std::vector<double> analytic_mean;
+    std::vector<double> mesh_mean;
+    std::vector<double> rtog_points;
+    double worst_delta_mv = 0.0;
+    double analytic_windows = 0.0;
+    double analytic_ms = 0.0;
+    double mesh_windows = 0.0;
+    double mesh_ms = 0.0;
+
+    util::Table t("zoo droop by backend");
+    t.setHeader({"model", "Rtog", "eq2 mean", "eq2 worst",
+                 "mesh mean", "mesh worst", "d mean %"});
+    for (const auto &model : zoo) {
+        AimOptions a = opts;
+        a.irBackend = power::IrBackendKind::Analytic;
+        AimOptions m = opts;
+        m.irBackend = power::IrBackendKind::Mesh;
+        const auto compiled_a = pipe.compile(model, a);
+        const auto compiled_m = pipe.compile(model, m);
+        const BackendRun ra = measure(pipe, compiled_a);
+        const BackendRun rm = measure(pipe, compiled_m);
+
+        analytic_mean.push_back(ra.irMeanMv);
+        mesh_mean.push_back(rm.irMeanMv);
+        rtog_points.push_back(ra.meanRtog);
+        worst_delta_mv =
+            std::max(worst_delta_mv,
+                     std::fabs(ra.irWorstMv - rm.irWorstMv));
+        analytic_windows += ra.windows;
+        analytic_ms += ra.hostMs;
+        mesh_windows += rm.windows;
+        mesh_ms += rm.hostMs;
+
+        t.addRow({model.name, util::Table::fmt(ra.meanRtog, 3),
+                  util::Table::fmt(ra.irMeanMv, 2),
+                  util::Table::fmt(ra.irWorstMv, 2),
+                  util::Table::fmt(rm.irMeanMv, 2),
+                  util::Table::fmt(rm.irWorstMv, 2),
+                  util::Table::fmt((rm.irMeanMv - ra.irMeanMv) /
+                                       ra.irMeanMv * 100.0,
+                                   1)});
+    }
+    std::printf("%s", t.render().c_str());
+
+    // Synthetic HR sweep at full chip occupancy: paired droop points
+    // across the level range (the mesh backend's response vs
+    // Equation 2's line, with occupancy held equal).
+    pim::StreamSpec stream;
+    stream.density = 0.55;
+    stream.nonNegative = true;
+    const double hr_step = smoke ? 0.10 : 0.05;
+    for (int k = 0; k < 2; ++k) {
+        sim::RunConfig rc;
+        rc.mapper = mapping::MapperKind::Sequential;
+        rc.irBackend = k == 0 ? power::IrBackendKind::Analytic
+                              : power::IrBackendKind::Mesh;
+        const sim::Runtime rt(cfg, cal, rc);
+        for (double hr = 0.20; hr <= 0.601; hr += hr_step) {
+            const auto t0 = Clock::now();
+            const auto rep = rt.run(
+                {syntheticRound(hr, 64, smoke ? 2'000'000
+                                              : 10'000'000)},
+                stream);
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    Clock::now() - t0)
+                    .count();
+            const double windows = static_cast<double>(
+                rep.usefulWindows + rep.stallWindows);
+            if (k == 0) {
+                analytic_mean.push_back(rep.irMeanMv);
+                rtog_points.push_back(rep.meanRtog);
+                analytic_windows += windows;
+                analytic_ms += ms;
+            } else {
+                mesh_mean.push_back(rep.irMeanMv);
+                mesh_windows += windows;
+                mesh_ms += ms;
+            }
+        }
+    }
+
+    // Occupancy: what the mesh sees and Equation 2 cannot.  A
+    // quarter-occupied chip (16 tasks -> 4 of 16 groups) draws a
+    // quarter of the current in one corner; the resistive network
+    // relaxes its droop, while the analytic model charges the
+    // occupancy-blind per-group estimate.
+    {
+        sim::RunConfig rc;
+        rc.mapper = mapping::MapperKind::Sequential;
+        rc.irBackend = power::IrBackendKind::Analytic;
+        const sim::Runtime rt_a(cfg, cal, rc);
+        rc.irBackend = power::IrBackendKind::Mesh;
+        const sim::Runtime rt_m(cfg, cal, rc);
+        const auto quarter = syntheticRound(0.40, 16, 4'000'000);
+        const auto full = syntheticRound(0.40, 64, 4'000'000);
+        const double a_q =
+            rt_a.run({quarter}, stream).irMeanMv;
+        const double m_q = rt_m.run({quarter}, stream).irMeanMv;
+        const double a_f = rt_a.run({full}, stream).irMeanMv;
+        const double m_f = rt_m.run({full}, stream).irMeanMv;
+        std::printf("\noccupancy effect (HR 0.40): full chip eq2 "
+                    "%.1f / mesh %.1f mV; quarter chip eq2 %.1f / "
+                    "mesh %.1f mV\n",
+                    a_f, m_f, a_q, m_q);
+        std::printf("  -> the mesh relaxes droop by %.0f%% at "
+                    "quarter occupancy; Equation 2 cannot see "
+                    "placement\n",
+                    (1.0 - m_q / a_q) * 100.0);
+    }
+
+    const double droop_corr =
+        util::pearson(analytic_mean, mesh_mean);
+    const double rtog_corr_mesh =
+        util::pearson(rtog_points, mesh_mean);
+    const double analytic_wps =
+        analytic_ms > 0.0 ? analytic_windows / (analytic_ms / 1e3)
+                          : 0.0;
+    const double mesh_wps =
+        mesh_ms > 0.0 ? mesh_windows / (mesh_ms / 1e3) : 0.0;
+    const double speed_ratio =
+        analytic_wps > 0.0 ? mesh_wps / analytic_wps : 0.0;
+
+    std::printf("\ndroop correlation (eq2 vs mesh, %zu points): "
+                "r = %.4f\n",
+                analytic_mean.size(), droop_corr);
+    std::printf("Rtog/droop correlation of the mesh backend: "
+                "r = %.4f (paper Fig. 4: 0.977 DPIM)\n",
+                rtog_corr_mesh);
+    std::printf("worst-case |droop delta|: %.2f mV\n",
+                worst_delta_mv);
+    std::printf("windows/sec: analytic %.0f, mesh %.0f "
+                "(ratio %.1f%%)\n",
+                analytic_wps, mesh_wps, speed_ratio * 100.0);
+
+    if (smoke) {
+        const bool ok = droop_corr >= 0.95 && speed_ratio >= 0.10;
+        std::printf("smoke gate: correlation >= 0.95 and speed "
+                    "ratio >= 10%% ... %s\n",
+                    ok ? "PASS" : "FAIL");
+        return ok ? 0 : 1;
+    }
+    return 0;
+}

@@ -7,11 +7,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include "BenchCommon.hh"
 #include "mapping/Mappers.hh"
 #include "pim/Macro.hh"
 #include "power/PdnMesh.hh"
 #include "quant/Hamming.hh"
 #include "quant/Lhr.hh"
+#include "sim/Runtime.hh"
 #include "util/Rng.hh"
 
 using namespace aim;
@@ -89,6 +91,59 @@ BM_PdnMeshSolve(benchmark::State &state)
     }
 }
 BENCHMARK(BM_PdnMeshSolve)->Arg(24)->Arg(48);
+
+void
+BM_PdnMeshWarmResolve(benchmark::State &state)
+{
+    // Perturbed re-solve warm-started from the previous solution --
+    // the mesh droop backend's per-window pattern.  Compare against
+    // BM_PdnMeshSolve at the same size for the warm-start win.
+    power::PdnMeshConfig cfg;
+    cfg.size = static_cast<int>(state.range(0));
+    power::PdnMesh mesh(cfg);
+    mesh.addBlockLoad(cfg.size / 4, cfg.size / 4, cfg.size / 2,
+                      cfg.size / 2, 3.0);
+    power::PdnSolution prev = mesh.solve();
+    double delta = 0.05;
+    for (auto _ : state) {
+        mesh.addBlockLoad(cfg.size / 4, cfg.size / 4, cfg.size / 2,
+                          cfg.size / 2, delta);
+        delta = -delta;
+        prev = mesh.solve(&prev);
+        benchmark::DoNotOptimize(prev.voltage.data());
+    }
+}
+BENCHMARK(BM_PdnMeshWarmResolve)->Arg(24)->Arg(48);
+
+void
+BM_RuntimeWindowLoop(benchmark::State &state)
+{
+    // The chip runtime's window engine (sim/WindowKernel) over many
+    // small rounds: covers the per-Runtime vmin hoist and the reused
+    // per-window buffers.  Arg selects the droop backend.
+    pim::PimConfig cfg;
+    const auto cal = power::defaultCalibration();
+    sim::RunConfig rcfg;
+    rcfg.mapper = mapping::MapperKind::Sequential;
+    rcfg.irBackend = state.range(0) == 0
+                         ? power::IrBackendKind::Analytic
+                         : power::IrBackendKind::Mesh;
+    const sim::Runtime rt(cfg, cal, rcfg);
+    const std::vector<sim::Round> rounds(
+        16, aim::bench::syntheticRound(0.30, 16, 2'000'000));
+    pim::StreamSpec stream;
+    stream.density = 0.55;
+    stream.nonNegative = true;
+    long windows = 0;
+    for (auto _ : state) {
+        const auto rep = rt.run(rounds, stream);
+        windows = rep.usefulWindows + rep.stallWindows;
+        benchmark::DoNotOptimize(windows);
+    }
+    state.SetItemsProcessed(state.iterations() * windows);
+    state.SetLabel(state.range(0) == 0 ? "analytic" : "mesh");
+}
+BENCHMARK(BM_RuntimeWindowLoop)->Arg(0)->Arg(1);
 
 void
 BM_HrAwareAnnealing(benchmark::State &state)

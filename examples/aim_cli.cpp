@@ -13,6 +13,7 @@
  *   --mapper seq|zigzag|random|hr  task mapping (default hr)
  *   --work F                       fraction of inference simulated
  *   --seed N                       master seed
+ *   --ir-backend analytic|mesh     droop model (default analytic)
  *
  * Example:
  *   ./build/examples/aim_cli ViT --mode lowpower --beta 30
@@ -35,7 +36,8 @@ usage()
         stderr,
         "usage: aim_cli [model] [--mode sprint|lowpower|dvfs] "
         "[--no-lhr] [--no-wds] [--delta N] [--beta N] "
-        "[--mapper seq|zigzag|random|hr] [--work F] [--seed N]\n");
+        "[--mapper seq|zigzag|random|hr] [--work F] [--seed N] "
+        "[--ir-backend analytic|mesh]\n");
     std::exit(2);
 }
 
@@ -92,6 +94,14 @@ main(int argc, char **argv)
             opts.workScale = std::atof(next());
         } else if (arg == "--seed") {
             opts.seed = static_cast<uint64_t>(std::atoll(next()));
+        } else if (arg == "--ir-backend") {
+            const std::string b = next();
+            if (b == "analytic")
+                opts.irBackend = power::IrBackendKind::Analytic;
+            else if (b == "mesh")
+                opts.irBackend = power::IrBackendKind::Mesh;
+            else
+                usage();
         } else if (arg.rfind("--", 0) == 0) {
             usage();
         } else {
@@ -113,14 +123,15 @@ main(int argc, char **argv)
 
     std::printf("model          %s\n", model.name.c_str());
     std::printf("config         lhr=%d wds(%d)=%d booster=%d beta=%d "
-                "mapper=%s mode=%s\n",
+                "mapper=%s mode=%s droop=%s\n",
                 opts.useLhr, opts.wdsDelta, opts.useWds,
                 opts.useBooster, opts.beta,
                 mapping::mapperName(opts.mapper),
                 !opts.useBooster ? "dvfs"
                 : opts.mode == booster::BoostMode::Sprint
                     ? "sprint"
-                    : "lowpower");
+                    : "lowpower",
+                power::irBackendName(opts.irBackend));
     std::printf("HR             %.3f (baseline %.3f, max %.3f)\n",
                 rep.hrAverage, rep.baselineHrAverage, rep.hrMax);
     std::printf("IR-drop        mean %.1f mV, worst %.1f mV "

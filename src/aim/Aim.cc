@@ -51,6 +51,11 @@ validateOptions(const AimOptions &opts)
         return util::detail::concat(
             "beta must be at least 1 (Algorithm-2 window), got ",
             opts.beta);
+    if (opts.irBackend != power::IrBackendKind::Analytic &&
+        opts.irBackend != power::IrBackendKind::Mesh)
+        return util::detail::concat(
+            "irBackend must be Analytic or Mesh, got ",
+            static_cast<int>(opts.irBackend));
     return {};
 }
 
@@ -63,6 +68,7 @@ runConfigFor(const AimOptions &opts)
     rcfg.boost.mode = opts.mode;
     rcfg.boost.aggressiveAdjustment = opts.aggressiveAdjustment;
     rcfg.mapper = opts.mapper;
+    rcfg.irBackend = opts.irBackend;
     rcfg.seed = opts.seed ^ 0x9e3779b9ULL;
     return rcfg;
 }

@@ -60,6 +60,13 @@ struct AimOptions
     int beta = 50;
     /** Task mapping strategy (S5.6). */
     mapping::MapperKind mapper = mapping::MapperKind::HrAware;
+    /**
+     * Droop-evaluation backend of the runtime (power/IrBackend):
+     * Analytic is the Equation-2 fast path, Mesh re-solves the PDN
+     * mesh incrementally per window for layout-level fidelity (see
+     * bench_backend_fidelity for the speed/fidelity trade).
+     */
+    power::IrBackendKind irBackend = power::IrBackendKind::Analytic;
     /** Quantization bit width. */
     int bits = 8;
     /** Fraction of the full inference workload simulated. */

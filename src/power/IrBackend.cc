@@ -1,0 +1,132 @@
+#include "power/IrBackend.hh"
+
+#include <ios>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "power/MeshBackend.hh"
+#include "util/Logging.hh"
+
+namespace aim::power
+{
+
+const char *
+irBackendName(IrBackendKind kind)
+{
+    switch (kind) {
+    case IrBackendKind::Analytic:
+        return "analytic";
+    case IrBackendKind::Mesh:
+        return "mesh";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/** Equation-2 evaluator: stateless, one noisy drop per group. */
+class AnalyticEval final : public IrEval
+{
+  public:
+    explicit AnalyticEval(const IrModel &ir) : ir(ir) {}
+
+    void
+    window(const std::vector<GroupWindow> &groups, util::Rng &rng,
+           std::vector<double> &dropMv) override
+    {
+        for (size_t g = 0; g < groups.size(); ++g) {
+            const GroupWindow &gw = groups[g];
+            if (!gw.active)
+                continue;
+            dropMv[g] = ir.noisyDropMv(gw.v, gw.fGhz, gw.rtog, rng);
+        }
+    }
+
+  private:
+    const IrModel &ir;
+};
+
+/** Wraps the existing Equation-2 IrModel (the default backend). */
+class AnalyticBackend final : public IrBackend
+{
+  public:
+    explicit AnalyticBackend(const Calibration &cal) : ir(cal) {}
+
+    IrBackendKind
+    kind() const override
+    {
+        return IrBackendKind::Analytic;
+    }
+
+    std::unique_ptr<IrEval>
+    newEval(const std::vector<std::vector<int>> &) const override
+    {
+        return std::make_unique<AnalyticEval>(ir);
+    }
+
+  private:
+    IrModel ir;
+};
+
+} // namespace
+
+namespace
+{
+
+/**
+ * Everything a mesh backend's construction depends on, hexfloat so
+ * near-equal calibrations never collide.  Two equal keys produce
+ * byte-identical backends (construction is deterministic), which is
+ * what makes the memoization below invisible.
+ */
+std::string
+meshKey(const IrBackendConfig &cfg, const Calibration &cal)
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << cfg.groups << ',' << cfg.macrosPerGroup << ','
+       << cfg.meshSize << ',' << cfg.meshBumpPitch << ','
+       << cfg.rtogThreshold << ',' << cfg.warmTolerance << ','
+       << cfg.warmMaxIterations << '|' << cal.vddNominal << ','
+       << cal.fNominal << ',' << cal.vth << ',' << cal.alphaPower
+       << ',' << cal.staticDropMv << ',' << cal.dynDropFullMv << ','
+       << cal.apimActivityFloor << ',' << cal.dpimNoiseMv << ','
+       << cal.apimNoiseMv;
+    return os.str();
+}
+
+} // namespace
+
+std::shared_ptr<const IrBackend>
+makeIrBackend(const IrBackendConfig &cfg, const Calibration &cal)
+{
+    switch (cfg.kind) {
+    case IrBackendKind::Analytic:
+        // Construction is two struct copies; nothing to share.
+        return std::make_shared<AnalyticBackend>(cal);
+    case IrBackendKind::Mesh: {
+        // The cold calibration solve is the expensive part; memoize
+        // it process-wide (backends are immutable and thread-shared
+        // by design, see the class comment).
+        static std::mutex mutex;
+        static std::map<std::string,
+                        std::shared_ptr<const MeshBackend>>
+            cache;
+        const std::string key = meshKey(cfg, cal);
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = cache.find(key);
+        if (it == cache.end())
+            it = cache
+                     .emplace(key, std::make_shared<MeshBackend>(
+                                       cfg, cal))
+                     .first;
+        return it->second;
+    }
+    }
+    aim_fatal("unknown IrBackendKind ", static_cast<int>(cfg.kind));
+    return nullptr;
+}
+
+} // namespace aim::power

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Pluggable droop-evaluation backends for the chip runtime.
+ *
+ * The window engine (src/sim/WindowKernel) asks *some* model for the
+ * per-group IR-drop of every window; which model answers is a
+ * scenario axis, not a hard-wired dependency:
+ *
+ *   Analytic -- the paper's Equation-2 estimator (power/IrModel):
+ *       one region per group, drop linear in Rtog.  Fast, and the
+ *       default; runs are bit-identical to the pre-backend runtime.
+ *   Mesh     -- the layout-level substitute (power/PdnMesh): active
+ *       macros map to footprint nodes of a resistive PDN mesh and
+ *       every window re-solves the mesh incrementally with
+ *       warm-started SOR.  Slower, but spatially aware: a group's
+ *       droop depends on its neighbours' activity and its distance
+ *       to the bumps, the effect RedHawk sees and Equation 2
+ *       averages away (paper Figures 4/16/17).
+ *
+ * Threading contract: an IrBackend is immutable after construction
+ * and shared by every concurrent Runtime::run call; all per-round
+ * mutable state (warm solutions, applied currents, noise) lives in
+ * the IrEval a caller creates per round via newEval().  Evaluating a
+ * window consumes the shared round RNG once per active group, in
+ * ascending group order, for every backend -- so reports stay a pure
+ * function of (round, seed, backend kind).
+ */
+
+#ifndef AIM_POWER_IRBACKEND_HH
+#define AIM_POWER_IRBACKEND_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "power/Calibration.hh"
+#include "power/IrModel.hh"
+#include "util/Rng.hh"
+
+namespace aim::power
+{
+
+/** Which droop model answers the window engine.  Fixed underlying
+ * type: validateOptions range-checks values that arrive from config
+ * plumbing, so any int must be representable. */
+enum class IrBackendKind : int
+{
+    Analytic, ///< Equation-2 per-group estimator (the default)
+    Mesh,     ///< warm-started incremental PDN-mesh solves
+};
+
+/** Short printable name of a backend kind. */
+const char *irBackendName(IrBackendKind kind);
+
+/** One group's operating point for a window evaluation. */
+struct GroupWindow
+{
+    /** Group hosts at least one task this round. */
+    bool active = false;
+    /** Supply voltage [V]. */
+    double v = 0.0;
+    /** Effective (Set-synchronized) frequency [GHz]. */
+    double fGhz = 0.0;
+    /** Worst macro Rtog sampled this window. */
+    double rtog = 0.0;
+};
+
+/**
+ * Per-round droop evaluator.  Stateful (warm starts, applied
+ * currents); create one per round via IrBackend::newEval and discard
+ * it with the round.
+ */
+class IrEval
+{
+  public:
+    virtual ~IrEval() = default;
+
+    /**
+     * Evaluate the droop of one window.
+     *
+     * @param groups  operating points, indexed by group id
+     * @param rng     shared round RNG; implementations must consume
+     *                exactly one draw per active group, ascending
+     * @param dropMv  out: droop per group [mV]; entries of inactive
+     *                groups are left untouched.  Sized by the caller.
+     */
+    virtual void window(const std::vector<GroupWindow> &groups,
+                        util::Rng &rng,
+                        std::vector<double> &dropMv) = 0;
+};
+
+/**
+ * Immutable droop-model half shared across rounds and threads.
+ * Construction pays any one-time cost (the mesh backend's cold
+ * full-grid solve and calibration); newEval() is cheap.
+ */
+class IrBackend
+{
+  public:
+    virtual ~IrBackend() = default;
+
+    virtual IrBackendKind kind() const = 0;
+
+    /**
+     * Create the per-round evaluator.
+     *
+     * @param activeMacros macro ids hosting tasks, per group (index =
+     *        group id); backends that are not spatial may ignore it
+     */
+    virtual std::unique_ptr<IrEval>
+    newEval(const std::vector<std::vector<int>> &activeMacros)
+        const = 0;
+};
+
+/** Geometry and tuning a backend is built from. */
+struct IrBackendConfig
+{
+    IrBackendKind kind = IrBackendKind::Analytic;
+    /** Macro groups on the chip. */
+    int groups = 16;
+    /** Macros per group. */
+    int macrosPerGroup = 4;
+
+    // --- Mesh backend tuning (ignored by Analytic) ---
+    /** PDN grid nodes per side. */
+    int meshSize = 16;
+    /** Bump pitch in grid nodes. */
+    int meshBumpPitch = 4;
+    /**
+     * Relative demand-current change below which a group's mesh load
+     * is left in place (its droop is scaled linearly with demand
+     * instead -- exact for the group's own contribution on a linear
+     * network, stale only for neighbour coupling).  Only materially
+     * changed groups trigger a warm re-solve.
+     */
+    double rtogThreshold = 0.15;
+    /** Convergence tolerance of the per-window warm solves [A]. */
+    double warmTolerance = 2e-5;
+    /** Iteration cap of the per-window warm solves. */
+    int warmMaxIterations = 4;
+};
+
+/**
+ * Build a backend; fatal on an unknown kind.  Backends are a pure
+ * function of (config, calibration) and immutable, so heavy ones
+ * (the mesh backend's cold calibration solve) are memoized
+ * process-wide and shared -- a sharded runtime or pipeline that
+ * constructs a Runtime per request pays the cold solve once, not per
+ * request.
+ */
+std::shared_ptr<const IrBackend>
+makeIrBackend(const IrBackendConfig &cfg, const Calibration &cal);
+
+} // namespace aim::power
+
+#endif // AIM_POWER_IRBACKEND_HH

@@ -1,0 +1,243 @@
+#include "power/MeshBackend.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/Logging.hh"
+
+namespace aim::power
+{
+
+namespace
+{
+
+/** Grid shape (rows x cols) that tiles @p n cells near-squarely. */
+std::pair<int, int>
+gridShape(int n)
+{
+    int cols = 1;
+    while (cols * cols < n)
+        ++cols;
+    const int rows = (n + cols - 1) / cols;
+    return {rows, cols};
+}
+
+} // namespace
+
+/** Per-round mesh evaluator: warm solution + applied currents. */
+class MeshEval final : public IrEval
+{
+  public:
+    MeshEval(const MeshBackend &backend,
+             const std::vector<std::vector<int>> &activeMacros)
+        : bk(backend), mesh(backend.warmCfg), prev(backend.baselineSol)
+    {
+        const int groups = bk.bcfg.groups;
+        rects.resize(static_cast<size_t>(groups));
+        activeCount.assign(static_cast<size_t>(groups), 0);
+        appliedA.assign(static_cast<size_t>(groups), -1.0);
+        demandA.assign(static_cast<size_t>(groups), 0.0);
+        cachedDynMv.assign(static_cast<size_t>(groups), 0.0);
+        for (int g = 0;
+             g < std::min(groups,
+                          static_cast<int>(activeMacros.size()));
+             ++g) {
+            for (int m : activeMacros[static_cast<size_t>(g)])
+                rects[static_cast<size_t>(g)].push_back(
+                    bk.macroFootprint(m));
+            activeCount[static_cast<size_t>(g)] = static_cast<int>(
+                rects[static_cast<size_t>(g)].size());
+        }
+    }
+
+    void
+    window(const std::vector<GroupWindow> &groups, util::Rng &rng,
+           std::vector<double> &dropMv) override
+    {
+        const double threshold = bk.bcfg.rtogThreshold;
+        bool any_dirty = false;
+        for (size_t g = 0; g < groups.size(); ++g) {
+            const GroupWindow &gw = groups[g];
+            if (!gw.active || activeCount[g] == 0)
+                continue;
+            demandA[g] = bk.groupDemandA(gw.v, gw.fGhz, gw.rtog,
+                                         activeCount[g]);
+            const bool dirty =
+                appliedA[g] < 0.0 ||
+                std::fabs(demandA[g] - appliedA[g]) >
+                    threshold * std::max(appliedA[g], 1e-6);
+            if (dirty) {
+                // Incremental load update: inject only the delta at
+                // the group's active-macro footprints.
+                const double delta_per_macro =
+                    (demandA[g] - std::max(appliedA[g], 0.0)) /
+                    activeCount[g];
+                for (const auto &r : rects[g])
+                    mesh.addBlockLoad(r.row0, r.col0, r.rows,
+                                      r.cols, delta_per_macro);
+                appliedA[g] = demandA[g];
+                any_dirty = true;
+            }
+        }
+
+        // Re-solve when loads moved materially -- and keep iterating
+        // on quiet windows while the last capped solve has not
+        // reached tolerance yet, so a stable demand converges to the
+        // consistent voltage map instead of freezing a stale one.
+        if (any_dirty || !converged) {
+            // Warm-started SOR from the previous window's voltage
+            // map: a few iterations instead of a cold solve.
+            prev = mesh.solve(&prev);
+            converged = prev.residual < bk.warmCfg.tolerance;
+            ++solveCount;
+            iterationCount += prev.iterations;
+            for (size_t g = 0; g < rects.size(); ++g)
+                if (activeCount[g] > 0)
+                    cachedDynMv[g] = bk.scale * footprintDropMv(g);
+        }
+        ++windowCount;
+
+        for (size_t g = 0; g < groups.size(); ++g) {
+            const GroupWindow &gw = groups[g];
+            if (!gw.active)
+                continue;
+            // Linear network: a group's drop scales with its demand
+            // between load refreshes (bounded by rtogThreshold).
+            const double ratio = appliedA[g] > 1e-12
+                                     ? demandA[g] / appliedA[g]
+                                     : 1.0;
+            const double base = bk.ir.staticDropMv(gw.v) +
+                                cachedDynMv[g] * ratio;
+            const double noisy =
+                base + rng.normal(0.0, bk.cal.dpimNoiseMv);
+            dropMv[g] = std::max(noisy, 0.0);
+        }
+    }
+
+    long solves() const { return solveCount; }
+    long iterations() const { return iterationCount; }
+    long windows() const { return windowCount; }
+
+  private:
+    /** Mean dynamic drop over group @p g's active footprints [mV]. */
+    double
+    footprintDropMv(size_t g) const
+    {
+        double acc = 0.0;
+        long nodes = 0;
+        for (const auto &r : rects[g])
+            for (int row = r.row0; row < r.row0 + r.rows; ++row)
+                for (int col = r.col0; col < r.col0 + r.cols;
+                     ++col) {
+                    acc += (bk.warmCfg.vdd -
+                            prev.voltage[static_cast<size_t>(row) *
+                                             prev.size +
+                                         col]) *
+                           1000.0;
+                    ++nodes;
+                }
+        return nodes > 0 ? acc / static_cast<double>(nodes) : 0.0;
+    }
+
+    const MeshBackend &bk;
+    PdnMesh mesh;
+    PdnSolution prev;
+    std::vector<std::vector<MeshBackend::Footprint>> rects;
+    std::vector<int> activeCount;
+    std::vector<double> appliedA;
+    std::vector<double> demandA;
+    std::vector<double> cachedDynMv;
+    bool converged = true;
+    long solveCount = 0;
+    long iterationCount = 0;
+    long windowCount = 0;
+};
+
+MeshBackend::MeshBackend(const IrBackendConfig &cfg,
+                         const Calibration &cal)
+    : bcfg(cfg), cal(cal), ir(cal)
+{
+    aim_assert(bcfg.groups >= 1 && bcfg.macrosPerGroup >= 1,
+               "mesh backend needs a positive chip geometry");
+    warmCfg.size = bcfg.meshSize;
+    warmCfg.bumpPitch = bcfg.meshBumpPitch;
+    warmCfg.vdd = cal.vddNominal;
+    warmCfg.tolerance = bcfg.warmTolerance;
+    warmCfg.maxIterations = bcfg.warmMaxIterations;
+
+    fullA = ir.demandCurrentA(
+        ir.dynamicDropMv(cal.vddNominal, cal.fNominal, 1.0));
+
+    // Cold calibration solve: every macro at full activity, tight
+    // tolerance.  Its solution doubles as the evals' warm seed.
+    PdnMeshConfig tight = warmCfg;
+    tight.tolerance = 1e-7;
+    tight.maxIterations = 20000;
+    PdnMesh mesh(tight);
+    const int macros = bcfg.groups * bcfg.macrosPerGroup;
+    const double per_macro = fullA / macros;
+    for (int m = 0; m < macros; ++m) {
+        const Footprint r = macroFootprint(m);
+        mesh.addBlockLoad(r.row0, r.col0, r.rows, r.cols, per_macro);
+    }
+    baselineSol = mesh.solve();
+
+    // Anchor the mesh to Equation 2: at uniform full activity the
+    // mean group drop must equal the analytic dynamic drop, so the
+    // two backends disagree only where layout actually matters.
+    const double mesh_mean = baselineSol.meanDropMv(cal.vddNominal);
+    aim_assert(mesh_mean > 0.0,
+               "mesh calibration produced no droop");
+    scale = ir.dynamicDropMv(cal.vddNominal, cal.fNominal, 1.0) /
+            mesh_mean;
+}
+
+MeshBackend::Footprint
+MeshBackend::macroFootprint(int m) const
+{
+    const auto [g_rows, g_cols] = gridShape(bcfg.groups);
+    const auto [m_rows, m_cols] = gridShape(bcfg.macrosPerGroup);
+    const int g = m / bcfg.macrosPerGroup;
+    const int local = m % bcfg.macrosPerGroup;
+    const int gr = g / g_cols;
+    const int gc = g % g_cols;
+    const int mr = local / m_cols;
+    const int mc = local % m_cols;
+    const int n = warmCfg.size;
+
+    const int tile_r0 = gr * n / g_rows;
+    const int tile_r1 = (gr + 1) * n / g_rows;
+    const int tile_c0 = gc * n / g_cols;
+    const int tile_c1 = (gc + 1) * n / g_cols;
+    const int tile_rows = tile_r1 - tile_r0;
+    const int tile_cols = tile_c1 - tile_c0;
+
+    Footprint out;
+    out.row0 = tile_r0 + mr * tile_rows / m_rows;
+    out.col0 = tile_c0 + mc * tile_cols / m_cols;
+    out.rows =
+        std::max(1, tile_r0 + (mr + 1) * tile_rows / m_rows -
+                        out.row0);
+    out.cols =
+        std::max(1, tile_c0 + (mc + 1) * tile_cols / m_cols -
+                        out.col0);
+    return out;
+}
+
+double
+MeshBackend::groupDemandA(double v, double fGhz, double rtog,
+                          int active_macros) const
+{
+    const int macros = bcfg.groups * bcfg.macrosPerGroup;
+    return ir.demandCurrentA(ir.dynamicDropMv(v, fGhz, rtog)) *
+           active_macros / macros;
+}
+
+std::unique_ptr<IrEval>
+MeshBackend::newEval(
+    const std::vector<std::vector<int>> &activeMacros) const
+{
+    return std::make_unique<MeshEval>(*this, activeMacros);
+}
+
+} // namespace aim::power

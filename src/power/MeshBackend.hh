@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Layout-level droop backend: the window engine's view of the
+ * PdnMesh SOR solver (power/PdnMesh).
+ *
+ * Geometry: the die is tiled into a gRows x gCols grid of group
+ * regions, each subdivided into macro sub-tiles; a group's *active*
+ * macros inject demand current at their footprint nodes.  Demand
+ * follows the same Equation-2 current model the analytic backend
+ * implies (IrModel::demandCurrentA), so both backends agree on *how
+ * much* current flows -- the mesh adds *where* it flows and what the
+ * resistive network does with it (bump proximity, neighbour
+ * coupling).
+ *
+ * Cost model: the cold full-grid solve is paid once, at backend
+ * construction, against the full-activity load (this also calibrates
+ * the mesh scale to Equation 2's full-activity dynamic drop).  Each
+ * round's evaluator then starts from that solution; per window, only
+ * groups whose demand current moved beyond IrBackendConfig::
+ * rtogThreshold update their loads, and the solve warm-starts from
+ * the previous window's voltage map -- a handful of SOR iterations
+ * instead of thousands.  Groups inside the threshold scale their
+ * cached footprint drop linearly with demand (the mesh is a linear
+ * network, so own-contribution scaling is exact).
+ */
+
+#ifndef AIM_POWER_MESHBACKEND_HH
+#define AIM_POWER_MESHBACKEND_HH
+
+#include "power/IrBackend.hh"
+#include "power/PdnMesh.hh"
+
+namespace aim::power
+{
+
+class MeshEval;
+
+/** PDN-mesh droop backend (IrBackendKind::Mesh). */
+class MeshBackend final : public IrBackend
+{
+  public:
+    /** Pays the cold full-activity solve and calibrates the scale. */
+    MeshBackend(const IrBackendConfig &cfg, const Calibration &cal);
+
+    IrBackendKind
+    kind() const override
+    {
+        return IrBackendKind::Mesh;
+    }
+
+    std::unique_ptr<IrEval>
+    newEval(const std::vector<std::vector<int>> &activeMacros)
+        const override;
+
+    /** Node rectangle of one macro's footprint. */
+    struct Footprint
+    {
+        int row0 = 0;
+        int col0 = 0;
+        int rows = 0;
+        int cols = 0;
+    };
+
+    /** Footprint of macro @p m on the mesh. */
+    Footprint macroFootprint(int m) const;
+
+    /** Mesh-to-Equation-2 calibration factor. */
+    double dynScale() const { return scale; }
+
+    /** The construction-time full-activity solution. */
+    const PdnSolution &baseline() const { return baselineSol; }
+
+    /** Full-chip dynamic demand current at Rtog = 1, nominal V-f. */
+    double fullDemandA() const { return fullA; }
+
+    const IrBackendConfig &config() const { return bcfg; }
+
+  private:
+    friend class MeshEval;
+
+    /** Demand current one group draws [A]. */
+    double groupDemandA(double v, double fGhz, double rtog,
+                        int activeMacros) const;
+
+    IrBackendConfig bcfg;
+    Calibration cal;
+    IrModel ir;
+    /** Loose-tolerance mesh config of the per-window warm solves. */
+    PdnMeshConfig warmCfg;
+    PdnSolution baselineSol;
+    double scale = 1.0;
+    double fullA = 0.0;
+};
+
+} // namespace aim::power
+
+#endif // AIM_POWER_MESHBACKEND_HH

@@ -91,55 +91,108 @@ PdnMesh::isBump(int row, int col) const
 PdnSolution
 PdnMesh::solve() const
 {
+    return solve(nullptr);
+}
+
+PdnSolution
+PdnMesh::solve(const PdnSolution *warm_start) const
+{
     const int n = cfg.size;
     const double g = cfg.sheetConductance;
     const double gb = cfg.bumpConductance;
 
     PdnSolution sol;
     sol.size = n;
-    sol.voltage.assign(static_cast<size_t>(n) * n, cfg.vdd);
+    if (warm_start && warm_start->size == n &&
+        warm_start->voltage.size() ==
+            static_cast<size_t>(n) * n)
+        sol.voltage = warm_start->voltage;
+    else
+        sol.voltage.assign(static_cast<size_t>(n) * n, cfg.vdd);
 
     auto at = [&](std::vector<double> &v, int r, int c) -> double & {
         return v[static_cast<size_t>(r) * n + c];
     };
 
     // SOR sweeps: V_i = (sum_j g V_j + gb VDD [bump] - I_i) / G_i.
+    // The interior of the grid (all four neighbours present) is the
+    // bulk of the nodes and runs without boundary branches; edge
+    // nodes take the general path.  Accumulation order is kept
+    // identical to the general path, so the fast path changes no
+    // bits -- only branch misprediction and index arithmetic.  This
+    // loop dominates the warm per-window re-solves of the mesh droop
+    // backend (power/MeshBackend).
+    const double g4 = ((g + g) + g) + g;
+    double *v = sol.voltage.data();
+    const double *load = loadA.data();
+    auto update = [&](int r, int c, double &residual) {
+        double gsum = 0.0;
+        double isum = -load[static_cast<size_t>(r) * n + c];
+        if (r > 0) {
+            gsum += g;
+            isum += g * v[static_cast<size_t>(r - 1) * n + c];
+        }
+        if (r + 1 < n) {
+            gsum += g;
+            isum += g * v[static_cast<size_t>(r + 1) * n + c];
+        }
+        if (c > 0) {
+            gsum += g;
+            isum += g * v[static_cast<size_t>(r) * n + c - 1];
+        }
+        if (c + 1 < n) {
+            gsum += g;
+            isum += g * v[static_cast<size_t>(r) * n + c + 1];
+        }
+        if (isBump(r, c)) {
+            gsum += gb;
+            isum += gb * cfg.vdd;
+        }
+        double &v_old = v[static_cast<size_t>(r) * n + c];
+        const double v_sor =
+            v_old + cfg.omega * (isum / gsum - v_old);
+        residual =
+            std::max(residual, std::fabs(gsum * (v_sor - v_old)));
+        v_old = v_sor;
+    };
     double residual = 0.0;
     int iter = 0;
     for (; iter < cfg.maxIterations; ++iter) {
         residual = 0.0;
         for (int r = 0; r < n; ++r) {
-            for (int c = 0; c < n; ++c) {
-                double gsum = 0.0;
-                double isum = -loadA[static_cast<size_t>(r) * n + c];
-                if (r > 0) {
-                    gsum += g;
-                    isum += g * at(sol.voltage, r - 1, c);
-                }
-                if (r + 1 < n) {
-                    gsum += g;
-                    isum += g * at(sol.voltage, r + 1, c);
-                }
-                if (c > 0) {
-                    gsum += g;
-                    isum += g * at(sol.voltage, r, c - 1);
-                }
-                if (c + 1 < n) {
-                    gsum += g;
-                    isum += g * at(sol.voltage, r, c + 1);
-                }
-                if (isBump(r, c)) {
+            const bool interior_row = r > 0 && r + 1 < n;
+            if (!interior_row) {
+                for (int c = 0; c < n; ++c)
+                    update(r, c, residual);
+                continue;
+            }
+            double *row = v + static_cast<size_t>(r) * n;
+            const double *up = row - n;
+            const double *down = row + n;
+            const double *ld = load + static_cast<size_t>(r) * n;
+            const bool bump_row = r % cfg.bumpPitch == 0;
+            update(r, 0, residual);
+            for (int c = 1; c + 1 < n; ++c) {
+                const bool bump =
+                    bump_row && c % cfg.bumpPitch == 0;
+                double isum = -ld[c];
+                isum += g * up[c];
+                isum += g * down[c];
+                isum += g * row[c - 1];
+                isum += g * row[c + 1];
+                double gsum = g4;
+                if (bump) {
                     gsum += gb;
                     isum += gb * cfg.vdd;
                 }
-                const double v_new = isum / gsum;
-                const double &v_old = at(sol.voltage, r, c);
+                const double v_old = row[c];
                 const double v_sor =
-                    v_old + cfg.omega * (v_new - v_old);
+                    v_old + cfg.omega * (isum / gsum - v_old);
                 residual = std::max(
                     residual, std::fabs(gsum * (v_sor - v_old)));
-                at(sol.voltage, r, c) = v_sor;
+                row[c] = v_sor;
             }
+            update(r, n - 1, residual);
         }
         if (residual < cfg.tolerance)
             break;

@@ -87,8 +87,18 @@ class PdnMesh
     void addBlockLoad(int row0, int col0, int rows, int cols,
                       double currentA);
 
-    /** Solve KCL for the current load set. */
+    /** Solve KCL for the current load set (flat-VDD initial guess). */
     PdnSolution solve() const;
+
+    /**
+     * Solve KCL warm-started from a previous solution.  When
+     * @p warmStart matches the mesh size its voltage map seeds the
+     * SOR sweeps, so a re-solve after a small load perturbation
+     * converges in a handful of iterations instead of a cold solve's
+     * hundreds (see PdnMeshTest.WarmStartCutsIterations).  A null or
+     * mismatched warm start falls back to the flat-VDD guess.
+     */
+    PdnSolution solve(const PdnSolution *warmStart) const;
 
     /** True when a node is a bump (supply-connected) node. */
     bool isBump(int row, int col) const;

@@ -81,6 +81,7 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
 {
     ServeReport rep;
     rep.policy = fcfg.policy;
+    rep.backend = fcfg.options.irBackend;
     rep.chips.resize(fcfg.chips);
     if (trace.empty())
         return rep;

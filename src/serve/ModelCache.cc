@@ -45,6 +45,7 @@ ModelCache::key(const std::string &model, const AimOptions &opts)
        << ",mode=" << static_cast<int>(opts.mode)
        << ",beta=" << opts.beta
        << ",map=" << static_cast<int>(opts.mapper)
+       << ",ir=" << static_cast<int>(opts.irBackend)
        << ",bits=" << opts.bits << ",work=" << opts.workScale
        << ",seed=" << opts.seed;
     return os.str();

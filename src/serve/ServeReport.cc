@@ -59,10 +59,11 @@ ServeReport::render() const
     std::ostringstream os;
     char line[160];
     std::snprintf(line, sizeof(line),
-                  "policy %s: %ld requests in %.2f ms "
+                  "policy %s [%s droop]: %ld requests in %.2f ms "
                   "(%.0f req/s, %.1f effective TOPS)\n",
-                  policyName(policy), requests, makespanUs / 1e3,
-                  throughputRps(), aggregateTops());
+                  policyName(policy), power::irBackendName(backend),
+                  requests, makespanUs / 1e3, throughputRps(),
+                  aggregateTops());
     os << line;
     std::snprintf(line, sizeof(line),
                   "latency  p50 %.1f us  p95 %.1f us  p99 %.1f us  "

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "power/IrBackend.hh"
 #include "serve/Scheduler.hh"
 
 namespace aim::serve
@@ -39,6 +40,8 @@ struct ChipUsage
 struct ServeReport
 {
     SchedPolicy policy = SchedPolicy::Fcfs;
+    /** Droop backend every chip execution ran under. */
+    power::IrBackendKind backend = power::IrBackendKind::Analytic;
     /** Requests served. */
     long requests = 0;
     /** First arrival to last completion [us]. */

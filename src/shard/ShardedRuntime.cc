@@ -71,6 +71,7 @@ ShardedRuntime::execute(const ShardedModel &sharded,
 
     ShardReport rep;
     rep.modelName = sharded.plan.modelName;
+    rep.backend = sharded.options.irBackend;
     rep.stages = S;
     rep.chips = sharded.totalChips();
     rep.microBatches = M;
@@ -178,10 +179,12 @@ ShardReport::render() const
     std::ostringstream os;
     char line[160];
     std::snprintf(line, sizeof(line),
-                  "%s: %d stage%s on %d chip%s, %d micro-batch%s, "
-                  "makespan %.2f ms\n",
-                  modelName.c_str(), stages, stages == 1 ? "" : "s",
-                  chips, chips == 1 ? "" : "s", microBatches,
+                  "%s [%s droop]: %d stage%s on %d chip%s, "
+                  "%d micro-batch%s, makespan %.2f ms\n",
+                  modelName.c_str(),
+                  power::irBackendName(backend), stages,
+                  stages == 1 ? "" : "s", chips,
+                  chips == 1 ? "" : "s", microBatches,
                   microBatches == 1 ? "" : "es", makespanUs / 1e3);
     os << line;
     std::snprintf(line, sizeof(line),

@@ -86,6 +86,8 @@ ShardedModel compileSharded(const AimPipeline &pipe,
 struct ShardReport
 {
     std::string modelName;
+    /** Droop backend every (stage, micro-batch) run used. */
+    power::IrBackendKind backend = power::IrBackendKind::Analytic;
     int stages = 0;
     /** Chips occupied (pipeline stages + tensor-parallel extras). */
     int chips = 0;

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Per-round execution state of the chip runtime, factored out of the
+ * old Runtime::runRound monolith: the per-group controller state
+ * (samplers, monitor, booster, operating point, energy) and the
+ * per-Set progress bookkeeping (passes remaining, pending stalls,
+ * wall time).  Construction performs the whole round setup --
+ * mapping-to-group assignment, Set discovery, safe-level derivation,
+ * booster/monitor instantiation -- leaving the window engine
+ * (sim/WindowKernel) a pure per-window advance over this state.
+ */
+
+#ifndef AIM_SIM_CHIPSTATE_HH
+#define AIM_SIM_CHIPSTATE_HH
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "booster/GroupBooster.hh"
+#include "mapping/Mappers.hh"
+#include "pim/ToggleModel.hh"
+#include "power/IrMonitor.hh"
+#include "power/VfTable.hh"
+#include "sim/Compiler.hh"
+
+namespace aim::sim
+{
+
+/** Controller and accounting state of one macro group. */
+struct GroupState
+{
+    bool active = false;
+    /** Macro ids hosting tasks. */
+    std::vector<int> macros;
+    /** One Rtog sampler per hosted task. */
+    std::vector<pim::RtogSampler> samplers;
+    /** Logical Sets with a task in this group. */
+    std::set<int> sets;
+    int safeLevel = 100;
+    power::VfPair pair;
+    std::unique_ptr<booster::GroupBooster> boost;
+    std::unique_ptr<power::IrMonitor> monitor;
+    double energyMwNs = 0.0;
+    /** Effective frequency after Set synchronization [GHz]. */
+    double fEff = 0.0;
+    /**
+     * Expected cycle Rtog of the hosted tasks (mean over samplers).
+     * Constant for the round, so hoisted out of the window loop.
+     */
+    double meanRtog = 0.0;
+};
+
+/** Progress bookkeeping of one logical Set. */
+struct SetState
+{
+    /** Bit-serial passes still to execute. */
+    long remaining = 0;
+    /** Stall windows pending (recompute / V-f settle). */
+    long stall = 0;
+    /** Wall time accumulated by this Set [ns]. */
+    double wallNs = 0.0;
+    /** Groups hosting this Set's tasks. */
+    std::set<int> groups;
+    double macsPerPass = 0.0;
+    /**
+     * This window's synchronized Set frequency [GHz] (slowest member
+     * group).  Scratch refreshed every window by the kernel --
+     * keeping it here avoids the per-window map the old monolith
+     * allocated.
+     */
+    double freqGhz = 0.0;
+};
+
+/** All mutable state of one round's execution. */
+class ChipState
+{
+  public:
+    /**
+     * Set up the round: assign mapped tasks to groups, build
+     * samplers / monitors / boosters, and derive Set work.
+     *
+     * @param rng round RNG; only fork()ed (never advanced), so the
+     *        caller's stream position is unchanged
+     */
+    ChipState(const pim::PimConfig &cfg,
+              const power::Calibration &cal,
+              const power::VfTable &table,
+              const booster::BoosterConfig &boost, bool useBooster,
+              const Round &round, const mapping::Mapping &map,
+              const pim::ToggleStats &toggles,
+              const util::Rng &rng);
+
+    /** Any Set still has passes to execute. */
+    bool anyRemaining() const;
+
+    /** Macro ids hosting tasks, per group (for IrBackend::newEval). */
+    std::vector<std::vector<int>> activeMacroIds() const;
+
+    std::vector<GroupState> groups;
+    /** Set id -> state, ascending id (iteration order matters). */
+    std::map<int, SetState> sets;
+    int activeMacros = 0;
+    /** Total useful MACs of the round (RunReport::totalMacs). */
+    double totalMacs = 0.0;
+};
+
+} // namespace aim::sim
+
+#endif // AIM_SIM_CHIPSTATE_HH

@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <memory>
-#include <set>
 
+#include "sim/ChipState.hh"
+#include "sim/WindowKernel.hh"
 #include "util/Logging.hh"
 #include "util/Rng.hh"
 #include "util/Stats.hh"
@@ -33,8 +32,25 @@ RunReport::topsPerWatt(int active_macros) const
 
 Runtime::Runtime(const pim::PimConfig &cfg,
                  const power::Calibration &cal, const RunConfig &rcfg)
-    : cfg(cfg), cal(cal), rcfg(rcfg), table(cal), ir(cal), pm(cal)
+    : cfg(cfg), cal(cal), rcfg(rcfg), table(cal), pm(cal)
 {
+    // Timing thresholds per grid frequency (bisection is slow):
+    // computed once for the Runtime's lifetime, not per round.
+    for (double f : cal.fGrid)
+        vminByF[f] = table.vMinTiming(f);
+
+    recomputeStall = std::max<long>(
+        1, (cal.recomputePenaltyCycles + cfg.inputBits - 1) /
+               cfg.inputBits);
+    switchStall = std::max<long>(
+        1, (cal.vfSwitchPenaltyCycles + cfg.inputBits - 1) /
+               cfg.inputBits);
+
+    power::IrBackendConfig bcfg;
+    bcfg.kind = rcfg.irBackend;
+    bcfg.groups = cfg.groups;
+    bcfg.macrosPerGroup = cfg.macrosPerGroup;
+    backend = power::makeIrBackend(bcfg, cal);
 }
 
 RunReport
@@ -77,246 +93,47 @@ Runtime::runRound(const Round &round, const pim::ToggleStats &toggles,
     const mapping::Mapping map =
         mapWith(rcfg.mapper, round.tasks, cfg, eval, round_seed);
 
-    // Cache timing thresholds per grid frequency (bisection is slow).
-    std::map<double, double> vmin;
-    for (double f : cal.fGrid)
-        vmin[f] = table.vMinTiming(f);
+    // Round setup: group / Set bookkeeping, controllers, samplers.
+    ChipState state(cfg, cal, table, rcfg.boost, rcfg.useBooster,
+                    round, map, toggles, rng);
+    rep.totalMacs = state.totalMacs;
 
-    // Group state.
-    struct GroupState
-    {
-        bool active = false;
-        std::vector<int> macros;          // macro ids hosting tasks
-        std::vector<pim::RtogSampler> samplers;
-        std::set<int> sets;
-        int safeLevel = 100;
-        power::VfPair pair;
-        std::unique_ptr<booster::GroupBooster> boost;
-        std::unique_ptr<power::IrMonitor> monitor;
-        double energyMwNs = 0.0;
-        /** Effective frequency after Set synchronization [GHz]. */
-        double fEff = 0.0;
-    };
-    std::vector<GroupState> groups(cfg.groups);
+    // Per-round droop evaluator of the configured backend.
+    const auto droop = backend->newEval(state.activeMacroIds());
 
-    const auto worst_hr = groupWorstHr(map, round.tasks, cfg);
-    int active_macros = 0;
-    for (int g = 0; g < cfg.groups; ++g) {
-        auto &gs = groups[g];
-        bool input_det = false;
-        for (int m = g * cfg.macrosPerGroup;
-             m < (g + 1) * cfg.macrosPerGroup; ++m) {
-            const int t = map.taskOfMacro[m];
-            if (t < 0)
-                continue;
-            gs.macros.push_back(m);
-            gs.sets.insert(round.tasks[t].setId);
-            gs.samplers.emplace_back(round.tasks[t].hr, toggles,
-                                     rng.fork(m + 1));
-            input_det |= round.tasks[t].inputDetermined;
-        }
-        if (gs.macros.empty())
-            continue;
-        gs.active = true;
-        active_macros += static_cast<int>(gs.macros.size());
-        gs.safeLevel =
-            input_det ? 100 : table.safeLevelFor(worst_hr[g]);
-        if (rcfg.useBooster) {
-            gs.boost = std::make_unique<booster::GroupBooster>(
-                table, rcfg.boost, gs.safeLevel);
-            gs.monitor = std::make_unique<power::IrMonitor>(
-                cal, rng.fork(1000 + g));
-            gs.pair = gs.boost->pair();
-        } else {
-            gs.pair = table.dvfsNominal();
-        }
-    }
-
-    // Set bookkeeping: passes to execute, pending stalls, wall time.
-    struct SetState
-    {
-        long remaining = 0;
-        long stall = 0;
-        double wallNs = 0.0;
-        std::set<int> groups;
-        double macsPerPass = 0.0;
-    };
-    std::map<int, SetState> sets;
-    const double macs_per_pass =
-        static_cast<double>(cfg.macsPerMacroPerPass());
-    for (int m = 0; m < map.macros(); ++m) {
-        const int t = map.taskOfMacro[m];
-        if (t < 0)
-            continue;
-        auto &ss = sets[round.tasks[t].setId];
-        const double scaled =
-            std::max(static_cast<double>(round.tasks[t].macs), 1.0);
-        ss.remaining = std::max(
-            ss.remaining,
-            static_cast<long>(std::ceil(scaled / macs_per_pass)));
-        ss.groups.insert(mapping::Mapping::groupOf(m, cfg));
-        ss.macsPerPass += macs_per_pass;
-        rep.totalMacs += scaled;
-    }
-
-    const long recompute_stall = std::max<long>(
-        1, (cal.recomputePenaltyCycles + cfg.inputBits - 1) /
-               cfg.inputBits);
-    const long switch_stall = std::max<long>(
-        1, (cal.vfSwitchPenaltyCycles + cfg.inputBits - 1) /
-               cfg.inputBits);
-
-    util::RunningStats drop_stats;
-    double level_weighted = 0.0;
-    double rtog_weighted = 0.0;
-    long level_samples = 0;
-    double useful_freq_sum = 0.0;
-
-    auto any_remaining = [&] {
-        return std::any_of(sets.begin(), sets.end(), [](auto &kv) {
-            return kv.second.remaining > 0;
-        });
-    };
-
-    // Initialize effective frequencies.
-    for (auto &gs : groups)
-        if (gs.active)
-            gs.fEff = gs.pair.fGhz;
+    WindowKernel kernel(cfg, cal, rcfg.useBooster, pm, vminByF,
+                        recomputeStall, switchStall);
+    WindowStats stats;
 
     long window = 0;
-    for (; window < rcfg.maxWindowsPerRound && any_remaining();
-         ++window) {
-        // Per-group activity, droop, monitoring and control.
-        for (int g = 0; g < cfg.groups; ++g) {
-            auto &gs = groups[g];
-            if (!gs.active)
-                continue;
-            double worst_rtog = 0.0;
-            double mean_rtog = 0.0;
-            for (auto &sampler : gs.samplers) {
-                const double r = sampler.sample();
-                worst_rtog = std::max(worst_rtog, r);
-                mean_rtog += r;
-            }
-            mean_rtog /= static_cast<double>(gs.samplers.size());
-
-            // Droop at the group's voltage and *effective* (set-
-            // synchronized) frequency.
-            const double drop = ir.noisyDropMv(
-                gs.pair.v, gs.fEff, worst_rtog, rng);
-            drop_stats.add(drop);
-            rep.irWorstMv = std::max(rep.irWorstMv, drop);
-
-            bool failure = false;
-            if (rcfg.useBooster) {
-                const double veff = gs.pair.v - drop / 1000.0;
-                gs.monitor->setThreshold(vmin[gs.fEff] -
-                                         cal.monitorGuardMv / 1000.0);
-                failure = gs.monitor->sample(veff).irFailure;
-
-                // Frequency sync from the Set resets the safe counter
-                // (Algorithm 2 lines 11-13); the level itself is not
-                // disturbed -- the group simply clocks slower.
-                const bool sync = gs.fEff + 1e-12 < gs.pair.fGhz;
-                const auto dec = gs.boost->step(
-                    failure, sync, gs.boost->level());
-                // Stalls saturate rather than stack: recomputes of
-                // several macros of one Set proceed in parallel while
-                // the Set holds partial sums (Figure 11), and a V-f
-                // settle window absorbs concurrent switches.
-                if (failure) {
-                    ++rep.failures;
-                    for (int s : gs.sets)
-                        sets[s].stall =
-                            std::max(sets[s].stall, recompute_stall);
-                }
-                if (dec.vfSwitched) {
-                    ++rep.vfSwitches;
-                    for (int s : gs.sets)
-                        sets[s].stall =
-                            std::max(sets[s].stall, switch_stall);
-                }
-                gs.pair = dec.pair;
-                level_weighted += dec.level;
-            } else {
-                level_weighted += 100.0;
-            }
-            rtog_weighted += mean_rtog;
-            ++level_samples;
-        }
-
-        // Set frequencies: each set runs at its slowest group; a
-        // group hosting several sets clocks at the lowest demand.
-        std::map<int, double> set_freq;
-        for (auto &[sid, ss] : sets) {
-            double f = 1e9;
-            for (int g : ss.groups)
-                f = std::min(f, groups[g].pair.fGhz);
-            set_freq[sid] = f;
-        }
-        for (int g = 0; g < cfg.groups; ++g) {
-            auto &gs = groups[g];
-            if (!gs.active)
-                continue;
-            double f = gs.pair.fGhz;
-            for (int s : gs.sets)
-                f = std::min(f, set_freq[s]);
-            gs.fEff = f;
-
-            // Window energy at the group's operating point.
-            double mean_rtog = 0.0;
-            for (auto &sampler : gs.samplers)
-                mean_rtog += sampler.mean();
-            mean_rtog /= static_cast<double>(gs.samplers.size());
-            const double window_ns =
-                static_cast<double>(cfg.inputBits) / gs.fEff;
-            gs.energyMwNs +=
-                pm.macroPowerMw(gs.pair.v, gs.fEff, mean_rtog) *
-                gs.samplers.size() * window_ns;
-        }
-
-        // Set progress.
-        for (auto &[sid, ss] : sets) {
-            if (ss.remaining == 0)
-                continue;
-            const double f = set_freq[sid];
-            const double window_ns =
-                static_cast<double>(cfg.inputBits) / f;
-            ss.wallNs += window_ns;
-            if (ss.stall > 0) {
-                --ss.stall;
-                ++rep.stallWindows;
-            } else {
-                --ss.remaining;
-                ++rep.usefulWindows;
-                useful_freq_sum += f;
-            }
-        }
-    }
-    aim_assert(!any_remaining(), "round did not converge within ",
+    for (; window < rcfg.maxWindowsPerRound && state.anyRemaining();
+         ++window)
+        kernel.step(state, *droop, rng, rep, stats);
+    aim_assert(!state.anyRemaining(), "round did not converge within ",
                rcfg.maxWindowsPerRound, " windows");
 
-    for (auto &[sid, ss] : sets)
+    for (auto &[sid, ss] : state.sets)
         rep.wallTimeNs = std::max(rep.wallTimeNs, ss.wallNs);
     double energy = 0.0;
-    for (auto &gs : groups)
+    for (auto &gs : state.groups)
         energy += gs.energyMwNs;
     rep.macroPowerMw =
-        rep.wallTimeNs > 0.0 && active_macros > 0
-            ? energy / rep.wallTimeNs / active_macros
+        rep.wallTimeNs > 0.0 && state.activeMacros > 0
+            ? energy / rep.wallTimeNs / state.activeMacros
             : 0.0;
-    rep.irMeanMv = drop_stats.mean();
-    rep.meanLevel = level_samples > 0
-                        ? level_weighted / level_samples
+    rep.irMeanMv = stats.dropStats.mean();
+    rep.meanLevel = stats.levelSamples > 0
+                        ? stats.levelWeighted / stats.levelSamples
                         : 100.0;
-    rep.meanRtog =
-        level_samples > 0 ? rtog_weighted / level_samples : 0.0;
+    rep.meanRtog = stats.levelSamples > 0
+                       ? stats.rtogWeighted / stats.levelSamples
+                       : 0.0;
     // Effective throughput: the paper's framing is peak TOPS scaled
     // by the achieved frequency and the fraction of windows doing
     // useful work (recompute bubbles and V-f settling subtract).
     const double mean_f =
         rep.usefulWindows > 0
-            ? useful_freq_sum / rep.usefulWindows
+            ? stats.usefulFreqSum / rep.usefulWindows
             : cal.fNominal;
     rep.tops = pm.chipTops(mean_f, rep.utilization());
     rep.roundLatencyNs.push_back(rep.wallTimeNs);

@@ -5,22 +5,31 @@
  *
  * Time advances in *windows* of one bit-serial pass (inputBits
  * cycles).  Every window, each active group samples its worst-macro
- * Rtog, the Equation-2 model produces the group's droop, the monitor
- * digitizes it against the timing threshold of the current frequency,
- * and the Algorithm-2 controller reacts.  IRFailures trigger
- * recompute stalls for the failing group's Sets (Figure 11); V-f
- * switches cost settle windows.  Energy, wall time, IR-drop and level
- * statistics are aggregated into a RunReport.
+ * Rtog, the configured droop backend (power/IrBackend: Equation-2
+ * analytic or incremental PDN-mesh) produces the group's droop, the
+ * monitor digitizes it against the timing threshold of the current
+ * frequency, and the Algorithm-2 controller reacts.  IRFailures
+ * trigger recompute stalls for the failing group's Sets (Figure 11);
+ * V-f switches cost settle windows.  Energy, wall time, IR-drop and
+ * level statistics are aggregated into a RunReport.
+ *
+ * The engine itself is decomposed: sim/ChipState holds the round's
+ * mutable state, sim/WindowKernel advances one window, and Runtime
+ * is the thin orchestrator that maps tasks, loops windows and
+ * finalizes reports.
  */
 
 #ifndef AIM_SIM_RUNTIME_HH
 #define AIM_SIM_RUNTIME_HH
 
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "booster/GroupBooster.hh"
 #include "mapping/Mappers.hh"
 #include "pim/ToggleModel.hh"
+#include "power/IrBackend.hh"
 #include "power/IrMonitor.hh"
 #include "power/PowerModel.hh"
 #include "power/VfTable.hh"
@@ -40,6 +49,13 @@ struct RunConfig
     uint64_t seed = 31;
     /** Safety cap on windows per round. */
     long maxWindowsPerRound = 200000;
+    /**
+     * Droop-evaluation backend (power/IrBackend): Analytic keeps the
+     * Equation-2 fast path (bit-identical to the pre-backend
+     * runtime); Mesh re-solves the PdnMesh PDN incrementally per
+     * window for layout-level fidelity.
+     */
+    power::IrBackendKind irBackend = power::IrBackendKind::Analytic;
 };
 
 /** Aggregated outcome of a run. */
@@ -120,6 +136,9 @@ class Runtime
     /** Access the V-f table (for reporting). */
     const power::VfTable &vfTable() const { return table; }
 
+    /** The droop backend executing this runtime's windows. */
+    const power::IrBackend &irBackend() const { return *backend; }
+
   private:
     RunReport runRound(const Round &round,
                        const pim::ToggleStats &toggles,
@@ -129,8 +148,17 @@ class Runtime
     power::Calibration cal;
     RunConfig rcfg;
     power::VfTable table;
-    power::IrModel ir;
     power::PowerModel pm;
+    /**
+     * Timing threshold per grid frequency, computed once here (one
+     * bisection per frequency) instead of once per round.
+     */
+    std::map<double, double> vminByF;
+    long recomputeStall = 1;
+    long switchStall = 1;
+    /** Shared across rounds and threads (immutable; evals are
+     * per-round).  shared_ptr keeps Runtime copyable. */
+    std::shared_ptr<const power::IrBackend> backend;
 };
 
 /** Merge per-round reports (time-weighted means). */

@@ -102,3 +102,14 @@ TEST(OptionsValidation, PipelineRefusesInvalidOptions)
     o.workScale = 0.0;
     EXPECT_DEATH(pipe.compile(model, o), "workScale");
 }
+
+TEST(OptionsValidation, RejectsUnknownIrBackend)
+{
+    aim::AimOptions opts;
+    EXPECT_TRUE(aim::validateOptions(opts).empty());
+    opts.irBackend = aim::power::IrBackendKind::Mesh;
+    EXPECT_TRUE(aim::validateOptions(opts).empty());
+    opts.irBackend = static_cast<aim::power::IrBackendKind>(42);
+    EXPECT_NE(aim::validateOptions(opts).find("irBackend"),
+              std::string::npos);
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Backend determinism through the serving stack: a fleet serving
+ * with the Mesh droop backend must produce bit-identical
+ * ServeReports at any host thread count (the FleetParallelTest
+ * property, extended to the non-default backend -- the mesh eval's
+ * warm state is per-round and never shared across threads), and the
+ * backend tag must flow into the report.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/Fleet.hh"
+
+using namespace aim;
+using namespace aim::serve;
+
+namespace
+{
+
+ModelCache &
+sharedCache()
+{
+    static AimPipeline pipe{pim::PimConfig{},
+                            power::defaultCalibration()};
+    static ModelCache cache(pipe);
+    return cache;
+}
+
+FleetConfig
+meshFleet(int threads)
+{
+    FleetConfig f;
+    f.chips = 2;
+    f.options.useLhr = false; // skip QAT: compile in ms
+    f.options.workScale = 0.05;
+    f.options.mapper = mapping::MapperKind::Sequential;
+    f.options.irBackend = power::IrBackendKind::Mesh;
+    f.seed = 5;
+    f.threads = threads;
+    return f;
+}
+
+std::vector<Request>
+trace(long requests = 10)
+{
+    TraceConfig t;
+    t.arrivals = ArrivalKind::Poisson;
+    t.meanRatePerSec = 20000.0;
+    t.requests = requests;
+    t.seed = 7;
+    t.mix = {{"ResNet18", 1.0, 8000.0},
+             {"MobileNetV2", 1.0, 8000.0}};
+    return generateTrace(t);
+}
+
+ServeReport
+run(int threads)
+{
+    pim::PimConfig cfg;
+    const auto cal = power::defaultCalibration();
+    Fleet fleet(cfg, cal, meshFleet(threads));
+    return fleet.serve(trace(), sharedCache());
+}
+
+void
+expectIdentical(const ServeReport &a, const ServeReport &b)
+{
+    EXPECT_EQ(a.backend, b.backend);
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_EQ(a.makespanUs, b.makespanUs);
+    EXPECT_EQ(a.totalMacs, b.totalMacs);
+    EXPECT_EQ(a.irFailures, b.irFailures);
+    EXPECT_EQ(a.stallWindows, b.stallWindows);
+    EXPECT_EQ(a.p50Us, b.p50Us);
+    EXPECT_EQ(a.p95Us, b.p95Us);
+    EXPECT_EQ(a.p99Us, b.p99Us);
+    ASSERT_EQ(a.latencyUs.size(), b.latencyUs.size());
+    for (size_t i = 0; i < a.latencyUs.size(); ++i) {
+        EXPECT_EQ(a.latencyUs[i], b.latencyUs[i]) << "request " << i;
+        EXPECT_EQ(a.queueUs[i], b.queueUs[i]) << "request " << i;
+    }
+    EXPECT_EQ(a.render(), b.render());
+}
+
+} // namespace
+
+TEST(BackendFleet, MeshReportBitIdenticalAcrossThreads)
+{
+    const auto serial = run(1);
+    for (int threads : {2, 4})
+        expectIdentical(serial, run(threads));
+}
+
+TEST(BackendFleet, ReportCarriesBackendTag)
+{
+    const auto rep = run(1);
+    EXPECT_EQ(rep.backend, power::IrBackendKind::Mesh);
+    EXPECT_NE(rep.render().find("[mesh droop]"), std::string::npos);
+}
+
+TEST(BackendFleet, BackendKeysDistinctArtifacts)
+{
+    // The cache must never hand a mesh-configured fleet an
+    // analytic-compiled artifact (execute() reads the backend out of
+    // CompiledModel::options).
+    AimOptions a;
+    AimOptions m;
+    m.irBackend = power::IrBackendKind::Mesh;
+    EXPECT_NE(ModelCache::key("ResNet18", a),
+              ModelCache::key("ResNet18", m));
+}
