@@ -127,7 +127,9 @@ BM_RuntimeWindowLoop(benchmark::State &state)
     rcfg.mapper = mapping::MapperKind::Sequential;
     rcfg.irBackend = state.range(0) == 0
                          ? power::IrBackendKind::Analytic
-                         : power::IrBackendKind::Mesh;
+                     : state.range(0) == 1
+                         ? power::IrBackendKind::Mesh
+                         : power::IrBackendKind::Transient;
     const sim::Runtime rt(cfg, cal, rcfg);
     const std::vector<sim::Round> rounds(
         16, aim::bench::syntheticRound(0.30, 16, 2'000'000));
@@ -141,9 +143,37 @@ BM_RuntimeWindowLoop(benchmark::State &state)
         benchmark::DoNotOptimize(windows);
     }
     state.SetItemsProcessed(state.iterations() * windows);
-    state.SetLabel(state.range(0) == 0 ? "analytic" : "mesh");
+    state.SetLabel(state.range(0) == 0   ? "analytic"
+                   : state.range(0) == 1 ? "mesh"
+                                         : "transient");
 }
-BENCHMARK(BM_RuntimeWindowLoop)->Arg(0)->Arg(1);
+BENCHMARK(BM_RuntimeWindowLoop)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_PdnMeshTransientStep(benchmark::State &state)
+{
+    // One implicit-Euler RC step per window is the transient droop
+    // backend's hot loop (power/TransientBackend): decap-dominated
+    // diagonal, warm-started from the previous window's state.
+    power::PdnMeshConfig cfg;
+    cfg.size = static_cast<int>(state.range(0));
+    cfg.bumpPitch = 4;
+    cfg.decapFarad = 20e-9;
+    cfg.bumpInductanceH = 200e-12;
+    power::PdnMesh mesh(cfg);
+    mesh.addBlockLoad(cfg.size / 4, cfg.size / 4, cfg.size / 2,
+                      cfg.size / 2, 2.0);
+    power::PdnTransientState st = mesh.transientInit(mesh.solve());
+    double delta = 0.4;
+    for (auto _ : state) {
+        mesh.addBlockLoad(cfg.size / 4, cfg.size / 4, cfg.size / 2,
+                          cfg.size / 2, delta);
+        delta = -delta;
+        mesh.stepTransient(2e-9, st);
+        benchmark::DoNotOptimize(st.sol.voltage.data());
+    }
+}
+BENCHMARK(BM_PdnMeshTransientStep)->Arg(16)->Arg(24);
 
 void
 BM_HrAwareAnnealing(benchmark::State &state)

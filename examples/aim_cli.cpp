@@ -13,10 +13,14 @@
  *   --mapper seq|zigzag|random|hr  task mapping (default hr)
  *   --work F                       fraction of inference simulated
  *   --seed N                       master seed
- *   --ir-backend analytic|mesh     droop model (default analytic)
+ *   --ir-backend analytic|mesh|transient
+ *                                  droop model (default analytic)
+ *   --decap F                      transient per-node decap [nF]
+ *   --dt F                         transient window step [ns]
  *
  * Example:
  *   ./build/examples/aim_cli ViT --mode lowpower --beta 30
+ *   ./build/examples/aim_cli GPT2 --ir-backend transient --dt 1.5
  */
 
 #include <cstdio>
@@ -37,7 +41,8 @@ usage()
         "usage: aim_cli [model] [--mode sprint|lowpower|dvfs] "
         "[--no-lhr] [--no-wds] [--delta N] [--beta N] "
         "[--mapper seq|zigzag|random|hr] [--work F] [--seed N] "
-        "[--ir-backend analytic|mesh]\n");
+        "[--ir-backend analytic|mesh|transient] [--decap F] "
+        "[--dt F]\n");
     std::exit(2);
 }
 
@@ -95,13 +100,12 @@ main(int argc, char **argv)
         } else if (arg == "--seed") {
             opts.seed = static_cast<uint64_t>(std::atoll(next()));
         } else if (arg == "--ir-backend") {
-            const std::string b = next();
-            if (b == "analytic")
-                opts.irBackend = power::IrBackendKind::Analytic;
-            else if (b == "mesh")
-                opts.irBackend = power::IrBackendKind::Mesh;
-            else
+            if (!power::irBackendFromName(next(), opts.irBackend))
                 usage();
+        } else if (arg == "--decap") {
+            opts.transientDecapNf = std::atof(next());
+        } else if (arg == "--dt") {
+            opts.transientDtNs = std::atof(next());
         } else if (arg.rfind("--", 0) == 0) {
             usage();
         } else {

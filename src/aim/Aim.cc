@@ -52,10 +52,23 @@ validateOptions(const AimOptions &opts)
             "beta must be at least 1 (Algorithm-2 window), got ",
             opts.beta);
     if (opts.irBackend != power::IrBackendKind::Analytic &&
-        opts.irBackend != power::IrBackendKind::Mesh)
+        opts.irBackend != power::IrBackendKind::Mesh &&
+        opts.irBackend != power::IrBackendKind::Transient)
         return util::detail::concat(
-            "irBackend must be Analytic or Mesh, got ",
+            "irBackend must be Analytic, Mesh or Transient, got ",
             static_cast<int>(opts.irBackend));
+    if (opts.irBackend == power::IrBackendKind::Transient) {
+        if (!(opts.transientDecapNf > 0.0))
+            return util::detail::concat(
+                "transientDecapNf must be positive (the transient "
+                "backend integrates an RC mesh), got ",
+                opts.transientDecapNf);
+        if (!(opts.transientDtNs > 0.0))
+            return util::detail::concat(
+                "transientDtNs must be positive (the implicit-Euler "
+                "window step), got ",
+                opts.transientDtNs);
+    }
     return {};
 }
 
@@ -69,6 +82,8 @@ runConfigFor(const AimOptions &opts)
     rcfg.boost.aggressiveAdjustment = opts.aggressiveAdjustment;
     rcfg.mapper = opts.mapper;
     rcfg.irBackend = opts.irBackend;
+    rcfg.transientDecapNf = opts.transientDecapNf;
+    rcfg.transientDtNs = opts.transientDtNs;
     rcfg.seed = opts.seed ^ 0x9e3779b9ULL;
     return rcfg;
 }

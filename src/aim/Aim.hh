@@ -63,10 +63,18 @@ struct AimOptions
     /**
      * Droop-evaluation backend of the runtime (power/IrBackend):
      * Analytic is the Equation-2 fast path, Mesh re-solves the PDN
-     * mesh incrementally per window for layout-level fidelity (see
+     * mesh incrementally per window for layout-level fidelity,
+     * Transient steps an RC mesh (decap + bump inductance) per
+     * window for di/dt first-droop fidelity (see
      * bench_backend_fidelity for the speed/fidelity trade).
      */
     power::IrBackendKind irBackend = power::IrBackendKind::Analytic;
+    /** Per-node decap of the Transient backend [nF]; must be
+     * positive when irBackend is Transient. */
+    double transientDecapNf = 20.0;
+    /** Implicit-Euler step per window of the Transient backend [ns];
+     * must be positive when irBackend is Transient. */
+    double transientDtNs = 2.0;
     /** Quantization bit width. */
     int bits = 8;
     /** Fraction of the full inference workload simulated. */

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "power/MeshBackend.hh"
+#include "power/TransientBackend.hh"
 #include "util/Logging.hh"
 
 namespace aim::power
@@ -19,8 +20,23 @@ irBackendName(IrBackendKind kind)
         return "analytic";
     case IrBackendKind::Mesh:
         return "mesh";
+    case IrBackendKind::Transient:
+        return "transient";
     }
     return "unknown";
+}
+
+bool
+irBackendFromName(const std::string &name, IrBackendKind &out)
+{
+    for (IrBackendKind kind :
+         {IrBackendKind::Analytic, IrBackendKind::Mesh,
+          IrBackendKind::Transient})
+        if (name == irBackendName(kind)) {
+            out = kind;
+            return true;
+        }
+    return false;
 }
 
 namespace
@@ -76,25 +92,53 @@ namespace
 {
 
 /**
- * Everything a mesh backend's construction depends on, hexfloat so
- * near-equal calibrations never collide.  Two equal keys produce
- * byte-identical backends (construction is deterministic), which is
- * what makes the memoization below invisible.
+ * Everything a mesh-family backend's construction depends on,
+ * hexfloat so near-equal calibrations never collide.  Two equal keys
+ * produce byte-identical backends (construction is deterministic),
+ * which is what makes the memoization below invisible.
  */
 std::string
-meshKey(const IrBackendConfig &cfg, const Calibration &cal)
+backendKey(const IrBackendConfig &cfg, const Calibration &cal)
 {
     std::ostringstream os;
     os << std::hexfloat;
-    os << cfg.groups << ',' << cfg.macrosPerGroup << ','
-       << cfg.meshSize << ',' << cfg.meshBumpPitch << ','
-       << cfg.rtogThreshold << ',' << cfg.warmTolerance << ','
-       << cfg.warmMaxIterations << '|' << cal.vddNominal << ','
+    os << static_cast<int>(cfg.kind) << '|' << cfg.groups << ','
+       << cfg.macrosPerGroup << ',' << cfg.meshSize << ','
+       << cfg.meshBumpPitch << ',' << cfg.rtogThreshold << ','
+       << cfg.warmTolerance << ',' << cfg.warmMaxIterations;
+    // Only the transient backend reads the transient fields; keying
+    // them for Mesh would pay the cold solve again for configs that
+    // differ nowhere the backend can see.
+    if (cfg.kind == IrBackendKind::Transient)
+        os << ',' << cfg.transientDecapNf << ','
+           << cfg.transientDtNs << ',' << cfg.transientBumpPh;
+    os << '|' << cal.vddNominal << ','
        << cal.fNominal << ',' << cal.vth << ',' << cal.alphaPower
        << ',' << cal.staticDropMv << ',' << cal.dynDropFullMv << ','
        << cal.apimActivityFloor << ',' << cal.dpimNoiseMv << ','
        << cal.apimNoiseMv;
     return os.str();
+}
+
+/** Process-wide memo of cold-solve-expensive backends. */
+std::shared_ptr<const IrBackend>
+memoized(const IrBackendConfig &cfg, const Calibration &cal)
+{
+    static std::mutex mutex;
+    static std::map<std::string, std::shared_ptr<const IrBackend>>
+        cache;
+    const std::string key = backendKey(cfg, cal);
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        std::shared_ptr<const IrBackend> built;
+        if (cfg.kind == IrBackendKind::Mesh)
+            built = std::make_shared<MeshBackend>(cfg, cal);
+        else
+            built = std::make_shared<TransientBackend>(cfg, cal);
+        it = cache.emplace(key, std::move(built)).first;
+    }
+    return it->second;
 }
 
 } // namespace
@@ -106,24 +150,12 @@ makeIrBackend(const IrBackendConfig &cfg, const Calibration &cal)
     case IrBackendKind::Analytic:
         // Construction is two struct copies; nothing to share.
         return std::make_shared<AnalyticBackend>(cal);
-    case IrBackendKind::Mesh: {
+    case IrBackendKind::Mesh:
+    case IrBackendKind::Transient:
         // The cold calibration solve is the expensive part; memoize
         // it process-wide (backends are immutable and thread-shared
         // by design, see the class comment).
-        static std::mutex mutex;
-        static std::map<std::string,
-                        std::shared_ptr<const MeshBackend>>
-            cache;
-        const std::string key = meshKey(cfg, cal);
-        std::lock_guard<std::mutex> lock(mutex);
-        auto it = cache.find(key);
-        if (it == cache.end())
-            it = cache
-                     .emplace(key, std::make_shared<MeshBackend>(
-                                       cfg, cal))
-                     .first;
-        return it->second;
-    }
+        return memoized(cfg, cal);
     }
     aim_fatal("unknown IrBackendKind ", static_cast<int>(cfg.kind));
     return nullptr;

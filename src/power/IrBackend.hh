@@ -45,12 +45,24 @@ namespace aim::power
  * plumbing, so any int must be representable. */
 enum class IrBackendKind : int
 {
-    Analytic, ///< Equation-2 per-group estimator (the default)
-    Mesh,     ///< warm-started incremental PDN-mesh solves
+    Analytic,  ///< Equation-2 per-group estimator (the default)
+    Mesh,      ///< warm-started incremental PDN-mesh solves
+    Transient, ///< di/dt RC mesh, one implicit-Euler step per window
 };
 
 /** Short printable name of a backend kind. */
 const char *irBackendName(IrBackendKind kind);
+
+/**
+ * Parse a backend name as printed by irBackendName ("analytic",
+ * "mesh", "transient").
+ *
+ * @return true and set @p out on a known name; false (leaving @p out
+ *         untouched) otherwise.  Shared by aim_cli's --ir-backend
+ *         and any other string-facing config surface, so they reject
+ *         unknown spellings identically.
+ */
+bool irBackendFromName(const std::string &name, IrBackendKind &out);
 
 /** One group's operating point for a window evaluation. */
 struct GroupWindow
@@ -138,6 +150,24 @@ struct IrBackendConfig
     double warmTolerance = 2e-5;
     /** Iteration cap of the per-window warm solves. */
     int warmMaxIterations = 4;
+
+    // --- Transient backend tuning (ignored by Analytic and Mesh) ---
+    /**
+     * Decap from every mesh node to ground [nF].  Sets the RC
+     * relaxation the transient backend integrates; shrinking it
+     * towards zero (with transientBumpPh) collapses the transient
+     * step onto the resistive DC solve.
+     */
+    double transientDecapNf = 20.0;
+    /** Backward-Euler step per window [ns]. */
+    double transientDtNs = 2.0;
+    /**
+     * Series loop inductance of each bump branch [pH] (C4 +
+     * package).  This is what makes a load step overshoot its DC
+     * droop (first droop, paper Figure 17): the bump current cannot
+     * follow the di/dt, so the difference discharges the decap.
+     */
+    double transientBumpPh = 200.0;
 };
 
 /**

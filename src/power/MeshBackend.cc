@@ -30,24 +30,17 @@ class MeshEval final : public IrEval
   public:
     MeshEval(const MeshBackend &backend,
              const std::vector<std::vector<int>> &activeMacros)
-        : bk(backend), mesh(backend.warmCfg), prev(backend.baselineSol)
+        : bk(backend), mesh(backend.warmCfg),
+          prev(backend.baselineSol),
+          rects(backend.groupRects(activeMacros))
     {
-        const int groups = bk.bcfg.groups;
-        rects.resize(static_cast<size_t>(groups));
-        activeCount.assign(static_cast<size_t>(groups), 0);
-        appliedA.assign(static_cast<size_t>(groups), -1.0);
-        demandA.assign(static_cast<size_t>(groups), 0.0);
-        cachedDynMv.assign(static_cast<size_t>(groups), 0.0);
-        for (int g = 0;
-             g < std::min(groups,
-                          static_cast<int>(activeMacros.size()));
-             ++g) {
-            for (int m : activeMacros[static_cast<size_t>(g)])
-                rects[static_cast<size_t>(g)].push_back(
-                    bk.macroFootprint(m));
-            activeCount[static_cast<size_t>(g)] = static_cast<int>(
-                rects[static_cast<size_t>(g)].size());
-        }
+        const size_t groups = rects.size();
+        activeCount.assign(groups, 0);
+        appliedA.assign(groups, -1.0);
+        demandA.assign(groups, 0.0);
+        cachedDynMv.assign(groups, 0.0);
+        for (size_t g = 0; g < groups; ++g)
+            activeCount[g] = static_cast<int>(rects[g].size());
     }
 
     void
@@ -123,20 +116,8 @@ class MeshEval final : public IrEval
     double
     footprintDropMv(size_t g) const
     {
-        double acc = 0.0;
-        long nodes = 0;
-        for (const auto &r : rects[g])
-            for (int row = r.row0; row < r.row0 + r.rows; ++row)
-                for (int col = r.col0; col < r.col0 + r.cols;
-                     ++col) {
-                    acc += (bk.warmCfg.vdd -
-                            prev.voltage[static_cast<size_t>(row) *
-                                             prev.size +
-                                         col]) *
-                           1000.0;
-                    ++nodes;
-                }
-        return nodes > 0 ? acc / static_cast<double>(nodes) : 0.0;
+        return MeshBackend::footprintDropMv(prev, rects[g],
+                                            bk.warmCfg.vdd);
     }
 
     const MeshBackend &bk;
@@ -190,6 +171,41 @@ MeshBackend::MeshBackend(const IrBackendConfig &cfg,
                "mesh calibration produced no droop");
     scale = ir.dynamicDropMv(cal.vddNominal, cal.fNominal, 1.0) /
             mesh_mean;
+}
+
+std::vector<std::vector<MeshBackend::Footprint>>
+MeshBackend::groupRects(
+    const std::vector<std::vector<int>> &active_macros) const
+{
+    std::vector<std::vector<Footprint>> rects(
+        static_cast<size_t>(bcfg.groups));
+    const int known = std::min(
+        bcfg.groups, static_cast<int>(active_macros.size()));
+    for (int g = 0; g < known; ++g)
+        for (int m : active_macros[static_cast<size_t>(g)])
+            rects[static_cast<size_t>(g)].push_back(
+                macroFootprint(m));
+    return rects;
+}
+
+double
+MeshBackend::footprintDropMv(const PdnSolution &sol,
+                             const std::vector<Footprint> &rects,
+                             double vdd)
+{
+    double acc = 0.0;
+    long nodes = 0;
+    for (const auto &r : rects)
+        for (int row = r.row0; row < r.row0 + r.rows; ++row)
+            for (int col = r.col0; col < r.col0 + r.cols; ++col) {
+                acc += (vdd -
+                        sol.voltage[static_cast<size_t>(row) *
+                                        sol.size +
+                                    col]) *
+                       1000.0;
+                ++nodes;
+            }
+    return nodes > 0 ? acc / static_cast<double>(nodes) : 0.0;
 }
 
 MeshBackend::Footprint

@@ -35,8 +35,13 @@ namespace aim::power
 
 class MeshEval;
 
-/** PDN-mesh droop backend (IrBackendKind::Mesh). */
-class MeshBackend final : public IrBackend
+/**
+ * PDN-mesh droop backend (IrBackendKind::Mesh).  Also the base of
+ * the di/dt TransientBackend, which reuses the footprint mapping,
+ * the cold full-activity solve and the Equation-2 anchor calibration
+ * and only swaps the per-window evaluator.
+ */
+class MeshBackend : public IrBackend
 {
   public:
     /** Pays the cold full-activity solve and calibrates the scale. */
@@ -64,6 +69,20 @@ class MeshBackend final : public IrBackend
     /** Footprint of macro @p m on the mesh. */
     Footprint macroFootprint(int m) const;
 
+    /**
+     * Active-macro footprints per group (index = group id), sized to
+     * the configured group count regardless of the layout's length.
+     * The shared round-setup of every mesh-family evaluator.
+     */
+    std::vector<std::vector<Footprint>>
+    groupRects(const std::vector<std::vector<int>> &activeMacros)
+        const;
+
+    /** Mean drop over a group's footprints in a solution [mV]. */
+    static double
+    footprintDropMv(const PdnSolution &sol,
+                    const std::vector<Footprint> &rects, double vdd);
+
     /** Mesh-to-Equation-2 calibration factor. */
     double dynScale() const { return scale; }
 
@@ -75,7 +94,7 @@ class MeshBackend final : public IrBackend
 
     const IrBackendConfig &config() const { return bcfg; }
 
-  private:
+  protected:
     friend class MeshEval;
 
     /** Demand current one group draws [A]. */

@@ -60,6 +60,9 @@ PdnMesh::PdnMesh(const PdnMeshConfig &cfg)
     aim_assert(cfg.bumpPitch >= 1, "bump pitch must be positive");
     aim_assert(cfg.omega > 0.0 && cfg.omega < 2.0,
                "SOR omega out of (0, 2)");
+    aim_assert(cfg.decapFarad >= 0.0, "negative decap");
+    aim_assert(cfg.bumpInductanceH >= 0.0,
+               "negative bump inductance");
 }
 
 void
@@ -215,6 +218,186 @@ PdnMesh::solve(const PdnSolution *warm_start) const
     sol.bumpCurrentA = current;
     sol.bumpVoltage = bumps > 0 ? v_acc / bumps : cfg.vdd;
     return sol;
+}
+
+PdnTransientState
+PdnMesh::transientInit(const PdnSolution &dc) const
+{
+    const int n = cfg.size;
+    aim_assert(dc.size == n &&
+                   dc.voltage.size() == static_cast<size_t>(n) * n,
+               "transientInit needs a solution of this mesh");
+    PdnTransientState state;
+    state.sol = dc;
+    for (int r = 0; r < n; ++r)
+        for (int c = 0; c < n; ++c)
+            if (isBump(r, c))
+                state.bumpA.push_back(
+                    cfg.bumpConductance *
+                    (cfg.vdd -
+                     dc.voltage[static_cast<size_t>(r) * n + c]));
+    return state;
+}
+
+void
+PdnMesh::stepTransient(double dt_sec, PdnTransientState &state) const
+{
+    const int n = cfg.size;
+    aim_assert(dt_sec > 0.0, "transient step needs dt > 0");
+    aim_assert(state.sol.size == n &&
+                   state.sol.voltage.size() ==
+                       static_cast<size_t>(n) * n,
+               "transient state does not match the mesh");
+
+    const double g = cfg.sheetConductance;
+    const double gb = cfg.bumpConductance;
+    // Backward Euler, branch-implicit:
+    //   decap     C dV/dt           ->  gc = C/dt into the diagonal,
+    //                                   gc V_prev into the source
+    //   bump L    L dI/dt = Vdd - V - I/gb
+    //             -> I' = gbe (Vdd + (L/dt) I_prev - V'),
+    //                gbe = 1 / (1/gb + L/dt)
+    // so the step is one SOR solve of a network whose diagonal only
+    // grew -- unconditionally stable for any dt.
+    const double gc = cfg.decapFarad / dt_sec;
+    const double l_dt = cfg.bumpInductanceH / dt_sec;
+    const double gbe = 1.0 / (1.0 / gb + l_dt);
+
+    // The previous step's voltages freeze into the scratch buffer
+    // and the solution evolves in place (it already holds the warm
+    // start): this is the backend's every-window hot loop, so the
+    // step reuses the state's scratch capacity instead of paying
+    // per-window heap traffic.
+    state.prevVoltage.assign(state.sol.voltage.begin(),
+                             state.sol.voltage.end());
+
+    // Per-bump history source gbe (Vdd + (L/dt) I_prev), flattened
+    // to the node index for the sweeps.
+    state.bumpSrc.assign(static_cast<size_t>(n) * n, 0.0);
+    {
+        size_t k = 0;
+        for (int r = 0; r < n; ++r)
+            for (int c = 0; c < n; ++c)
+                if (isBump(r, c)) {
+                    aim_assert(k < state.bumpA.size(),
+                               "transient state bump count");
+                    state.bumpSrc[static_cast<size_t>(r) * n + c] =
+                        gbe * (cfg.vdd + l_dt * state.bumpA[k]);
+                    ++k;
+                }
+        aim_assert(k == state.bumpA.size(),
+                   "transient state bump count");
+    }
+
+    // SOR sweeps, same shape as solve(): interior fast path without
+    // boundary branches, identical accumulation order on the general
+    // path.  Every node additionally carries the decap conductance
+    // and history source; bump nodes swap gb for gbe + history.
+    const double g4 = ((g + g) + g) + g;
+    double *v = state.sol.voltage.data();
+    const double *load = loadA.data();
+    const double *vp = state.prevVoltage.data();
+    const double *bs = state.bumpSrc.data();
+    auto update = [&](int r, int c, double &residual) {
+        const size_t i = static_cast<size_t>(r) * n + c;
+        double gsum = gc;
+        double isum = gc * vp[i] - load[i];
+        if (r > 0) {
+            gsum += g;
+            isum += g * v[i - n];
+        }
+        if (r + 1 < n) {
+            gsum += g;
+            isum += g * v[i + n];
+        }
+        if (c > 0) {
+            gsum += g;
+            isum += g * v[i - 1];
+        }
+        if (c + 1 < n) {
+            gsum += g;
+            isum += g * v[i + 1];
+        }
+        if (isBump(r, c)) {
+            gsum += gbe;
+            isum += bs[i];
+        }
+        double &v_old = v[i];
+        const double v_sor =
+            v_old + cfg.omega * (isum / gsum - v_old);
+        residual =
+            std::max(residual, std::fabs(gsum * (v_sor - v_old)));
+        v_old = v_sor;
+    };
+    double residual = 0.0;
+    int iter = 0;
+    for (; iter < cfg.maxIterations; ++iter) {
+        residual = 0.0;
+        for (int r = 0; r < n; ++r) {
+            const bool interior_row = r > 0 && r + 1 < n;
+            if (!interior_row) {
+                for (int c = 0; c < n; ++c)
+                    update(r, c, residual);
+                continue;
+            }
+            double *row = v + static_cast<size_t>(r) * n;
+            const double *up = row - n;
+            const double *down = row + n;
+            const double *ld = load + static_cast<size_t>(r) * n;
+            const double *pv = vp + static_cast<size_t>(r) * n;
+            const double *src = bs + static_cast<size_t>(r) * n;
+            const bool bump_row = r % cfg.bumpPitch == 0;
+            update(r, 0, residual);
+            for (int c = 1; c + 1 < n; ++c) {
+                const bool bump =
+                    bump_row && c % cfg.bumpPitch == 0;
+                double isum = gc * pv[c] - ld[c];
+                isum += g * up[c];
+                isum += g * down[c];
+                isum += g * row[c - 1];
+                isum += g * row[c + 1];
+                double gsum = g4 + gc;
+                if (bump) {
+                    gsum += gbe;
+                    isum += src[c];
+                }
+                const double v_old = row[c];
+                const double v_sor =
+                    v_old + cfg.omega * (isum / gsum - v_old);
+                residual = std::max(
+                    residual, std::fabs(gsum * (v_sor - v_old)));
+                row[c] = v_sor;
+            }
+            update(r, n - 1, residual);
+        }
+        if (residual < cfg.tolerance)
+            break;
+    }
+    state.sol.iterations = iter;
+    state.sol.residual = residual;
+
+    // Branch update + bump observables from the implicit equations,
+    // so the reported current is consistent with the step just taken
+    // (total bump charge balances load charge plus decap charge).
+    double current = 0.0;
+    double v_acc = 0.0;
+    size_t k = 0;
+    for (int r = 0; r < n; ++r)
+        for (int c = 0; c < n; ++c)
+            if (isBump(r, c)) {
+                const double node_v =
+                    v[static_cast<size_t>(r) * n + c];
+                const double i_new =
+                    gbe * (cfg.vdd + l_dt * state.bumpA[k] -
+                           node_v);
+                state.bumpA[k] = i_new;
+                current += i_new;
+                v_acc += node_v;
+                ++k;
+            }
+    state.sol.bumpCurrentA = current;
+    state.sol.bumpVoltage =
+        k > 0 ? v_acc / static_cast<double>(k) : cfg.vdd;
 }
 
 } // namespace aim::power

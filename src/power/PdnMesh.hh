@@ -40,6 +40,18 @@ struct PdnMeshConfig
     double tolerance = 1e-7;
     /** Iteration cap. */
     int maxIterations = 20000;
+    /**
+     * Decap from every node to ground [F].  Zero (the default) keeps
+     * the mesh purely resistive: stepTransient degenerates to a
+     * warm-started DC solve and the DC solve() path never reads it.
+     */
+    double decapFarad = 0.0;
+    /**
+     * Series loop inductance of each bump branch [H] (C4 + package).
+     * The branch becomes supply -> L -> 1/bumpConductance -> node;
+     * zero keeps the branch purely resistive.
+     */
+    double bumpInductanceH = 0.0;
 };
 
 /** Solved voltage map plus bump observables. */
@@ -65,6 +77,29 @@ struct PdnSolution
     double dropAtMv(int row, int col, double vdd) const;
     /** ASCII heat map of the drop (darker glyph = larger drop). */
     std::string renderHeatMap(double vdd, double scaleMv) const;
+};
+
+/**
+ * Transient (RC + bump-L) state advanced by PdnMesh::stepTransient:
+ * the node-voltage map of the last accepted step plus the inductor
+ * current of every bump branch (row-major bump order).  Seed it from
+ * a DC solution with PdnMesh::transientInit.
+ */
+struct PdnTransientState
+{
+    /** Node voltages at the last step (doubles as the warm start). */
+    PdnSolution sol;
+    /** Bump-branch inductor currents [A], row-major over bumps. */
+    std::vector<double> bumpA;
+
+    /**
+     * Scratch of stepTransient (previous-step voltages, dense bump
+     * history sources), kept here so the every-window step allocates
+     * nothing after its first call.  Contents are meaningless
+     * between calls.
+     */
+    std::vector<double> prevVoltage;
+    std::vector<double> bumpSrc;
 };
 
 /** SOR solver over the PDN mesh. */
@@ -99,6 +134,30 @@ class PdnMesh
      * mismatched warm start falls back to the flat-VDD guess.
      */
     PdnSolution solve(const PdnSolution *warmStart) const;
+
+    /**
+     * Consistent transient state for a DC operating point: voltages
+     * from @p dc, every bump-branch inductor current at its DC value
+     * (what the branch resistor carries at those voltages).  Starting
+     * from transientInit(solve()) and holding the loads, stepTransient
+     * is a fixed point.
+     */
+    PdnTransientState transientInit(const PdnSolution &dc) const;
+
+    /**
+     * Advance the RC/RL network one backward-Euler step of @p dtSec
+     * seconds from @p state (which doubles as the warm start) under
+     * the current load set, in place.
+     *
+     * Branch-implicit discretization: the bump inductor current is
+     * eliminated into the nodal system (an effective bump conductance
+     * 1/(1/gb + L/dt) plus a history source), and every node gains a
+     * decap conductance C/dt with a C/dt * V_prev history source, so
+     * the step is one diagonally-dominant SOR solve -- unconditionally
+     * stable at any dt.  With decapFarad == 0 and bumpInductanceH ==
+     * 0 (or dt -> infinity) the step *is* the warm-started DC solve.
+     */
+    void stepTransient(double dtSec, PdnTransientState &state) const;
 
     /** True when a node is a bump (supply-connected) node. */
     bool isBump(int row, int col) const;

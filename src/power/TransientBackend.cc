@@ -1,0 +1,123 @@
+#include "power/TransientBackend.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/Logging.hh"
+
+namespace aim::power
+{
+
+/**
+ * Per-round transient evaluator: the RC/RL state (node voltages +
+ * bump inductor currents) advanced one implicit-Euler step per
+ * window.  Unlike MeshEval there is no dirty-window gating -- time
+ * advances every window whether or not the demand moved, which is
+ * exactly what lets a constant demand relax onto the DC solution and
+ * a demand step excite the first-droop transient.
+ */
+class TransientEval final : public IrEval
+{
+  public:
+    TransientEval(const TransientBackend &backend,
+                  const std::vector<std::vector<int>> &activeMacros)
+        : bk(backend), mesh(backend.transCfg),
+          rects(backend.groupRects(activeMacros))
+    {
+        const size_t groups = rects.size();
+        activeCount.assign(groups, 0);
+        appliedA.assign(groups, 0.0);
+        for (size_t g = 0; g < groups; ++g)
+            activeCount[g] = static_cast<int>(rects[g].size());
+        // Seed the electrical state from the construction-time
+        // full-activity DC point (the same seed MeshEval warm-starts
+        // from) with the load set empty: the first windows inject
+        // the round's actual demand and the RC state physically
+        // relaxes onto it, as if the chip came out of a heavy phase.
+        state = mesh.transientInit(bk.baselineSol);
+    }
+
+    void
+    window(const std::vector<GroupWindow> &groups, util::Rng &rng,
+           std::vector<double> &dropMv) override
+    {
+        // Track the demand exactly: inject each group's load delta
+        // at its active-macro footprints (no rtogThreshold gating --
+        // the step below integrates every di/dt).
+        for (size_t g = 0; g < groups.size() && g < rects.size();
+             ++g) {
+            const GroupWindow &gw = groups[g];
+            if (!gw.active || activeCount[g] == 0)
+                continue;
+            const double demand = bk.groupDemandA(
+                gw.v, gw.fGhz, gw.rtog, activeCount[g]);
+            const double delta = demand - appliedA[g];
+            if (delta != 0.0) {
+                const double per_macro =
+                    delta / static_cast<double>(activeCount[g]);
+                for (const auto &r : rects[g])
+                    mesh.addBlockLoad(r.row0, r.col0, r.rows,
+                                      r.cols, per_macro);
+                appliedA[g] = demand;
+            }
+        }
+
+        // One backward-Euler step of the RC/RL network per window.
+        mesh.stepTransient(bk.stepSec, state);
+
+        for (size_t g = 0; g < groups.size(); ++g) {
+            const GroupWindow &gw = groups[g];
+            if (!gw.active)
+                continue;
+            const double dyn =
+                g < rects.size() && activeCount[g] > 0
+                    ? bk.scale *
+                          MeshBackend::footprintDropMv(
+                              state.sol, rects[g],
+                              bk.transCfg.vdd)
+                    : 0.0;
+            const double noisy = bk.ir.staticDropMv(gw.v) + dyn +
+                                 rng.normal(0.0, bk.cal.dpimNoiseMv);
+            dropMv[g] = std::max(noisy, 0.0);
+        }
+    }
+
+  private:
+    const TransientBackend &bk;
+    PdnMesh mesh;
+    PdnTransientState state;
+    std::vector<std::vector<MeshBackend::Footprint>> rects;
+    std::vector<int> activeCount;
+    /** Demand currently injected per group [A]. */
+    std::vector<double> appliedA;
+};
+
+TransientBackend::TransientBackend(const IrBackendConfig &cfg,
+                                   const Calibration &cal)
+    : MeshBackend(cfg, cal)
+{
+    aim_assert(cfg.transientDecapNf > 0.0,
+               "transient backend needs positive decap");
+    aim_assert(cfg.transientDtNs > 0.0,
+               "transient backend needs a positive dt");
+    aim_assert(cfg.transientBumpPh >= 0.0,
+               "negative bump inductance");
+    transCfg = warmCfg;
+    transCfg.decapFarad = cfg.transientDecapNf * 1e-9;
+    transCfg.bumpInductanceH = cfg.transientBumpPh * 1e-12;
+    // The decap conductance C/dt dominates the diagonal, so the
+    // implicit step converges in a handful of sweeps even from a
+    // poor guess; a cap well above the warm-solve budget keeps the
+    // step's charge accounting tight without a cold-solve cost.
+    transCfg.maxIterations = 40;
+    stepSec = cfg.transientDtNs * 1e-9;
+}
+
+std::unique_ptr<IrEval>
+TransientBackend::newEval(
+    const std::vector<std::vector<int>> &active_macros) const
+{
+    return std::make_unique<TransientEval>(*this, active_macros);
+}
+
+} // namespace aim::power

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * di/dt transient droop backend: the PDN mesh with per-node decap
+ * and bump-branch loop inductance, advanced one backward-Euler step
+ * per window (IrBackendKind::Transient).
+ *
+ * The purely resistive MeshBackend re-solves DC per window, so its
+ * droop is a memoryless function of the window's demand -- it cannot
+ * produce the first-droop overshoot the paper's Figure 17 traces
+ * show on load steps.  This backend keeps the node-voltage vector
+ * and the bump inductor currents as per-round IrEval state: when a
+ * bursty ToggleStats window steps the demand current, the bump
+ * branches cannot follow the di/dt, the difference discharges the
+ * decap, and the droop transiently overshoots the DC solution before
+ * the inductor current catches up (classic first droop).  Under
+ * steady demand the state relaxes onto MeshBackend's DC solve; with
+ * decap and inductance at zero (or dt -> infinity) every step *is*
+ * the DC solve.
+ *
+ * Everything except the per-window step is inherited from
+ * MeshBackend: the macro footprint mapping, the cold full-activity
+ * solve and the Equation-2 anchor calibration (so all three backends
+ * agree on how much current flows at full uniform activity, and the
+ * transient backend disagrees only where history matters).
+ */
+
+#ifndef AIM_POWER_TRANSIENTBACKEND_HH
+#define AIM_POWER_TRANSIENTBACKEND_HH
+
+#include "power/MeshBackend.hh"
+
+namespace aim::power
+{
+
+class TransientEval;
+
+/** di/dt RC-mesh droop backend (IrBackendKind::Transient). */
+class TransientBackend final : public MeshBackend
+{
+  public:
+    /**
+     * Pays MeshBackend's cold full-activity solve, then derives the
+     * transient mesh config (decap, bump inductance, step) from
+     * IrBackendConfig's transient* fields.
+     */
+    TransientBackend(const IrBackendConfig &cfg,
+                     const Calibration &cal);
+
+    IrBackendKind
+    kind() const override
+    {
+        return IrBackendKind::Transient;
+    }
+
+    std::unique_ptr<IrEval>
+    newEval(const std::vector<std::vector<int>> &activeMacros)
+        const override;
+
+    /** Mesh config of the per-window transient steps. */
+    const PdnMeshConfig &transientConfig() const { return transCfg; }
+
+    /** Backward-Euler step per window [s]. */
+    double dtSec() const { return stepSec; }
+
+  private:
+    friend class TransientEval;
+
+    PdnMeshConfig transCfg;
+    double stepSec = 2e-9;
+};
+
+} // namespace aim::power
+
+#endif // AIM_POWER_TRANSIENTBACKEND_HH

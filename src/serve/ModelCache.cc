@@ -45,8 +45,15 @@ ModelCache::key(const std::string &model, const AimOptions &opts)
        << ",mode=" << static_cast<int>(opts.mode)
        << ",beta=" << opts.beta
        << ",map=" << static_cast<int>(opts.mapper)
-       << ",ir=" << static_cast<int>(opts.irBackend)
-       << ",bits=" << opts.bits << ",work=" << opts.workScale
+       << ",ir=" << static_cast<int>(opts.irBackend);
+    // The transient electrical knobs shape the artifact only when
+    // the Transient backend answers the windows; keying them
+    // unconditionally would recompile bit-identical Analytic/Mesh
+    // artifacts over an ignored field.
+    if (opts.irBackend == power::IrBackendKind::Transient)
+        os << ",tdc=" << opts.transientDecapNf
+           << ",tdt=" << opts.transientDtNs;
+    os << ",bits=" << opts.bits << ",work=" << opts.workScale
        << ",seed=" << opts.seed;
     return os.str();
 }

@@ -50,6 +50,8 @@ Runtime::Runtime(const pim::PimConfig &cfg,
     bcfg.kind = rcfg.irBackend;
     bcfg.groups = cfg.groups;
     bcfg.macrosPerGroup = cfg.macrosPerGroup;
+    bcfg.transientDecapNf = rcfg.transientDecapNf;
+    bcfg.transientDtNs = rcfg.transientDtNs;
     backend = power::makeIrBackend(bcfg, cal);
 }
 

@@ -53,9 +53,16 @@ struct RunConfig
      * Droop-evaluation backend (power/IrBackend): Analytic keeps the
      * Equation-2 fast path (bit-identical to the pre-backend
      * runtime); Mesh re-solves the PdnMesh PDN incrementally per
-     * window for layout-level fidelity.
+     * window for layout-level fidelity; Transient advances an RC
+     * mesh (decap + bump inductance) one implicit-Euler step per
+     * window for di/dt first-droop fidelity.
      */
     power::IrBackendKind irBackend = power::IrBackendKind::Analytic;
+    /** Per-node decap of the Transient backend [nF]. */
+    double transientDecapNf = 20.0;
+    /** Implicit-Euler step per window of the Transient backend
+     * [ns]. */
+    double transientDtNs = 2.0;
 };
 
 /** Aggregated outcome of a run. */

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Shared fixtures of the test suites: the zoo-model/options/run-config
+ * boilerplate that tests/sim and tests/serve suites previously each
+ * carried a private copy of.
+ *
+ * Determinism note: several suites (tests/sim/BackendGoldenTest) pin
+ * bit-exact golden numbers to the rounds and streams these helpers
+ * build, so their values are part of the repo's golden surface --
+ * change them and every captured constant drifts.
+ */
+
+#ifndef AIM_TESTS_TESTUTIL_HH
+#define AIM_TESTS_TESTUTIL_HH
+
+#include "serve/Fleet.hh"
+#include "sim/Runtime.hh"
+
+namespace aim::test
+{
+
+/**
+ * Uniform synthetic round: @p tasks conv tiles of @p macs MACs at a
+ * fixed HR, four tiles per Set; @p input_det marks every even task
+ * input-determined (QkT) for recompute-path coverage.
+ */
+inline sim::Round
+convRound(double hr, int tasks = 16, long macs = 10'000'000,
+          bool input_det = false)
+{
+    sim::Round r;
+    for (int i = 0; i < tasks; ++i) {
+        mapping::Task t;
+        t.layerName = "conv";
+        t.type = input_det ? workload::OpType::QkT
+                           : workload::OpType::Conv;
+        t.setId = i / 4;
+        t.hr = hr;
+        t.inputDetermined = input_det && (i % 2 == 0);
+        t.macs = macs;
+        r.tasks.push_back(t);
+    }
+    return r;
+}
+
+/** The activation stream every chip-level suite runs against. */
+inline pim::StreamSpec
+stream()
+{
+    pim::StreamSpec s;
+    s.density = 0.55;
+    s.nonNegative = true;
+    return s;
+}
+
+/** Run rounds on a default chip under @p rcfg (seed 0 = config's). */
+inline sim::RunReport
+execute(const std::vector<sim::Round> &rounds,
+        const sim::RunConfig &rcfg, uint64_t seed = 0)
+{
+    pim::PimConfig cfg;
+    const auto cal = power::defaultCalibration();
+    sim::Runtime rt(cfg, cal, rcfg);
+    return seed == 0 ? rt.run(rounds, stream())
+                     : rt.run(rounds, stream(), seed);
+}
+
+/**
+ * One sequential-mapped round of convRound(hr) tiles through the
+ * given droop backend -- the backend suites' standard probe.
+ */
+inline sim::RunReport
+runWith(power::IrBackendKind kind, double hr, uint64_t seed = 31)
+{
+    sim::RunConfig rcfg;
+    rcfg.mapper = mapping::MapperKind::Sequential;
+    rcfg.irBackend = kind;
+    rcfg.seed = seed;
+    return execute({convRound(hr)}, rcfg, seed);
+}
+
+/** All-active macro layout of the default 16x4 chip. */
+inline std::vector<std::vector<int>>
+fullLayout()
+{
+    std::vector<std::vector<int>> layout(16);
+    for (int g = 0; g < 16; ++g)
+        for (int m = 0; m < 4; ++m)
+            layout[static_cast<size_t>(g)].push_back(g * 4 + m);
+    return layout;
+}
+
+/** Uniform operating point at nominal V-f for every group. */
+inline std::vector<power::GroupWindow>
+uniformWindow(double rtog, int groups = 16)
+{
+    std::vector<power::GroupWindow> gw(static_cast<size_t>(groups));
+    for (auto &w : gw) {
+        w.active = true;
+        w.v = 0.75;
+        w.fGhz = 1.0;
+        w.rtog = rtog;
+    }
+    return gw;
+}
+
+/**
+ * Fast-compiling serving options shared by the fleet suites: QAT
+ * skipped, small work scale, sequential mapping.
+ */
+inline AimOptions
+fastServeOptions()
+{
+    AimOptions o;
+    o.useLhr = false; // skip QAT: compile in ms
+    o.workScale = 0.05;
+    o.mapper = mapping::MapperKind::Sequential;
+    return o;
+}
+
+/**
+ * Process-wide compiled-artifact cache: compiles are the slow part
+ * of every serving test, so all suites share one cache (and the
+ * pipeline that must outlive it).
+ */
+inline serve::ModelCache &
+sharedCache()
+{
+    static AimPipeline pipe{pim::PimConfig{},
+                            power::defaultCalibration()};
+    static serve::ModelCache cache(pipe);
+    return cache;
+}
+
+/** Two-model request trace of the fleet suites. */
+inline std::vector<serve::Request>
+serveTrace(long requests = 24,
+           serve::ArrivalKind arrivals = serve::ArrivalKind::Poisson,
+           double slo_us = 4000.0)
+{
+    serve::TraceConfig t;
+    t.arrivals = arrivals;
+    t.meanRatePerSec = 20000.0;
+    t.requests = requests;
+    t.seed = 7;
+    t.mix = {{"ResNet18", 1.0, slo_us},
+             {"MobileNetV2", 1.0, slo_us}};
+    return generateTrace(t);
+}
+
+} // namespace aim::test
+
+#endif // AIM_TESTS_TESTUTIL_HH

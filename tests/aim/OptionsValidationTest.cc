@@ -109,7 +109,49 @@ TEST(OptionsValidation, RejectsUnknownIrBackend)
     EXPECT_TRUE(aim::validateOptions(opts).empty());
     opts.irBackend = aim::power::IrBackendKind::Mesh;
     EXPECT_TRUE(aim::validateOptions(opts).empty());
+    opts.irBackend = aim::power::IrBackendKind::Transient;
+    EXPECT_TRUE(aim::validateOptions(opts).empty());
     opts.irBackend = static_cast<aim::power::IrBackendKind>(42);
     EXPECT_NE(aim::validateOptions(opts).find("irBackend"),
               std::string::npos);
+}
+
+TEST(OptionsValidation, RejectsUnknownIrBackendString)
+{
+    // The CLI-facing parse path (aim_cli --ir-backend) accepts
+    // exactly the names irBackendName prints and nothing else.
+    power::IrBackendKind kind = power::IrBackendKind::Analytic;
+    EXPECT_TRUE(power::irBackendFromName("transient", kind));
+    EXPECT_EQ(kind, power::IrBackendKind::Transient);
+    for (const char *bad :
+         {"Transient", "TRANSIENT", "rc", "redhawk", "", "mesh "})
+        EXPECT_FALSE(power::irBackendFromName(bad, kind)) << bad;
+}
+
+TEST(OptionsValidation, RejectsNonPositiveTransientKnobs)
+{
+    AimOptions o;
+    o.irBackend = power::IrBackendKind::Transient;
+    EXPECT_TRUE(validateOptions(o).empty());
+    for (double decap : {0.0, -5.0}) {
+        o.transientDecapNf = decap;
+        EXPECT_NE(validateOptions(o).find("transientDecapNf"),
+                  std::string::npos)
+            << decap;
+    }
+    o = AimOptions{};
+    o.irBackend = power::IrBackendKind::Transient;
+    for (double dt : {0.0, -2.0}) {
+        o.transientDtNs = dt;
+        EXPECT_NE(validateOptions(o).find("transientDtNs"),
+                  std::string::npos)
+            << dt;
+    }
+    // Neither matters when another backend answers the windows
+    // (matching the useWds / useBooster precedent above).
+    o.irBackend = power::IrBackendKind::Analytic;
+    EXPECT_TRUE(validateOptions(o).empty());
+    o.irBackend = power::IrBackendKind::Mesh;
+    o.transientDecapNf = -1.0;
+    EXPECT_TRUE(validateOptions(o).empty());
 }

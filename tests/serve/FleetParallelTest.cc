@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "serve/Fleet.hh"
+#include "TestUtil.hh"
 
 using namespace aim;
 using namespace aim::serve;
@@ -8,41 +8,16 @@ using namespace aim::serve;
 namespace
 {
 
-/** Compiles are slow; share one cache across the whole suite. */
-ModelCache &
-sharedCache()
-{
-    static AimPipeline pipe{pim::PimConfig{},
-                            power::defaultCalibration()};
-    static ModelCache cache(pipe);
-    return cache;
-}
-
 FleetConfig
 fleetConfig(SchedPolicy policy, int threads)
 {
     FleetConfig f;
     f.chips = 3;
     f.policy = policy;
-    f.options.useLhr = false; // skip QAT: compile in ms
-    f.options.workScale = 0.05;
-    f.options.mapper = mapping::MapperKind::Sequential;
+    f.options = test::fastServeOptions();
     f.seed = 5;
     f.threads = threads;
     return f;
-}
-
-std::vector<Request>
-trace(long requests = 24)
-{
-    TraceConfig t;
-    t.arrivals = ArrivalKind::Bursty;
-    t.meanRatePerSec = 20000.0;
-    t.requests = requests;
-    t.seed = 7;
-    t.mix = {{"ResNet18", 1.0, 4000.0},
-             {"MobileNetV2", 1.0, 4000.0}};
-    return generateTrace(t);
 }
 
 ServeReport
@@ -51,7 +26,9 @@ run(SchedPolicy policy, int threads, long requests = 24)
     pim::PimConfig cfg;
     const auto cal = power::defaultCalibration();
     Fleet fleet(cfg, cal, fleetConfig(policy, threads));
-    return fleet.serve(trace(requests), sharedCache());
+    return fleet.serve(
+        test::serveTrace(requests, ArrivalKind::Bursty),
+        test::sharedCache());
 }
 
 /** Field-by-field bit-identity of two serve reports. */

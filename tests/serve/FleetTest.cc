@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "serve/Fleet.hh"
+#include "TestUtil.hh"
 
 using namespace aim;
 using namespace aim::serve;
@@ -9,22 +9,19 @@ namespace
 {
 
 /**
- * Shared slow state: compiles are cached across all Fleet tests, so
- * the suite pays the offline flow once per (model, options).
+ * Shared slow state: compiles are cached across all Fleet tests
+ * (test::sharedCache), so the suite pays the offline flow once per
+ * (model, options).
  */
 struct Fixture
 {
     pim::PimConfig cfg;
     power::Calibration cal = power::defaultCalibration();
 
-    /** The compiling pipeline must outlive the static cache. */
     static ModelCache &
     sharedCache()
     {
-        static AimPipeline pipe{pim::PimConfig{},
-                                power::defaultCalibration()};
-        static ModelCache cache(pipe);
-        return cache;
+        return test::sharedCache();
     }
 
     FleetConfig fleetConfig(SchedPolicy policy) const
@@ -32,23 +29,14 @@ struct Fixture
         FleetConfig f;
         f.chips = 2;
         f.policy = policy;
-        f.options.useLhr = false; // skip QAT: compile in ms
-        f.options.workScale = 0.05;
-        f.options.mapper = mapping::MapperKind::Sequential;
+        f.options = test::fastServeOptions();
         f.seed = 5;
         return f;
     }
 
     std::vector<Request> trace(long requests = 24) const
     {
-        TraceConfig t;
-        t.arrivals = ArrivalKind::Poisson;
-        t.meanRatePerSec = 20000.0;
-        t.requests = requests;
-        t.seed = 7;
-        t.mix = {{"ResNet18", 1.0, 4000.0},
-                 {"MobileNetV2", 1.0, 4000.0}};
-        return generateTrace(t);
+        return test::serveTrace(requests);
     }
 
     ServeReport run(SchedPolicy policy, long requests = 24) const

@@ -1,16 +1,16 @@
 /**
  * @file
  * Backend determinism through the serving stack: a fleet serving
- * with the Mesh droop backend must produce bit-identical
- * ServeReports at any host thread count (the FleetParallelTest
- * property, extended to the non-default backend -- the mesh eval's
- * warm state is per-round and never shared across threads), and the
- * backend tag must flow into the report.
+ * with a non-default droop backend (Mesh, Transient) must produce
+ * bit-identical ServeReports at any host thread count (the
+ * FleetParallelTest property -- both backends keep their per-window
+ * solver state in the per-round IrEval, never shared across
+ * threads), and the backend tag must flow into the report.
  */
 
 #include <gtest/gtest.h>
 
-#include "serve/Fleet.hh"
+#include "TestUtil.hh"
 
 using namespace aim;
 using namespace aim::serve;
@@ -18,49 +18,27 @@ using namespace aim::serve;
 namespace
 {
 
-ModelCache &
-sharedCache()
-{
-    static AimPipeline pipe{pim::PimConfig{},
-                            power::defaultCalibration()};
-    static ModelCache cache(pipe);
-    return cache;
-}
-
 FleetConfig
-meshFleet(int threads)
+backendFleet(power::IrBackendKind kind, int threads)
 {
     FleetConfig f;
     f.chips = 2;
-    f.options.useLhr = false; // skip QAT: compile in ms
-    f.options.workScale = 0.05;
-    f.options.mapper = mapping::MapperKind::Sequential;
-    f.options.irBackend = power::IrBackendKind::Mesh;
+    f.options = test::fastServeOptions();
+    f.options.irBackend = kind;
     f.seed = 5;
     f.threads = threads;
     return f;
 }
 
-std::vector<Request>
-trace(long requests = 10)
-{
-    TraceConfig t;
-    t.arrivals = ArrivalKind::Poisson;
-    t.meanRatePerSec = 20000.0;
-    t.requests = requests;
-    t.seed = 7;
-    t.mix = {{"ResNet18", 1.0, 8000.0},
-             {"MobileNetV2", 1.0, 8000.0}};
-    return generateTrace(t);
-}
-
 ServeReport
-run(int threads)
+run(power::IrBackendKind kind, int threads)
 {
     pim::PimConfig cfg;
     const auto cal = power::defaultCalibration();
-    Fleet fleet(cfg, cal, meshFleet(threads));
-    return fleet.serve(trace(), sharedCache());
+    Fleet fleet(cfg, cal, backendFleet(kind, threads));
+    return fleet.serve(
+        test::serveTrace(10, ArrivalKind::Poisson, 8000.0),
+        test::sharedCache());
 }
 
 void
@@ -87,26 +65,65 @@ expectIdentical(const ServeReport &a, const ServeReport &b)
 
 TEST(BackendFleet, MeshReportBitIdenticalAcrossThreads)
 {
-    const auto serial = run(1);
+    const auto serial = run(power::IrBackendKind::Mesh, 1);
     for (int threads : {2, 4})
-        expectIdentical(serial, run(threads));
+        expectIdentical(serial,
+                        run(power::IrBackendKind::Mesh, threads));
+}
+
+TEST(BackendFleet, TransientReportBitIdenticalAcrossThreads)
+{
+    const auto serial = run(power::IrBackendKind::Transient, 1);
+    for (int threads : {2, 4})
+        expectIdentical(
+            serial, run(power::IrBackendKind::Transient, threads));
 }
 
 TEST(BackendFleet, ReportCarriesBackendTag)
 {
-    const auto rep = run(1);
+    const auto rep = run(power::IrBackendKind::Mesh, 1);
     EXPECT_EQ(rep.backend, power::IrBackendKind::Mesh);
     EXPECT_NE(rep.render().find("[mesh droop]"), std::string::npos);
 }
 
+TEST(BackendFleet, ReportCarriesTransientBackendTag)
+{
+    const auto rep = run(power::IrBackendKind::Transient, 1);
+    EXPECT_EQ(rep.backend, power::IrBackendKind::Transient);
+    EXPECT_NE(rep.render().find("[transient droop]"),
+              std::string::npos);
+}
+
 TEST(BackendFleet, BackendKeysDistinctArtifacts)
 {
-    // The cache must never hand a mesh-configured fleet an
-    // analytic-compiled artifact (execute() reads the backend out of
-    // CompiledModel::options).
+    // The cache must never hand a mesh- or transient-configured
+    // fleet an analytic-compiled artifact (execute() reads the
+    // backend out of CompiledModel::options).
     AimOptions a;
     AimOptions m;
     m.irBackend = power::IrBackendKind::Mesh;
+    AimOptions t;
+    t.irBackend = power::IrBackendKind::Transient;
     EXPECT_NE(ModelCache::key("ResNet18", a),
               ModelCache::key("ResNet18", m));
+    EXPECT_NE(ModelCache::key("ResNet18", m),
+              ModelCache::key("ResNet18", t));
+    // The transient electrical knobs participate too: two transient
+    // fleets with different decap or dt never share an artifact.
+    AimOptions t2 = t;
+    t2.transientDecapNf = 40.0;
+    EXPECT_NE(ModelCache::key("ResNet18", t),
+              ModelCache::key("ResNet18", t2));
+    AimOptions t3 = t;
+    t3.transientDtNs = 1.0;
+    EXPECT_NE(ModelCache::key("ResNet18", t),
+              ModelCache::key("ResNet18", t3));
+    // ... but backends that ignore the transient knobs share
+    // artifacts across them (a leftover --decap while serving with
+    // the mesh backend must not force a recompile).
+    AimOptions m2 = m;
+    m2.transientDecapNf = 40.0;
+    m2.transientDtNs = 1.0;
+    EXPECT_EQ(ModelCache::key("ResNet18", m),
+              ModelCache::key("ResNet18", m2));
 }

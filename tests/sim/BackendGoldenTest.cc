@@ -11,11 +11,13 @@
 
 #include <gtest/gtest.h>
 
-#include "sim/Runtime.hh"
+#include "TestUtil.hh"
 
 using namespace aim;
 using namespace aim::sim;
 using aim::booster::BoostMode;
+using aim::test::convRound;
+using aim::test::execute;
 
 namespace
 {
@@ -36,33 +38,6 @@ struct Golden
     double meanRtog;
 };
 
-Round
-convRound(double hr, int tasks, long macs, bool input_det = false)
-{
-    Round r;
-    for (int i = 0; i < tasks; ++i) {
-        mapping::Task t;
-        t.layerName = "conv";
-        t.type = input_det ? workload::OpType::QkT
-                           : workload::OpType::Conv;
-        t.setId = i / 4;
-        t.hr = hr;
-        t.inputDetermined = input_det && (i % 2 == 0);
-        t.macs = macs;
-        r.tasks.push_back(t);
-    }
-    return r;
-}
-
-pim::StreamSpec
-stream()
-{
-    pim::StreamSpec s;
-    s.density = 0.55;
-    s.nonNegative = true;
-    return s;
-}
-
 void
 expectGolden(const RunReport &rep, const Golden &g)
 {
@@ -78,17 +53,6 @@ expectGolden(const RunReport &rep, const Golden &g)
     EXPECT_EQ(rep.vfSwitches, g.vfSwitches);
     EXPECT_DOUBLE_EQ(rep.meanLevel, g.meanLevel);
     EXPECT_DOUBLE_EQ(rep.meanRtog, g.meanRtog);
-}
-
-RunReport
-execute(const std::vector<Round> &rounds, const RunConfig &rcfg,
-        uint64_t seed = 0)
-{
-    pim::PimConfig cfg;
-    const auto cal = power::defaultCalibration();
-    Runtime rt(cfg, cal, rcfg);
-    return seed == 0 ? rt.run(rounds, stream())
-                     : rt.run(rounds, stream(), seed);
 }
 
 } // namespace
@@ -162,6 +126,27 @@ TEST(BackendGolden, SeedOverride)
          3.7749043160593923, 67.945572539167586, 28.97457102666721,
          3L, 18L, 7328L, 6L, 20.988846572361261,
          0.082900911828252002});
+}
+
+TEST(BackendGolden, TransientResNet18HeadlineDroop)
+{
+    // Bit-exact regression of the transient backend's headline
+    // numbers on a fixed zoo model (captured at %.17g from the
+    // implementation this test shipped with): any refactor of the
+    // PdnMesh implicit step, the TransientBackend eval or the
+    // options plumbing that changes simulated physics -- rather than
+    // code shape -- trips this before it drifts a paper figure.
+    AimPipeline pipe(pim::PimConfig{},
+                     power::defaultCalibration());
+    AimOptions o = test::fastServeOptions();
+    o.irBackend = power::IrBackendKind::Transient;
+    const auto compiled = pipe.compile(workload::resnet18(), o);
+    const auto rep = pipe.execute(compiled);
+    expectGolden(rep.run,
+                 {1788.0701754385955, 91202177, 249.49070605821487,
+                  4.6166302149688372, 191.89502825885447,
+                  35.672470912950658, 163L, 73L, 735L, 8L,
+                  41.258126578390552, 0.11054607445308388});
 }
 
 TEST(BackendGolden, ExplicitAnalyticMatchesDefault)

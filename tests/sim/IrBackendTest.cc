@@ -7,79 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include "TestUtil.hh"
 #include "power/MeshBackend.hh"
-#include "sim/Runtime.hh"
 #include "util/Stats.hh"
 
 using namespace aim;
 using namespace aim::sim;
-
-namespace
-{
-
-Round
-convRound(double hr, int tasks = 16, long macs = 10'000'000)
-{
-    Round r;
-    for (int i = 0; i < tasks; ++i) {
-        mapping::Task t;
-        t.layerName = "conv";
-        t.setId = i / 4;
-        t.hr = hr;
-        t.macs = macs;
-        r.tasks.push_back(t);
-    }
-    return r;
-}
-
-pim::StreamSpec
-stream()
-{
-    pim::StreamSpec s;
-    s.density = 0.55;
-    s.nonNegative = true;
-    return s;
-}
-
-RunReport
-runWith(power::IrBackendKind kind, double hr, uint64_t seed = 31)
-{
-    pim::PimConfig cfg;
-    const auto cal = power::defaultCalibration();
-    RunConfig rcfg;
-    rcfg.mapper = mapping::MapperKind::Sequential;
-    rcfg.irBackend = kind;
-    rcfg.seed = seed;
-    Runtime rt(cfg, cal, rcfg);
-    return rt.run({convRound(hr)}, stream());
-}
-
-/** All-active layout of the default 16x4 chip. */
-std::vector<std::vector<int>>
-fullLayout()
-{
-    std::vector<std::vector<int>> layout(16);
-    for (int g = 0; g < 16; ++g)
-        for (int m = 0; m < 4; ++m)
-            layout[static_cast<size_t>(g)].push_back(g * 4 + m);
-    return layout;
-}
-
-std::vector<power::GroupWindow>
-uniformWindow(double rtog, int groups = 16)
-{
-    std::vector<power::GroupWindow> gw(
-        static_cast<size_t>(groups));
-    for (auto &w : gw) {
-        w.active = true;
-        w.v = 0.75;
-        w.fGhz = 1.0;
-        w.rtog = rtog;
-    }
-    return gw;
-}
-
-} // namespace
+using aim::test::fullLayout;
+using aim::test::runWith;
+using aim::test::uniformWindow;
 
 TEST(IrBackend, NamesAndFactory)
 {
@@ -88,6 +24,9 @@ TEST(IrBackend, NamesAndFactory)
         "analytic");
     EXPECT_STREQ(power::irBackendName(power::IrBackendKind::Mesh),
                  "mesh");
+    EXPECT_STREQ(
+        power::irBackendName(power::IrBackendKind::Transient),
+        "transient");
     power::IrBackendConfig bc;
     const auto cal = power::defaultCalibration();
     EXPECT_EQ(power::makeIrBackend(bc, cal)->kind(),
@@ -95,6 +34,26 @@ TEST(IrBackend, NamesAndFactory)
     bc.kind = power::IrBackendKind::Mesh;
     EXPECT_EQ(power::makeIrBackend(bc, cal)->kind(),
               power::IrBackendKind::Mesh);
+    bc.kind = power::IrBackendKind::Transient;
+    EXPECT_EQ(power::makeIrBackend(bc, cal)->kind(),
+              power::IrBackendKind::Transient);
+}
+
+TEST(IrBackend, NameRoundTrip)
+{
+    using power::IrBackendKind;
+    for (IrBackendKind kind :
+         {IrBackendKind::Analytic, IrBackendKind::Mesh,
+          IrBackendKind::Transient}) {
+        IrBackendKind parsed;
+        ASSERT_TRUE(power::irBackendFromName(
+            power::irBackendName(kind), parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+    IrBackendKind out = IrBackendKind::Mesh;
+    EXPECT_FALSE(power::irBackendFromName("redhawk", out));
+    EXPECT_FALSE(power::irBackendFromName("", out));
+    EXPECT_EQ(out, IrBackendKind::Mesh) << "failed parse wrote out";
 }
 
 TEST(IrBackend, MeshDeterministicForSeed)

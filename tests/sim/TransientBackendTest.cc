@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Behaviour of the di/dt Transient droop backend
+ * (power/TransientBackend) through the runtime: determinism for a
+ * fixed seed, first-droop overshoot on a step load (the acceptance
+ * property from paper Fig. 17), and collapse onto the Mesh backend's
+ * DC solution when the storage elements vanish.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "TestUtil.hh"
+#include "power/MeshBackend.hh"
+#include "power/TransientBackend.hh"
+
+using namespace aim;
+using namespace aim::sim;
+using aim::test::fullLayout;
+using aim::test::runWith;
+using aim::test::uniformWindow;
+
+namespace
+{
+
+power::IrBackendConfig
+transientConfig()
+{
+    power::IrBackendConfig bc;
+    bc.kind = power::IrBackendKind::Transient;
+    return bc;
+}
+
+/** Mean of the active entries of a drop vector. */
+double
+meanDrop(const std::vector<double> &drops)
+{
+    double acc = 0.0;
+    for (double d : drops)
+        acc += d;
+    return acc / static_cast<double>(drops.size());
+}
+
+} // namespace
+
+TEST(TransientBackend, DeterministicForSeed)
+{
+    const auto a = runWith(power::IrBackendKind::Transient, 0.40);
+    const auto b = runWith(power::IrBackendKind::Transient, 0.40);
+    EXPECT_DOUBLE_EQ(a.tops, b.tops);
+    EXPECT_DOUBLE_EQ(a.irMeanMv, b.irMeanMv);
+    EXPECT_DOUBLE_EQ(a.irWorstMv, b.irWorstMv);
+    EXPECT_DOUBLE_EQ(a.macroPowerMw, b.macroPowerMw);
+    EXPECT_EQ(a.failures, b.failures);
+    EXPECT_EQ(a.vfSwitches, b.vfSwitches);
+}
+
+TEST(TransientBackend, DiffersFromMeshAndAnalytic)
+{
+    const auto a = runWith(power::IrBackendKind::Analytic, 0.40);
+    const auto m = runWith(power::IrBackendKind::Mesh, 0.40);
+    const auto t = runWith(power::IrBackendKind::Transient, 0.40);
+    EXPECT_NE(t.irMeanMv, a.irMeanMv);
+    EXPECT_NE(t.irMeanMv, m.irMeanMv);
+}
+
+TEST(TransientBackend, DroopTracksActivity)
+{
+    const auto cold = runWith(power::IrBackendKind::Transient, 0.25);
+    const auto hot = runWith(power::IrBackendKind::Transient, 0.55);
+    EXPECT_GT(hot.irMeanMv, cold.irMeanMv);
+    EXPECT_GT(hot.irWorstMv, cold.irWorstMv);
+}
+
+TEST(TransientBackend, StepLoadOvershootsConvergedDroop)
+{
+    // The acceptance property: settle the eval at a light uniform
+    // activity, step every group to a heavy one, and the mean droop
+    // must transiently exceed both its own converged level and the
+    // Equation-2 DC value before the bump currents catch up.
+    const auto cal = power::defaultCalibration();
+    const power::TransientBackend bk(transientConfig(), cal);
+    const power::IrModel ir(cal);
+
+    auto eval = bk.newEval(fullLayout());
+    util::Rng rng(7);
+    std::vector<double> drops(16, 0.0);
+
+    auto low = uniformWindow(0.10);
+    for (int w = 0; w < 300; ++w)
+        eval->window(low, rng, drops);
+
+    auto high = uniformWindow(0.60);
+    double peak = 0.0;
+    double settled_acc = 0.0;
+    long settled_n = 0;
+    for (int w = 0; w < 400; ++w) {
+        eval->window(high, rng, drops);
+        peak = std::max(peak, meanDrop(drops));
+        if (w >= 300) {
+            settled_acc += meanDrop(drops);
+            ++settled_n;
+        }
+    }
+    const double settled =
+        settled_acc / static_cast<double>(settled_n);
+
+    EXPECT_GT(peak, settled * 1.05)
+        << "no first-droop overshoot over the converged level";
+    EXPECT_GT(peak, ir.dropMv(0.75, 1.0, 0.60) * 1.05)
+        << "peak does not exceed the Equation-2 DC droop";
+    // ... but stays inside a sane Fig.-17-style envelope (the first
+    // droop is a transient, not a runaway).
+    EXPECT_LT(peak, ir.dropMv(0.75, 1.0, 0.60) * 1.60);
+    // The converged level is the DC anchor both other backends
+    // settle on.
+    EXPECT_NEAR(settled, ir.dropMv(0.75, 1.0, 0.60),
+                ir.dropMv(0.75, 1.0, 0.60) * 0.02);
+}
+
+TEST(TransientBackend, MatchesMeshDcSolutionWhenDecapVanishes)
+{
+    // decap -> 0 with resistive bump branches: every implicit step
+    // degenerates to the warm DC solve, so once both evals settle
+    // under constant demand the transient backend must agree with
+    // the Mesh backend within 1% -- window by window, since both
+    // consume identical noise draws from identically-seeded RNGs.
+    const auto cal = power::defaultCalibration();
+    power::IrBackendConfig bc = transientConfig();
+    bc.transientDecapNf = 1e-6;
+    bc.transientBumpPh = 0.0;
+    const power::TransientBackend transient(bc, cal);
+    const power::MeshBackend mesh(bc, cal);
+
+    auto eval_t = transient.newEval(fullLayout());
+    auto eval_m = mesh.newEval(fullLayout());
+    util::Rng rng_t(11);
+    util::Rng rng_m(11);
+    std::vector<double> drops_t(16, 0.0);
+    std::vector<double> drops_m(16, 0.0);
+    auto gw = uniformWindow(0.30);
+    for (int w = 0; w < 300; ++w) {
+        eval_t->window(gw, rng_t, drops_t);
+        eval_m->window(gw, rng_m, drops_m);
+        if (w < 200)
+            continue; // let both settle
+        for (int g = 0; g < 16; ++g)
+            ASSERT_NEAR(drops_t[static_cast<size_t>(g)],
+                        drops_m[static_cast<size_t>(g)],
+                        drops_m[static_cast<size_t>(g)] * 0.01)
+                << "window " << w << " group " << g;
+    }
+}
+
+TEST(TransientBackend, ReusesMeshFootprintsAndAnchor)
+{
+    // The transient backend inherits MeshBackend's footprint mapping
+    // and Equation-2 anchor calibration verbatim.
+    const auto cal = power::defaultCalibration();
+    const power::IrBackendConfig bc = transientConfig();
+    const power::TransientBackend t(bc, cal);
+    power::IrBackendConfig mc = bc;
+    mc.kind = power::IrBackendKind::Mesh;
+    const power::MeshBackend m(mc, cal);
+    EXPECT_DOUBLE_EQ(t.dynScale(), m.dynScale());
+    EXPECT_DOUBLE_EQ(t.fullDemandA(), m.fullDemandA());
+    for (int mac = 0; mac < bc.groups * bc.macrosPerGroup; ++mac) {
+        const auto a = t.macroFootprint(mac);
+        const auto b = m.macroFootprint(mac);
+        EXPECT_EQ(a.row0, b.row0);
+        EXPECT_EQ(a.col0, b.col0);
+        EXPECT_EQ(a.rows, b.rows);
+        EXPECT_EQ(a.cols, b.cols);
+    }
+    EXPECT_DOUBLE_EQ(t.transientConfig().decapFarad,
+                     bc.transientDecapNf * 1e-9);
+    EXPECT_DOUBLE_EQ(t.dtSec(), bc.transientDtNs * 1e-9);
+}
+
+TEST(TransientBackend, FactoryMemoizesIdenticalConfigs)
+{
+    const auto cal = power::defaultCalibration();
+    power::IrBackendConfig bc = transientConfig();
+    const auto a = power::makeIrBackend(bc, cal);
+    const auto b = power::makeIrBackend(bc, cal);
+    EXPECT_EQ(a.get(), b.get()) << "cold solve paid twice";
+    // Same geometry, different kind or knobs: distinct backends.
+    power::IrBackendConfig mc = bc;
+    mc.kind = power::IrBackendKind::Mesh;
+    EXPECT_NE(power::makeIrBackend(mc, cal).get(), a.get());
+    power::IrBackendConfig dc = bc;
+    dc.transientDtNs = 1.0;
+    EXPECT_NE(power::makeIrBackend(dc, cal).get(), a.get());
+}
+
+TEST(TransientBackend, RuntimeExposesItsBackend)
+{
+    pim::PimConfig cfg;
+    const auto cal = power::defaultCalibration();
+    RunConfig rcfg;
+    rcfg.irBackend = power::IrBackendKind::Transient;
+    EXPECT_EQ(Runtime(cfg, cal, rcfg).irBackend().kind(),
+              power::IrBackendKind::Transient);
+}
