@@ -78,6 +78,19 @@ struct GroupWindow
 };
 
 /**
+ * Opaque settled electrical state exported by an IrEval at the end
+ * of a round and fed to IrBackend::newEval to seed the next round's
+ * evaluator.  What it holds is backend-private (the transient
+ * backend stores node voltages and bump inductor currents); callers
+ * only move it between exportState() and newEval().  Stateless
+ * backends export nothing and ignore seeds.
+ */
+struct IrState
+{
+    virtual ~IrState() = default;
+};
+
+/**
  * Per-round droop evaluator.  Stateful (warm starts, applied
  * currents); create one per round via IrBackend::newEval and discard
  * it with the round.
@@ -86,6 +99,17 @@ class IrEval
 {
   public:
     virtual ~IrEval() = default;
+
+    /**
+     * Snapshot the evaluator's settled electrical state so a later
+     * round (the next request of a burst on the same chip) can start
+     * from it instead of a cold DC re-init.  Backends whose droop is
+     * memoryless return nullptr (the default).
+     */
+    virtual std::unique_ptr<IrState> exportState() const
+    {
+        return nullptr;
+    }
 
     /**
      * Evaluate the droop of one window.
@@ -122,6 +146,21 @@ class IrBackend
     virtual std::unique_ptr<IrEval>
     newEval(const std::vector<std::vector<int>> &activeMacros)
         const = 0;
+
+    /**
+     * Create the per-round evaluator seeded from a prior round's
+     * exported electrical state (burst continuity across
+     * back-to-back requests on one chip).  A null @p seed -- or a
+     * seed of a different backend kind -- falls back to the plain
+     * newEval(), so the unseeded path stays bit-identical to it.
+     */
+    virtual std::unique_ptr<IrEval>
+    newEval(const std::vector<std::vector<int>> &activeMacros,
+            const IrState *seed) const
+    {
+        (void)seed;
+        return newEval(activeMacros);
+    }
 };
 
 /** Geometry and tuning a backend is built from. */

@@ -16,11 +16,26 @@ namespace aim::power
  * exactly what lets a constant demand relax onto the DC solution and
  * a demand step excite the first-droop transient.
  */
+/** The transient backend's exportable electrical state: the RC/RL
+ * snapshot (node voltages + bump inductor currents) of a settled
+ * round.  Loads are not carried -- the next round re-injects its own
+ * demand as a delta from zero, which the carried bump currents
+ * already (approximately) supply. */
+struct TransientIrState final : IrState
+{
+    explicit TransientIrState(const PdnTransientState &s) : state(s)
+    {
+    }
+
+    PdnTransientState state;
+};
+
 class TransientEval final : public IrEval
 {
   public:
     TransientEval(const TransientBackend &backend,
-                  const std::vector<std::vector<int>> &activeMacros)
+                  const std::vector<std::vector<int>> &activeMacros,
+                  const TransientIrState *seed = nullptr)
         : bk(backend), mesh(backend.transCfg),
           rects(backend.groupRects(activeMacros))
     {
@@ -29,12 +44,28 @@ class TransientEval final : public IrEval
         appliedA.assign(groups, 0.0);
         for (size_t g = 0; g < groups; ++g)
             activeCount[g] = static_cast<int>(rects[g].size());
-        // Seed the electrical state from the construction-time
-        // full-activity DC point (the same seed MeshEval warm-starts
-        // from) with the load set empty: the first windows inject
-        // the round's actual demand and the RC state physically
-        // relaxes onto it, as if the chip came out of a heavy phase.
-        state = mesh.transientInit(bk.baselineSol);
+        if (seed) {
+            // Burst continuity: start from the settled state the
+            // previous request on this chip exported.  The voltages
+            // and bump currents already reflect real recent load, so
+            // the first windows see where the supply actually is,
+            // not a synthetic heavy phase.
+            state = seed->state;
+        } else {
+            // Seed the electrical state from the construction-time
+            // full-activity DC point (the same seed MeshEval
+            // warm-starts from) with the load set empty: the first
+            // windows inject the round's actual demand and the RC
+            // state physically relaxes onto it, as if the chip came
+            // out of a heavy phase.
+            state = mesh.transientInit(bk.baselineSol);
+        }
+    }
+
+    std::unique_ptr<IrState>
+    exportState() const override
+    {
+        return std::make_unique<TransientIrState>(state);
     }
 
     void
@@ -118,6 +149,16 @@ TransientBackend::newEval(
     const std::vector<std::vector<int>> &active_macros) const
 {
     return std::make_unique<TransientEval>(*this, active_macros);
+}
+
+std::unique_ptr<IrEval>
+TransientBackend::newEval(
+    const std::vector<std::vector<int>> &active_macros,
+    const IrState *seed) const
+{
+    const auto *ours = dynamic_cast<const TransientIrState *>(seed);
+    return std::make_unique<TransientEval>(*this, active_macros,
+                                           ours);
 }
 
 } // namespace aim::power

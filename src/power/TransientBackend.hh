@@ -56,6 +56,18 @@ class TransientBackend final : public MeshBackend
     newEval(const std::vector<std::vector<int>> &activeMacros)
         const override;
 
+    /**
+     * Evaluator seeded from a previous round's settled RC/RL state
+     * (TransientEval::exportState): the node voltages and bump
+     * currents start where the last request on this chip left them,
+     * so a back-to-back burst sees electrical continuity instead of
+     * the cold full-activity DC re-init.  Null or foreign seeds fall
+     * back to the cold path bit-identically.
+     */
+    std::unique_ptr<IrEval>
+    newEval(const std::vector<std::vector<int>> &activeMacros,
+            const IrState *seed) const override;
+
     /** Mesh config of the per-window transient steps. */
     const PdnMeshConfig &transientConfig() const { return transCfg; }
 

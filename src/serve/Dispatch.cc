@@ -1,0 +1,222 @@
+#include "serve/Dispatch.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/Logging.hh"
+#include "workload/ModelZoo.hh"
+
+namespace aim::serve
+{
+
+ChipPool::ChipPool(int chips)
+    : slots(static_cast<size_t>(chips))
+{
+    aim_assert(chips >= 1, "chip pool needs at least one chip, got ",
+               chips);
+}
+
+int
+ChipPool::earliestFree() const
+{
+    int c = -1;
+    for (int i = 0; i < size(); ++i) {
+        if (!slots[static_cast<size_t>(i)].active)
+            continue;
+        if (c < 0 || slots[static_cast<size_t>(i)].freeAtUs <
+                         slots[static_cast<size_t>(c)].freeAtUs)
+            c = i;
+    }
+    aim_assert(c >= 0, "chip pool has no active chip");
+    return c;
+}
+
+int
+ChipPool::freeChipAt(double now_us) const
+{
+    int c = -1;
+    for (int i = 0; i < size(); ++i) {
+        const auto &s = slots[static_cast<size_t>(i)];
+        if (!s.active || s.freeAtUs > now_us)
+            continue;
+        if (c < 0 ||
+            s.freeAtUs < slots[static_cast<size_t>(c)].freeAtUs)
+            c = i;
+    }
+    return c;
+}
+
+std::vector<int>
+ChipPool::acquireGang(int gang_chips) const
+{
+    std::vector<int> member;
+    member.reserve(slots.size());
+    for (int i = 0; i < size(); ++i)
+        if (slots[static_cast<size_t>(i)].active)
+            member.push_back(i);
+    aim_assert(static_cast<int>(member.size()) >= gang_chips,
+               "gang needs ", gang_chips, " chips but only ",
+               member.size(), " are active");
+    std::sort(member.begin(), member.end(), [&](int a, int b) {
+        const auto &sa = slots[static_cast<size_t>(a)];
+        const auto &sb = slots[static_cast<size_t>(b)];
+        if (sa.freeAtUs != sb.freeAtUs)
+            return sa.freeAtUs < sb.freeAtUs;
+        return a < b;
+    });
+    member.resize(static_cast<size_t>(gang_chips));
+    return member;
+}
+
+int
+ChipPool::activeCount() const
+{
+    int n = 0;
+    for (const auto &s : slots)
+        n += s.active ? 1 : 0;
+    return n;
+}
+
+double
+ChipPool::nextCompletionAfter(double now_us) const
+{
+    double next = -1.0;
+    for (const auto &s : slots) {
+        if (!s.active || s.freeAtUs <= now_us)
+            continue;
+        if (next < 0.0 || s.freeAtUs < next)
+            next = s.freeAtUs;
+    }
+    return next;
+}
+
+bool
+ChipPool::activateOne()
+{
+    for (auto &s : slots)
+        if (!s.active) {
+            s.active = true;
+            return true;
+        }
+    return false;
+}
+
+bool
+ChipPool::deactivateOne(int min_active)
+{
+    if (activeCount() <= std::max(min_active, 1))
+        return false;
+    for (auto it = slots.rbegin(); it != slots.rend(); ++it)
+        if (it->active) {
+            it->active = false;
+            return true;
+        }
+    return false;
+}
+
+DispatchCost
+dispatchCost(const ChipSlot &chip, const std::string &model,
+             int safe_level, double reload_us, bool use_booster,
+             double level_step_pct, double retune_us_per_step)
+{
+    DispatchCost cost;
+    if (chip.resident != model) {
+        cost.reloadUs = reload_us;
+        cost.modelSwitch = true;
+    }
+    if (use_booster && level_step_pct > 0)
+        cost.retuneUs = std::abs(safe_level - chip.safeLevel) /
+                        level_step_pct * retune_us_per_step;
+    return cost;
+}
+
+ArtifactMeta::ArtifactMeta(const FleetConfig &fcfg,
+                           const power::Calibration &cal)
+    : fcfg(&fcfg), cal(cal), table(cal)
+{
+    for (const auto &gang : fcfg.gangs)
+        gangOf[gang.model] = &gang;
+}
+
+const GangSpec *
+ArtifactMeta::gangSpec(const std::string &model) const
+{
+    const auto it = gangOf.find(model);
+    return it != gangOf.end() ? it->second : nullptr;
+}
+
+double
+ArtifactMeta::reloadUs(const std::string &model) const
+{
+    return reloadByModel.at(model);
+}
+
+const ArtifactMeta::GangSlots &
+ArtifactMeta::gangSlots(const shard::ShardedModel *m) const
+{
+    return gangInfo.at(m).slots;
+}
+
+QueuedRequest
+ArtifactMeta::annotate(const Request &request, ModelCache &cache)
+{
+    const double work_scale = fcfg->options.workScale;
+    QueuedRequest q;
+    q.request = request;
+    const GangSpec *gang = gangSpec(request.model);
+    if (gang) {
+        q.sharded = cache.getSharded(request.model, fcfg->options,
+                                     gang->partition);
+        q.gangChips = q.sharded->totalChips();
+        auto info_it = gangInfo.find(q.sharded.get());
+        if (info_it == gangInfo.end()) {
+            GangInfo info;
+            info.estServiceUs =
+                2.0 * (q.sharded->scaledMacs() / work_scale) /
+                cal.peakTops / 1e6;
+            info.safeLevel = 0; // worst stage level below
+            for (size_t s = 0; s < q.sharded->stages.size(); ++s) {
+                const auto &stage = q.sharded->plan.stages[s];
+                const int level =
+                    artifactSafeLevel(q.sharded->stages[s], table);
+                info.safeLevel = std::max(info.safeLevel, level);
+                const double reload = stage.weights / 1e6 *
+                                      fcfg->reloadUsPerMweight;
+                for (int w = 0; w < stage.ways; ++w) {
+                    info.slots.resident.push_back(
+                        stage.subModel.name);
+                    info.slots.level.push_back(level);
+                    info.slots.reloadUs.push_back(reload);
+                }
+            }
+            info_it =
+                gangInfo.emplace(q.sharded.get(), std::move(info))
+                    .first;
+        }
+        q.estServiceUs = info_it->second.estServiceUs;
+        q.safeLevel = info_it->second.safeLevel;
+    } else {
+        q.compiled = cache.get(request.model, fcfg->options);
+        auto info_it = artifactInfo.find(q.compiled.get());
+        if (info_it == artifactInfo.end()) {
+            ArtifactInfo info;
+            const double full_macs =
+                q.compiled->scaledMacs() / work_scale;
+            info.estServiceUs = 2.0 * full_macs / cal.peakTops / 1e6;
+            info.safeLevel = artifactSafeLevel(*q.compiled, table);
+            info_it =
+                artifactInfo.emplace(q.compiled.get(), info).first;
+        }
+        q.estServiceUs = info_it->second.estServiceUs;
+        q.safeLevel = info_it->second.safeLevel;
+        if (!reloadByModel.count(request.model)) {
+            const auto spec = workload::modelByName(request.model);
+            reloadByModel[request.model] = spec.totalWeights() /
+                                           1e6 *
+                                           fcfg->reloadUsPerMweight;
+        }
+    }
+    return q;
+}
+
+} // namespace aim::serve

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Chip acquire/release and request-annotation layer shared by the
+ * finite-trace Fleet replay (serve/Fleet) and the continuous
+ * discrete-event serving loop (stream/EventLoop).
+ *
+ * Both engines simulate the same thing -- requests occupying chips of
+ * a fleet, paying weight reloads on model switches and booster
+ * retunes on safe-level moves -- and their reports must agree
+ * bit-for-bit on finite traces.  That equivalence is only realistic
+ * to maintain if the chip bookkeeping and the per-request metadata
+ * derivation live in exactly one place:
+ *
+ *   ChipPool     -- per-chip clock / resident-model / safe-level
+ *                   slots with earliest-free selection and atomic
+ *                   gang acquisition; slots carry an `active` flag so
+ *                   the streaming autoscaler can grow and shrink the
+ *                   dispatchable pool without disturbing busy chips
+ *   dispatchCost -- the serving-cost model: reload on a resident
+ *                   switch, booster retune per safe-level step
+ *   ArtifactMeta -- annotation of a Request into a QueuedRequest:
+ *                   artifact resolution through the ModelCache plus
+ *                   the memoized per-artifact scheduling keys
+ *                   (estimated service time, safe level, reload
+ *                   cost, gang slot layout)
+ *
+ * The arithmetic here is verbatim from the pre-extraction Fleet: the
+ * FleetParallelTest / FleetGangTest bit-identity suites (and the
+ * stream/EventLoop equivalence suite) pin it.
+ */
+
+#ifndef AIM_SERVE_DISPATCH_HH
+#define AIM_SERVE_DISPATCH_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "power/VfTable.hh"
+#include "serve/Fleet.hh"
+#include "serve/ModelCache.hh"
+#include "serve/Scheduler.hh"
+
+namespace aim::serve
+{
+
+/** One chip's dispatch state inside a fleet. */
+struct ChipSlot
+{
+    /** Simulated time the chip finishes its current work [us]. */
+    double freeAtUs = 0.0;
+    /** Model whose weights are resident ("" when cold). */
+    std::string resident;
+    /** Safe level the chip's booster is currently tuned for [%]. */
+    int safeLevel = 100;
+    /**
+     * Dispatchable?  Inactive chips finish whatever they are running
+     * but receive no new work -- the streaming autoscaler's shrink
+     * primitive.  The Fleet replay keeps every chip active.
+     */
+    bool active = true;
+};
+
+/**
+ * The chips of a fleet as a dispatch resource: who is free when, and
+ * which chips a request (or gang) should occupy next.  Selection
+ * rules are deterministic -- ties break toward the lowest chip id --
+ * and identical between the Fleet replay and the streaming loop.
+ */
+class ChipPool
+{
+  public:
+    explicit ChipPool(int chips);
+
+    int size() const { return static_cast<int>(slots.size()); }
+
+    ChipSlot &slot(int c) { return slots[static_cast<size_t>(c)]; }
+
+    const ChipSlot &slot(int c) const
+    {
+        return slots[static_cast<size_t>(c)];
+    }
+
+    /**
+     * Active chip with the smallest freeAtUs (ties -> lowest id).
+     * At least one chip is always active.
+     */
+    int earliestFree() const;
+
+    /**
+     * Active chip already free at @p nowUs with the smallest
+     * (freeAtUs, id), or -1 when every active chip is still busy.
+     * The streaming loop's "can anything dispatch?" probe.
+     */
+    int freeChipAt(double nowUs) const;
+
+    /**
+     * The @p gangChips earliest-free active chips, sorted by
+     * (freeAtUs, id) -- the members a gang request acquires
+     * atomically.  Fatal when fewer active chips exist.
+     */
+    std::vector<int> acquireGang(int gangChips) const;
+
+    /** Dispatchable chips. */
+    int activeCount() const;
+
+    /**
+     * Earliest completion among active chips that are busy after
+     * @p nowUs, or a negative value when all are idle.  Used by the
+     * streaming loop to bound idle-time advances.
+     */
+    double nextCompletionAfter(double nowUs) const;
+
+    /** Activate the lowest-id inactive chip; false when all active. */
+    bool activateOne();
+
+    /**
+     * Deactivate the highest-id active chip, refusing to go below
+     * @p minActive; false when already at the floor.
+     */
+    bool deactivateOne(int minActive);
+
+  private:
+    std::vector<ChipSlot> slots;
+};
+
+/** Serving-cost outcome of placing a request on a chip. */
+struct DispatchCost
+{
+    /** Weight reload paid before execution [us] (0 on a hit). */
+    double reloadUs = 0.0;
+    /** Booster V-f retune paid before execution [us]. */
+    double retuneUs = 0.0;
+    /** The placement rewrites the chip's resident weights. */
+    bool modelSwitch = false;
+};
+
+/**
+ * Cost of running (@p model, @p safeLevel) on @p chip: a full weight
+ * reload when the resident model differs, a booster retune per
+ * safe-level step between the chip's current tuning and the
+ * artifact's level.  Pure; does not mutate the slot.
+ */
+DispatchCost dispatchCost(const ChipSlot &chip,
+                          const std::string &model, int safeLevel,
+                          double reloadUs, bool useBooster,
+                          double levelStepPct,
+                          double retuneUsPerStep);
+
+/**
+ * Annotates requests with artifacts and scheduling keys, memoizing
+ * the per-artifact derived quantities (estimated full-inference
+ * service time, worst safe level, reload cost, gang slot layout)
+ * so a million-request stream derives them once per model instead of
+ * once per request.  One instance per serve run; not thread-safe.
+ */
+class ArtifactMeta
+{
+  public:
+    /** Per-member-slot dispatch data of one gang artifact, in stage
+     * order (tensor-parallel stages occupy `ways` slots). */
+    struct GangSlots
+    {
+        std::vector<std::string> resident;
+        std::vector<int> level;
+        std::vector<double> reloadUs;
+    };
+
+    ArtifactMeta(const FleetConfig &fcfg,
+                 const power::Calibration &cal);
+
+    /**
+     * Resolve @p request into a QueuedRequest: artifact from
+     * @p cache (compiled on first use), gang routing per the fleet's
+     * GangSpecs, memoized scheduling keys.
+     */
+    QueuedRequest annotate(const Request &request, ModelCache &cache);
+
+    /** Full weight-reload cost of a (non-gang) model [us]. */
+    double reloadUs(const std::string &model) const;
+
+    /** Slot layout of a gang artifact annotated earlier. */
+    const GangSlots &gangSlots(const shard::ShardedModel *m) const;
+
+    /** Gang rule of @p model, or nullptr when it serves single-chip. */
+    const GangSpec *gangSpec(const std::string &model) const;
+
+  private:
+    struct ArtifactInfo
+    {
+        double estServiceUs = 0.0;
+        int safeLevel = 100;
+    };
+
+    struct GangInfo
+    {
+        double estServiceUs = 0.0;
+        int safeLevel = 100;
+        GangSlots slots;
+    };
+
+    const FleetConfig *fcfg;
+    power::Calibration cal;
+    power::VfTable table;
+    std::map<std::string, const GangSpec *> gangOf;
+    std::map<std::string, double> reloadByModel;
+    std::map<const CompiledModel *, ArtifactInfo> artifactInfo;
+    std::map<const shard::ShardedModel *, GangInfo> gangInfo;
+};
+
+} // namespace aim::serve
+
+#endif // AIM_SERVE_DISPATCH_HH

@@ -1,16 +1,14 @@
 #include "serve/Fleet.hh"
 
 #include <algorithm>
-#include <map>
 #include <set>
 
 #include "exec/ExecPool.hh"
-#include "power/VfTable.hh"
+#include "serve/Dispatch.hh"
 #include "sim/Runtime.hh"
 #include "util/Logging.hh"
 #include "util/Rng.hh"
 #include "util/Stats.hh"
-#include "workload/ModelZoo.hh"
 
 namespace aim::serve
 {
@@ -87,35 +85,16 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
         return rep;
 
     const double work_scale = fcfg.options.workScale;
-    const power::VfTable table(cal);
-
-    std::map<std::string, const GangSpec *> gang_of;
-    for (const auto &gang : fcfg.gangs)
-        gang_of[gang.model] = &gang;
+    const long cache_hits = cache.hits();
+    const long cache_misses = cache.misses();
+    const long cache_evictions = cache.evictions();
 
     // Annotate the trace with artifacts and scheduling keys.  The
-    // cache makes the per-model compile a one-time cost, and the
-    // per-artifact derived quantities are memoized alongside.
+    // cache makes the per-model compile a one-time cost, and
+    // ArtifactMeta memoizes the per-artifact derived quantities.
+    ArtifactMeta meta(fcfg, cal);
     std::vector<QueuedRequest> annotated;
     annotated.reserve(trace.size());
-    std::map<std::string, double> reload_us;
-    struct ArtifactInfo
-    {
-        double estServiceUs = 0.0;
-        int safeLevel = 100;
-    };
-    std::map<const CompiledModel *, ArtifactInfo> artifact_info;
-    // Per-gang-artifact dispatch data: one slot per member chip, in
-    // stage order (tensor-parallel stages occupy ways slots).
-    struct GangInfo
-    {
-        double estServiceUs = 0.0;
-        int safeLevel = 100;
-        std::vector<std::string> slotResident;
-        std::vector<int> slotLevel;
-        std::vector<double> slotReloadUs;
-    };
-    std::map<const shard::ShardedModel *, GangInfo> gang_info;
     for (const auto &request : trace) {
         aim_assert(request.id >= 0 &&
                        request.id < static_cast<long>(trace.size()),
@@ -125,72 +104,7 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
                        request.arrivalUs >=
                            annotated.back().request.arrivalUs,
                    "trace must be sorted by arrival time");
-        QueuedRequest q;
-        q.request = request;
-        const auto gang_it = gang_of.find(request.model);
-        if (gang_it != gang_of.end()) {
-            q.sharded = cache.getSharded(
-                request.model, fcfg.options,
-                gang_it->second->partition);
-            q.gangChips = q.sharded->totalChips();
-            auto info_it = gang_info.find(q.sharded.get());
-            if (info_it == gang_info.end()) {
-                GangInfo info;
-                info.estServiceUs = 2.0 *
-                                    (q.sharded->scaledMacs() /
-                                     work_scale) /
-                                    cal.peakTops / 1e6;
-                info.safeLevel = 0; // worst stage level below
-                for (size_t s = 0; s < q.sharded->stages.size();
-                     ++s) {
-                    const auto &stage = q.sharded->plan.stages[s];
-                    const int level = artifactSafeLevel(
-                        q.sharded->stages[s], table);
-                    info.safeLevel =
-                        std::max(info.safeLevel, level);
-                    const double reload =
-                        stage.weights / 1e6 *
-                        fcfg.reloadUsPerMweight;
-                    for (int w = 0; w < stage.ways; ++w) {
-                        info.slotResident.push_back(
-                            stage.subModel.name);
-                        info.slotLevel.push_back(level);
-                        info.slotReloadUs.push_back(reload);
-                    }
-                }
-                info_it = gang_info
-                              .emplace(q.sharded.get(),
-                                       std::move(info))
-                              .first;
-            }
-            q.estServiceUs = info_it->second.estServiceUs;
-            q.safeLevel = info_it->second.safeLevel;
-        } else {
-            q.compiled = cache.get(request.model, fcfg.options);
-            auto info_it = artifact_info.find(q.compiled.get());
-            if (info_it == artifact_info.end()) {
-                ArtifactInfo info;
-                const double full_macs =
-                    q.compiled->scaledMacs() / work_scale;
-                info.estServiceUs =
-                    2.0 * full_macs / cal.peakTops / 1e6;
-                info.safeLevel =
-                    artifactSafeLevel(*q.compiled, table);
-                info_it = artifact_info
-                              .emplace(q.compiled.get(), info)
-                              .first;
-            }
-            q.estServiceUs = info_it->second.estServiceUs;
-            q.safeLevel = info_it->second.safeLevel;
-            if (!reload_us.count(request.model)) {
-                const auto spec =
-                    workload::modelByName(request.model);
-                reload_us[request.model] =
-                    spec.totalWeights() / 1e6 *
-                    fcfg.reloadUsPerMweight;
-            }
-        }
-        annotated.push_back(std::move(q));
+        annotated.push_back(meta.annotate(request, cache));
     }
 
     // The modelled chips are identical and sim::Runtime::run is
@@ -200,13 +114,7 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
     // every run gets a per-request seed through the run() overload.
     const sim::RunConfig rcfg = runConfigFor(fcfg.options);
     const sim::Runtime runtime(cfg, cal, rcfg);
-    struct ChipState
-    {
-        double freeAtUs = 0.0;
-        std::string resident;
-        int safeLevel = 100;
-    };
-    std::vector<ChipState> chips(fcfg.chips);
+    ChipPool chips(fcfg.chips);
 
     // Per-request runtime seeds keyed by id (not by chip), so every
     // policy sees identical chip noise for the same request.
@@ -238,7 +146,7 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
             if (q.sharded) {
                 shard::ShardRuntimeConfig scfg;
                 scfg.microBatches =
-                    gang_of.at(q.request.model)->microBatches;
+                    meta.gangSpec(q.request.model)->microBatches;
                 scfg.threads = 1;
                 scfg.interconnect = fcfg.interconnect;
                 const shard::ShardedRuntime sharded_rt(cfg, cal,
@@ -267,11 +175,8 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
     size_t next_arrival = 0;
     double last_completion = 0.0;
     for (long served = 0; served < rep.requests; ++served) {
-        int c = 0;
-        for (int i = 1; i < fcfg.chips; ++i)
-            if (chips[i].freeAtUs < chips[c].freeAtUs)
-                c = i;
-        double now = chips[c].freeAtUs;
+        const int c = chips.earliestFree();
+        double now = chips.slot(c).freeAtUs;
         double earliest_work = 1e300;
         for (const auto &p : pending)
             earliest_work =
@@ -287,8 +192,8 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
 
         ChipContext ctx;
         ctx.chip = c;
-        ctx.residentModel = chips[c].resident;
-        ctx.safeLevel = chips[c].safeLevel;
+        ctx.residentModel = chips.slot(c).resident;
+        ctx.safeLevel = chips.slot(c).safeLevel;
         std::vector<QueuedRequest> arrived;
         std::vector<size_t> arrived_idx;
         for (size_t i = 0; i < pending.size(); ++i)
@@ -306,22 +211,11 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
             // chips (non-backfilling -- members already free wait
             // for the last one) and hold all of them for the
             // pipeline makespan.
-            const GangInfo &info = gang_info.at(q.sharded.get());
-            const int g = q.gangChips;
-            std::vector<int> member(fcfg.chips);
-            for (int i = 0; i < fcfg.chips; ++i)
-                member[i] = i;
-            std::sort(member.begin(), member.end(),
-                      [&](int a, int b) {
-                          if (chips[a].freeAtUs != chips[b].freeAtUs)
-                              return chips[a].freeAtUs <
-                                     chips[b].freeAtUs;
-                          return a < b;
-                      });
-            member.resize(static_cast<size_t>(g));
+            const auto &slots = meta.gangSlots(q.sharded.get());
+            const auto member = chips.acquireGang(q.gangChips);
             double start = now;
             for (int m : member)
-                start = std::max(start, chips[m].freeAtUs);
+                start = std::max(start, chips.slot(m).freeAtUs);
 
             // Per-member stage preparation runs in parallel across
             // the gang; the pipeline starts when the slowest member
@@ -330,30 +224,25 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
             const auto &srep = shard_executed[q.request.id];
             const double service = srep.makespanUs / work_scale;
             for (size_t j = 0; j < member.size(); ++j) {
-                auto &chip = chips[member[j]];
+                auto &chip = chips.slot(member[j]);
                 auto &usage = rep.chips[member[j]];
-                double reload = 0.0;
-                if (chip.resident != info.slotResident[j]) {
-                    reload = info.slotReloadUs[j];
+                const DispatchCost cost = dispatchCost(
+                    chip, slots.resident[j], slots.level[j],
+                    slots.reloadUs[j], fcfg.options.useBooster,
+                    cal.levelStepPct, fcfg.retuneUsPerStep);
+                if (cost.modelSwitch)
                     ++usage.modelSwitches;
-                }
-                double retune = 0.0;
-                if (fcfg.options.useBooster && cal.levelStepPct > 0)
-                    retune = std::abs(info.slotLevel[j] -
-                                      chip.safeLevel) /
-                             cal.levelStepPct *
-                             fcfg.retuneUsPerStep;
-                prep = std::max(prep, reload + retune);
-                usage.reloadUs += reload;
-                usage.retuneUs += retune;
+                prep = std::max(prep, cost.reloadUs + cost.retuneUs);
+                usage.reloadUs += cost.reloadUs;
+                usage.retuneUs += cost.retuneUs;
                 usage.busyUs += service;
                 ++usage.served;
-                chip.resident = info.slotResident[j];
-                chip.safeLevel = info.slotLevel[j];
+                chip.resident = slots.resident[j];
+                chip.safeLevel = slots.level[j];
             }
             const double finish = start + prep + service;
             for (int m : member)
-                chips[m].freeAtUs = finish;
+                chips.slot(m).freeAtUs = finish;
             last_completion = std::max(last_completion, finish);
 
             rep.latencyUs[q.request.id] =
@@ -370,31 +259,29 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
             continue;
         }
 
-        auto &chip = chips[c];
+        auto &chip = chips.slot(c);
         auto &usage = rep.chips[c];
-        double reload = 0.0;
-        if (chip.resident != q.request.model) {
-            reload = reload_us.at(q.request.model);
+        const DispatchCost cost = dispatchCost(
+            chip, q.request.model, q.safeLevel,
+            meta.reloadUs(q.request.model), fcfg.options.useBooster,
+            cal.levelStepPct, fcfg.retuneUsPerStep);
+        if (cost.modelSwitch)
             ++usage.modelSwitches;
-        }
-        double retune = 0.0;
-        if (fcfg.options.useBooster && cal.levelStepPct > 0)
-            retune = std::abs(q.safeLevel - chip.safeLevel) /
-                     cal.levelStepPct * fcfg.retuneUsPerStep;
 
         const auto &run = executed[q.request.id];
         const double service_us =
             run.wallTimeNs / 1000.0 / work_scale;
 
-        const double finish = now + reload + retune + service_us;
+        const double finish =
+            now + cost.reloadUs + cost.retuneUs + service_us;
         chip.freeAtUs = finish;
         chip.resident = q.request.model;
         chip.safeLevel = q.safeLevel;
         last_completion = std::max(last_completion, finish);
 
         usage.busyUs += service_us;
-        usage.reloadUs += reload;
-        usage.retuneUs += retune;
+        usage.reloadUs += cost.reloadUs;
+        usage.retuneUs += cost.retuneUs;
         ++usage.served;
         rep.latencyUs[q.request.id] = finish - q.request.arrivalUs;
         rep.queueUs[q.request.id] = now - q.request.arrivalUs;
@@ -412,6 +299,9 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
     rep.p50Us = util::percentileSorted(sorted, 50.0);
     rep.p95Us = util::percentileSorted(sorted, 95.0);
     rep.p99Us = util::percentileSorted(sorted, 99.0);
+    rep.cacheHits = cache.hits() - cache_hits;
+    rep.cacheMisses = cache.misses() - cache_misses;
+    rep.cacheEvictions = cache.evictions() - cache_evictions;
     return rep;
 }
 

@@ -95,6 +95,17 @@ class ModelCache
     /** Drop every artifact and reset all counters. */
     void clear();
 
+    /**
+     * Zero the hit/miss/eviction counters (artifacts stay cached).
+     * Lets callers measure per-run deltas on a shared warm cache.
+     */
+    void resetCounters()
+    {
+        hitCount = 0;
+        missCount = 0;
+        evictionCount = 0;
+    }
+
   private:
     /** One cached artifact of either kind. */
     struct Entry

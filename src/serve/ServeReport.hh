@@ -60,6 +60,12 @@ struct ServeReport
     long stallWindows = 0;
     /** Requests dispatched to multi-chip gangs (sharded models). */
     long gangDispatches = 0;
+    /** ModelCache lookups served from the cache during this run. */
+    long cacheHits = 0;
+    /** ModelCache lookups that compiled a new artifact. */
+    long cacheMisses = 0;
+    /** Artifacts the ModelCache evicted under capacity pressure. */
+    long cacheEvictions = 0;
     /** Per-chip usage, indexed by chip id. */
     std::vector<ChipUsage> chips;
 

@@ -30,42 +30,6 @@ expVariate(util::Rng &rng, double mean)
     return -mean * std::log(1.0 - rng.uniform());
 }
 
-void
-checkConfig(const TraceConfig &cfg)
-{
-    if (cfg.requests <= 0)
-        aim_fatal("trace must contain at least one request, got ",
-                  cfg.requests);
-    if (!(cfg.meanRatePerSec > 0.0))
-        aim_fatal("trace meanRatePerSec must be positive, got ",
-                  cfg.meanRatePerSec);
-    if (cfg.mix.empty())
-        aim_fatal("trace mix must name at least one model");
-    for (const auto &m : cfg.mix)
-        if (!(m.weight > 0.0))
-            aim_fatal("trace mix weight of ", m.model,
-                      " must be positive, got ", m.weight);
-    if (cfg.arrivals == ArrivalKind::Bursty) {
-        if (cfg.burstFactor < 1.0)
-            aim_fatal("burstFactor must be >= 1, got ",
-                      cfg.burstFactor);
-        if (!(cfg.burstDutyCycle > 0.0) || cfg.burstDutyCycle >= 1.0)
-            aim_fatal("burstDutyCycle must be in (0, 1), got ",
-                      cfg.burstDutyCycle);
-        if (!(cfg.meanBurstUs > 0.0))
-            aim_fatal("meanBurstUs must be positive, got ",
-                      cfg.meanBurstUs);
-    }
-    if (cfg.arrivals == ArrivalKind::Diurnal) {
-        if (cfg.diurnalAmplitude < 0.0 || cfg.diurnalAmplitude >= 1.0)
-            aim_fatal("diurnalAmplitude must be in [0, 1), got ",
-                      cfg.diurnalAmplitude);
-        if (!(cfg.diurnalPeriodUs > 0.0))
-            aim_fatal("diurnalPeriodUs must be positive, got ",
-                      cfg.diurnalPeriodUs);
-    }
-}
-
 /** Arrival instants [us] of the configured process. */
 std::vector<double>
 arrivalTimes(const TraceConfig &cfg, util::Rng &rng)
@@ -138,10 +102,57 @@ arrivalTimes(const TraceConfig &cfg, util::Rng &rng)
 
 } // namespace
 
+std::string
+validateTraceConfig(const TraceConfig &cfg)
+{
+    if (cfg.requests <= 0)
+        return util::detail::concat(
+            "trace must contain at least one request, got ",
+            cfg.requests);
+    if (!(cfg.meanRatePerSec > 0.0))
+        return util::detail::concat(
+            "trace meanRatePerSec must be positive, got ",
+            cfg.meanRatePerSec);
+    if (cfg.mix.empty())
+        return "trace mix must name at least one model";
+    for (const auto &m : cfg.mix)
+        if (!(m.weight > 0.0))
+            return util::detail::concat("trace mix weight of ",
+                                        m.model,
+                                        " must be positive, got ",
+                                        m.weight);
+    if (cfg.arrivals == ArrivalKind::Bursty) {
+        if (cfg.burstFactor < 1.0)
+            return util::detail::concat(
+                "burstFactor must be >= 1, got ", cfg.burstFactor);
+        if (!(cfg.burstDutyCycle > 0.0) || cfg.burstDutyCycle >= 1.0)
+            return util::detail::concat(
+                "burstDutyCycle must be in (0, 1), got ",
+                cfg.burstDutyCycle);
+        if (!(cfg.meanBurstUs > 0.0))
+            return util::detail::concat(
+                "meanBurstUs must be positive, got ",
+                cfg.meanBurstUs);
+    }
+    if (cfg.arrivals == ArrivalKind::Diurnal) {
+        if (cfg.diurnalAmplitude < 0.0 || cfg.diurnalAmplitude >= 1.0)
+            return util::detail::concat(
+                "diurnalAmplitude must be in [0, 1), got ",
+                cfg.diurnalAmplitude);
+        if (!(cfg.diurnalPeriodUs > 0.0))
+            return util::detail::concat(
+                "diurnalPeriodUs must be positive, got ",
+                cfg.diurnalPeriodUs);
+    }
+    return {};
+}
+
 std::vector<Request>
 generateTrace(const TraceConfig &cfg)
 {
-    checkConfig(cfg);
+    const std::string problem = validateTraceConfig(cfg);
+    if (!problem.empty())
+        aim_fatal("invalid TraceConfig: ", problem);
     util::Rng arrival_rng(cfg.seed);
     util::Rng pick_rng = arrival_rng.fork(0x7261ce);
 

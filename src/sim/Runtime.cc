@@ -66,18 +66,27 @@ RunReport
 Runtime::run(const std::vector<Round> &rounds,
              const pim::StreamSpec &stream, uint64_t seed) const
 {
+    return run(rounds, stream, seed, nullptr);
+}
+
+RunReport
+Runtime::run(const std::vector<Round> &rounds,
+             const pim::StreamSpec &stream, uint64_t seed,
+             std::unique_ptr<power::IrState> *carry) const
+{
     const auto toggles =
         pim::estimateToggleStats(stream, cfg.rows, 200, seed);
     std::vector<RunReport> parts;
     parts.reserve(rounds.size());
     for (const auto &round : rounds)
-        parts.push_back(runRound(round, toggles, ++seed));
+        parts.push_back(runRound(round, toggles, ++seed, carry));
     return mergeReports(parts);
 }
 
 RunReport
 Runtime::runRound(const Round &round, const pim::ToggleStats &toggles,
-                  uint64_t round_seed) const
+                  uint64_t round_seed,
+                  std::unique_ptr<power::IrState> *carry) const
 {
     RunReport rep;
     if (round.tasks.empty())
@@ -100,8 +109,14 @@ Runtime::runRound(const Round &round, const pim::ToggleStats &toggles,
                     round, map, toggles, rng);
     rep.totalMacs = state.totalMacs;
 
-    // Per-round droop evaluator of the configured backend.
-    const auto droop = backend->newEval(state.activeMacroIds());
+    // Per-round droop evaluator of the configured backend, seeded
+    // from the carried electrical state when the caller threads one
+    // through (burst continuity across requests on one chip).  The
+    // null-carry path calls the plain newEval and stays bit-identical
+    // to the pre-carry runtime.
+    const auto droop =
+        carry ? backend->newEval(state.activeMacroIds(), carry->get())
+              : backend->newEval(state.activeMacroIds());
 
     WindowKernel kernel(cfg, cal, rcfg.useBooster, pm, vminByF,
                         recomputeStall, switchStall);
@@ -139,6 +154,8 @@ Runtime::runRound(const Round &round, const pim::ToggleStats &toggles,
             : cal.fNominal;
     rep.tops = pm.chipTops(mean_f, rep.utilization());
     rep.roundLatencyNs.push_back(rep.wallTimeNs);
+    if (carry)
+        *carry = droop->exportState();
     return rep;
 }
 

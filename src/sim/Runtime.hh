@@ -140,6 +140,23 @@ class Runtime
                   const pim::StreamSpec &stream,
                   uint64_t seed) const;
 
+    /**
+     * Run with electrical-state carry: @p carry (when non-null) is
+     * read to seed the first round's droop evaluator and overwritten
+     * with the settled state of the last round, so back-to-back
+     * requests on one chip see burst continuity instead of a cold DC
+     * re-init (stateful backends only; the analytic and mesh
+     * backends export nothing and ignore seeds).  A null @p carry --
+     * or a carry holding nullptr on entry for the first request --
+     * executes the seedless path bit-identically to run(rounds,
+     * stream, seed).  Callers that carry state serialize runs per
+     * chip themselves; the carry pointer must not be shared across
+     * concurrent calls.
+     */
+    RunReport run(const std::vector<Round> &rounds,
+                  const pim::StreamSpec &stream, uint64_t seed,
+                  std::unique_ptr<power::IrState> *carry) const;
+
     /** Access the V-f table (for reporting). */
     const power::VfTable &vfTable() const { return table; }
 
@@ -149,7 +166,8 @@ class Runtime
   private:
     RunReport runRound(const Round &round,
                        const pim::ToggleStats &toggles,
-                       uint64_t roundSeed) const;
+                       uint64_t roundSeed,
+                       std::unique_ptr<power::IrState> *carry) const;
 
     pim::PimConfig cfg;
     power::Calibration cal;

@@ -1,0 +1,45 @@
+#include "stream/AdmissionController.hh"
+
+#include "util/Logging.hh"
+
+namespace aim::stream
+{
+
+std::string
+validateAdmissionConfig(const AdmissionConfig &cfg)
+{
+    if (cfg.maxQueueDepth < 0)
+        return util::detail::concat(
+            "admission maxQueueDepth must be non-negative "
+            "(0 = unbounded), got ",
+            cfg.maxQueueDepth);
+    return {};
+}
+
+AdmissionController::AdmissionController(const AdmissionConfig &cfg)
+    : cfg(cfg)
+{
+    const std::string problem = validateAdmissionConfig(cfg);
+    if (!problem.empty())
+        aim_fatal("invalid AdmissionConfig: ", problem);
+}
+
+bool
+AdmissionController::admit(long queue_depth)
+{
+    if (cfg.maxQueueDepth > 0 && queue_depth >= cfg.maxQueueDepth) {
+        ++shedCount;
+        return false;
+    }
+    ++admittedCount;
+    return true;
+}
+
+double
+AdmissionController::shedRate() const
+{
+    const long seen = admittedCount + shedCount;
+    return seen > 0 ? static_cast<double>(shedCount) / seen : 0.0;
+}
+
+} // namespace aim::stream

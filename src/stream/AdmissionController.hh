@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Admission control with load shedding for the streaming loop.
+ *
+ * A bounded queue is the difference between a latency spike and an
+ * outage: without it, an overload episode grows the pending queue
+ * (and its memory) without bound and every queued request blows its
+ * SLO anyway.  The controller admits an arrival while the queue is
+ * below the configured depth and sheds it otherwise, keeping
+ * admitted/shed counts so the engine can report the shed rate --
+ * the honest metric of an overloaded fleet.
+ */
+
+#ifndef AIM_STREAM_ADMISSIONCONTROLLER_HH
+#define AIM_STREAM_ADMISSIONCONTROLLER_HH
+
+#include <string>
+
+namespace aim::stream
+{
+
+/** Admission tuning. */
+struct AdmissionConfig
+{
+    /**
+     * Max requests waiting for a chip before arrivals are shed;
+     * 0 = unbounded (every arrival admitted).
+     */
+    long maxQueueDepth = 0;
+};
+
+/** Empty when valid, else the first problem. */
+std::string validateAdmissionConfig(const AdmissionConfig &cfg);
+
+/** Bounded-queue admission with shed accounting. */
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(const AdmissionConfig &cfg);
+
+    /**
+     * Decide one arrival given the current pending-queue depth.
+     * Counts the outcome either way.
+     */
+    bool admit(long queueDepth);
+
+    /** Arrivals admitted so far. */
+    long admitted() const { return admittedCount; }
+
+    /** Arrivals shed so far. */
+    long shed() const { return shedCount; }
+
+    /** Shed fraction of all arrivals seen (0 when none seen). */
+    double shedRate() const;
+
+  private:
+    AdmissionConfig cfg;
+    long admittedCount = 0;
+    long shedCount = 0;
+};
+
+} // namespace aim::stream
+
+#endif // AIM_STREAM_ADMISSIONCONTROLLER_HH

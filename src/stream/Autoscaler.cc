@@ -1,0 +1,88 @@
+#include "stream/Autoscaler.hh"
+
+#include "util/Logging.hh"
+
+namespace aim::stream
+{
+
+std::string
+validateAutoscalerConfig(const AutoscalerConfig &cfg)
+{
+    if (!cfg.enabled)
+        return {};
+    if (!(cfg.targetP99Us > 0.0))
+        return util::detail::concat(
+            "autoscaler targetP99Us must be positive, got ",
+            cfg.targetP99Us);
+    if (!(cfg.highWatermark > 0.0))
+        return util::detail::concat(
+            "autoscaler highWatermark must be positive, got ",
+            cfg.highWatermark);
+    if (cfg.lowWatermark < 0.0 || cfg.lowWatermark >= cfg.highWatermark)
+        return util::detail::concat(
+            "autoscaler lowWatermark must be in [0, highWatermark), "
+            "got ",
+            cfg.lowWatermark);
+    if (cfg.minChips < 1)
+        return util::detail::concat(
+            "autoscaler minChips must be at least 1, got ",
+            cfg.minChips);
+    if (cfg.cooldownUs < 0.0)
+        return util::detail::concat(
+            "autoscaler cooldownUs must be non-negative, got ",
+            cfg.cooldownUs);
+    if (cfg.window < 1)
+        return util::detail::concat(
+            "autoscaler window must be at least 1, got ",
+            cfg.window);
+    if (cfg.backlogPerChip < 0.0)
+        return util::detail::concat(
+            "autoscaler backlogPerChip must be non-negative, got ",
+            cfg.backlogPerChip);
+    return {};
+}
+
+Autoscaler::Autoscaler(const AutoscalerConfig &cfg) : cfg(cfg)
+{
+    const std::string problem = validateAutoscalerConfig(cfg);
+    if (!problem.empty())
+        aim_fatal("invalid AutoscalerConfig: ", problem);
+}
+
+ScaleAction
+Autoscaler::tick(double now_us, double window_p99_us,
+                 long queue_depth, int active_chips)
+{
+    if (!cfg.enabled)
+        return ScaleAction::None;
+    if (lastActionUs >= 0.0 &&
+        now_us - lastActionUs < cfg.cooldownUs)
+        return ScaleAction::None;
+
+    const bool tail_high =
+        window_p99_us >= 0.0 &&
+        window_p99_us > cfg.targetP99Us * cfg.highWatermark;
+    const bool backlog_high =
+        cfg.backlogPerChip > 0.0 &&
+        static_cast<double>(queue_depth) >
+            cfg.backlogPerChip * active_chips;
+    if (tail_high || backlog_high) {
+        lastActionUs = now_us;
+        return ScaleAction::Up;
+    }
+
+    // Shrink only when the tail is measured (a window landed), low,
+    // and the queue is drained -- an empty window means an idle
+    // stream, which the backlog trigger would immediately refill.
+    const bool tail_low =
+        window_p99_us >= 0.0 &&
+        window_p99_us < cfg.targetP99Us * cfg.lowWatermark;
+    if (tail_low && queue_depth == 0 &&
+        active_chips > cfg.minChips) {
+        lastActionUs = now_us;
+        return ScaleAction::Down;
+    }
+    return ScaleAction::None;
+}
+
+} // namespace aim::stream

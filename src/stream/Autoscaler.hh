@@ -1,0 +1,90 @@
+/**
+ * @file
+ * SLO-driven fleet autoscaler of the streaming serving loop.
+ *
+ * Evaluated at control ticks: compares the windowed p99 latency of
+ * recently completed requests against the SLO target and asks the
+ * engine to grow the active chip pool when the tail drifts above the
+ * high watermark (or the queue has clearly outrun the active chips)
+ * and to shrink it when the tail sits comfortably below the low
+ * watermark with the queue drained.  A cooldown separates actions so
+ * one overloaded window cannot slam the pool to the ceiling and back.
+ *
+ * The policy is deliberately reactive-proportional-free: one chip
+ * per action.  Chips come online instantly in the model (no boot
+ * cost), so the interesting dynamics -- how far p99 overshoots on a
+ * diurnal ramp before the pool catches up -- come from the control
+ * period and the window length, which are the experiment's knobs.
+ */
+
+#ifndef AIM_STREAM_AUTOSCALER_HH
+#define AIM_STREAM_AUTOSCALER_HH
+
+#include <string>
+
+namespace aim::stream
+{
+
+/** Autoscaler tuning. */
+struct AutoscalerConfig
+{
+    /** Master switch; disabled keeps the pool at its initial size. */
+    bool enabled = false;
+    /** Windowed-p99 target [us]; must be positive when enabled. */
+    double targetP99Us = 0.0;
+    /** Scale up when windowed p99 > target * highWatermark. */
+    double highWatermark = 1.0;
+    /** Scale down when windowed p99 < target * lowWatermark. */
+    double lowWatermark = 0.4;
+    /** Never shrink below this many active chips. */
+    int minChips = 1;
+    /** Minimum time between consecutive scale actions [us]. */
+    double cooldownUs = 5000.0;
+    /** Completions in the windowed-p99 ring. */
+    int window = 256;
+    /**
+     * Also scale up when the queue backlog exceeds this many
+     * requests per active chip (0 disables the backlog trigger).
+     * Catches overload before enough requests complete to move the
+     * latency window.
+     */
+    double backlogPerChip = 4.0;
+};
+
+/** Empty when valid, else the first problem. */
+std::string validateAutoscalerConfig(const AutoscalerConfig &cfg);
+
+/** The per-tick scaling decision. */
+enum class ScaleAction
+{
+    None,
+    Up,
+    Down,
+};
+
+/** Windowed-p99 threshold controller with cooldown. */
+class Autoscaler
+{
+  public:
+    explicit Autoscaler(const AutoscalerConfig &cfg);
+
+    /**
+     * Decide at a control tick.
+     *
+     * @param nowUs        tick time [us]
+     * @param windowP99Us  p99 over the completion window [us];
+     *                     negative when no completions landed yet
+     * @param queueDepth   admitted requests waiting for a chip
+     * @param activeChips  currently dispatchable chips
+     */
+    ScaleAction tick(double nowUs, double windowP99Us,
+                     long queueDepth, int activeChips);
+
+  private:
+    AutoscalerConfig cfg;
+    double lastActionUs = -1.0;
+};
+
+} // namespace aim::stream
+
+#endif // AIM_STREAM_AUTOSCALER_HH

@@ -1,0 +1,595 @@
+#include "stream/EventLoop.hh"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "exec/ExecPool.hh"
+#include "serve/Dispatch.hh"
+#include "shard/ShardedRuntime.hh"
+#include "sim/Runtime.hh"
+#include "stream/TraceSource.hh"
+#include "util/Logging.hh"
+#include "util/Rng.hh"
+#include "util/Stats.hh"
+
+namespace aim::stream
+{
+
+namespace
+{
+
+/** FNV-1a of a model name: the per-model tag of the sampled-service
+ * seed stream. */
+uint64_t
+modelTag(const std::string &name)
+{
+    uint64_t h = 1469598103934665603ULL;
+    for (const char ch : name) {
+        h ^= static_cast<unsigned char>(ch);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/** Heap event.  At equal times completions land before arrivals
+ * (freed chips are dispatchable to requests arriving that instant,
+ * matching the Fleet replay) and control ticks run last. */
+struct Event
+{
+    enum Kind
+    {
+        Completion = 0,
+        Arrival = 1,
+        ControlTick = 2,
+    };
+
+    double tUs = 0.0;
+    int kind = Arrival;
+    long seq = 0;
+    /** Completion payload. */
+    double latencyUs = 0.0;
+};
+
+struct EventAfter
+{
+    bool
+    operator()(const Event &a, const Event &b) const
+    {
+        if (a.tUs != b.tUs)
+            return a.tUs > b.tUs;
+        if (a.kind != b.kind)
+            return a.kind > b.kind;
+        return a.seq > b.seq;
+    }
+};
+
+/** Fixed-size ring of the most recent completion latencies; the
+ * autoscaler's windowed-p99 source. */
+class LatencyWindow
+{
+  public:
+    explicit LatencyWindow(int size)
+        : ring(static_cast<size_t>(std::max(size, 1)))
+    {
+    }
+
+    void
+    push(double latency_us)
+    {
+        ring[pos] = latency_us;
+        pos = (pos + 1) % ring.size();
+        filled = std::min(filled + 1, ring.size());
+    }
+
+    /** p99 over the window [us]; negative when empty. */
+    double
+    p99() const
+    {
+        if (filled == 0)
+            return -1.0;
+        std::vector<double> sorted(ring.begin(),
+                                   ring.begin() +
+                                       static_cast<std::ptrdiff_t>(
+                                           filled));
+        std::sort(sorted.begin(), sorted.end());
+        return util::percentileSorted(sorted, 99.0);
+    }
+
+  private:
+    std::vector<double> ring;
+    size_t pos = 0;
+    size_t filled = 0;
+};
+
+} // namespace
+
+std::string
+validateStreamConfig(const StreamConfig &scfg)
+{
+    const std::string fleet = serve::validateFleetConfig(scfg.fleet);
+    if (!fleet.empty())
+        return util::detail::concat("fleet: ", fleet);
+    const std::string trace = serve::validateTraceConfig(scfg.trace);
+    if (!trace.empty())
+        return util::detail::concat("trace: ", trace);
+    const std::string scaler =
+        validateAutoscalerConfig(scfg.autoscaler);
+    if (!scaler.empty())
+        return scaler;
+    const std::string admission =
+        validateAdmissionConfig(scfg.admission);
+    if (!admission.empty())
+        return admission;
+    if (scfg.maxRequests < 0)
+        return util::detail::concat(
+            "maxRequests must be non-negative (0 = trace.requests), "
+            "got ",
+            scfg.maxRequests);
+    if (scfg.controlTickUs < 0.0)
+        return util::detail::concat(
+            "controlTickUs must be non-negative (0 = no control "
+            "ticks), got ",
+            scfg.controlTickUs);
+    if (scfg.autoscaler.enabled && !(scfg.controlTickUs > 0.0))
+        return "autoscaler requires a positive controlTickUs (it "
+               "only acts at control ticks)";
+    if (scfg.autoscaler.enabled &&
+        scfg.autoscaler.minChips > scfg.fleet.chips)
+        return util::detail::concat(
+            "autoscaler minChips ", scfg.autoscaler.minChips,
+            " exceeds the fleet's ", scfg.fleet.chips, " chips");
+    if (scfg.maxBatch < 1)
+        return util::detail::concat(
+            "maxBatch must be at least 1, got ", scfg.maxBatch);
+    if (scfg.serviceSamples < 0)
+        return util::detail::concat(
+            "serviceSamples must be non-negative (0 = exact), got ",
+            scfg.serviceSamples);
+    if (scfg.transientCarry && scfg.serviceSamples > 0)
+        return "transientCarry executes requests at dispatch and "
+               "excludes sampled service (serviceSamples must be 0)";
+    return {};
+}
+
+EventLoop::EventLoop(const pim::PimConfig &cfg,
+                     const power::Calibration &cal,
+                     const StreamConfig &scfg)
+    : cfg(cfg), cal(cal), scfg(scfg)
+{
+    const std::string problem = validateStreamConfig(scfg);
+    if (!problem.empty())
+        aim_fatal("invalid StreamConfig: ", problem);
+}
+
+StreamReport
+EventLoop::run(serve::ModelCache &cache)
+{
+    const serve::FleetConfig &fcfg = scfg.fleet;
+    const double work_scale = fcfg.options.workScale;
+    const long horizon =
+        scfg.maxRequests > 0 ? scfg.maxRequests : scfg.trace.requests;
+    const bool exact_service =
+        scfg.serviceSamples == 0 && !scfg.transientCarry;
+
+    StreamReport rep;
+    rep.policy = fcfg.policy;
+    rep.backend = fcfg.options.irBackend;
+    rep.chips.resize(fcfg.chips);
+    const long cache_hits = cache.hits();
+    const long cache_misses = cache.misses();
+    const long cache_evictions = cache.evictions();
+
+    TraceSource source(scfg.trace);
+    serve::ArtifactMeta meta(fcfg, cal);
+    serve::ChipPool pool(fcfg.chips);
+    const serve::Scheduler sched(fcfg.policy);
+    const sim::RunConfig rcfg = runConfigFor(fcfg.options);
+    const sim::Runtime runtime(cfg, cal, rcfg);
+    exec::ExecPool exec(fcfg.threads == 0 ? -1 : fcfg.threads);
+    Autoscaler scaler(scfg.autoscaler);
+    AdmissionController admission(scfg.admission);
+    LatencyWindow window(scfg.autoscaler.window);
+    LatencyHistogram hist;
+
+    // Gangs need their member count active no matter what the
+    // autoscaler wants; the shrink floor honours the largest gang.
+    int min_active = scfg.autoscaler.enabled
+                         ? std::max(scfg.autoscaler.minChips, 1)
+                         : fcfg.chips;
+    for (const auto &gang : fcfg.gangs)
+        min_active = std::max(min_active, gang.partition.chips);
+    min_active = std::min(min_active, fcfg.chips);
+    // An autoscaled run starts at the floor and earns its chips.
+    if (scfg.autoscaler.enabled)
+        while (pool.activeCount() > min_active &&
+               pool.deactivateOne(min_active))
+            ;
+
+    // Id-keyed request seeds, identical to the Fleet replay's:
+    // every policy / engine sees the same chip noise per request.
+    const util::Rng seeder(fcfg.seed);
+    const auto request_seed = [&seeder](long id) {
+        const uint64_t s =
+            seeder.fork(static_cast<uint64_t>(id) + 1).next();
+        return s != 0 ? s : 1;
+    };
+
+    // Exact-service memoization: reports land keyed by id when the
+    // batch prefetch executes them and are consumed (erased) at
+    // dispatch, so the map never outgrows the pending queue.
+    std::map<long, sim::RunReport> ready;
+    std::map<long, shard::ShardReport> shard_ready;
+    // Sampled-service pools, keyed by model.
+    std::map<std::string, std::vector<sim::RunReport>> samples;
+    // Per-chip electrical state (transientCarry).
+    std::vector<std::unique_ptr<power::IrState>> carry(
+        static_cast<size_t>(fcfg.chips));
+
+    std::vector<double> exact_lat, exact_queue;
+    if (!scfg.histogramLatency) {
+        exact_lat.assign(static_cast<size_t>(horizon), -1.0);
+        exact_queue.assign(static_cast<size_t>(horizon), -1.0);
+    }
+
+    std::priority_queue<Event, std::vector<Event>, EventAfter> heap;
+    long seq = 0;
+    std::vector<serve::QueuedRequest> pending;
+    serve::Request next_req;
+    long generated = 0;
+    long completed = 0;
+    double first_arrival = 0.0;
+    double last_completion = 0.0;
+
+    const auto shard_config = [&](const std::string &model) {
+        shard::ShardRuntimeConfig sc;
+        sc.microBatches = meta.gangSpec(model)->microBatches;
+        sc.threads = 1;
+        sc.interconnect = fcfg.interconnect;
+        return sc;
+    };
+
+    // Execute every pending request that lacks a memoized report,
+    // concurrently on the pool.  Reports are pure functions of
+    // (artifact, id-keyed seed), so neither the thread count nor the
+    // prefetch batching changes a single bit of them.
+    const auto prefetch = [&]() {
+        std::vector<const serve::QueuedRequest *> todo;
+        for (const auto &q : pending) {
+            const long id = q.request.id;
+            if (q.sharded ? !shard_ready.count(id)
+                          : !ready.count(id))
+                todo.push_back(&q);
+        }
+        if (todo.empty())
+            return;
+        std::vector<sim::RunReport> runs(todo.size());
+        std::vector<shard::ShardReport> shard_runs(todo.size());
+        exec.parallelFor(
+            static_cast<long>(todo.size()), [&](long i) {
+                const auto &q = *todo[static_cast<size_t>(i)];
+                const long id = q.request.id;
+                if (q.sharded) {
+                    const shard::ShardedRuntime rt(
+                        cfg, cal, shard_config(q.request.model));
+                    shard_runs[static_cast<size_t>(i)] =
+                        rt.execute(*q.sharded, request_seed(id));
+                } else {
+                    runs[static_cast<size_t>(i)] = runtime.run(
+                        q.compiled->rounds, q.compiled->stream,
+                        request_seed(id));
+                }
+            });
+        for (size_t i = 0; i < todo.size(); ++i) {
+            const long id = todo[i]->request.id;
+            if (todo[i]->sharded)
+                shard_ready[id] = std::move(shard_runs[i]);
+            else
+                ready[id] = std::move(runs[i]);
+        }
+    };
+
+    // K id-seeded reports per model, built once on first need.
+    const auto model_samples =
+        [&](const std::string &model,
+            const CompiledModel &compiled)
+        -> const std::vector<sim::RunReport> & {
+        const auto it = samples.find(model);
+        if (it != samples.end())
+            return it->second;
+        std::vector<sim::RunReport> v(
+            static_cast<size_t>(scfg.serviceSamples));
+        const uint64_t tag = modelTag(model);
+        exec.parallelFor(scfg.serviceSamples, [&](long k) {
+            uint64_t s = seeder.fork(0x5a3d17)
+                             .fork(tag)
+                             .fork(static_cast<uint64_t>(k) + 1)
+                             .next();
+            if (s == 0)
+                s = 1;
+            v[static_cast<size_t>(k)] = runtime.run(
+                compiled.rounds, compiled.stream, s);
+        });
+        return samples.emplace(model, std::move(v)).first->second;
+    };
+
+    // Record one finished request at dispatch time (the values are
+    // final then; the digests fold at the completion event so the
+    // autoscaler's window sees completions in time order).
+    const auto account = [&](const serve::Request &request,
+                             double queue_us, double latency_us,
+                             double finish) {
+        if (request.sloUs > 0.0 && latency_us > request.sloUs)
+            ++rep.sloViolations;
+        if (!scfg.histogramLatency) {
+            exact_lat[static_cast<size_t>(request.id)] = latency_us;
+            exact_queue[static_cast<size_t>(request.id)] = queue_us;
+        }
+        last_completion = std::max(last_completion, finish);
+        heap.push(Event{finish, Event::Completion, ++seq,
+                        latency_us});
+    };
+
+    // Dispatch one request (and, with batching, its same-model
+    // followers) on chip c at time now.  The arithmetic is the
+    // Fleet replay's, via the shared serve/Dispatch layer.
+    const auto dispatch_one = [&](int c, double now) {
+        serve::ChipContext ctx;
+        ctx.chip = c;
+        ctx.residentModel = pool.slot(c).resident;
+        ctx.safeLevel = pool.slot(c).safeLevel;
+        const size_t idx = sched.pick(pending, ctx);
+        if (exact_service)
+            prefetch();
+        const serve::QueuedRequest q = pending[idx];
+        pending.erase(pending.begin() +
+                      static_cast<std::ptrdiff_t>(idx));
+
+        if (q.sharded) {
+            const auto &slots = meta.gangSlots(q.sharded.get());
+            const auto member = pool.acquireGang(q.gangChips);
+            double start = now;
+            for (int m : member)
+                start = std::max(start, pool.slot(m).freeAtUs);
+
+            shard::ShardReport srep;
+            const auto it = shard_ready.find(q.request.id);
+            if (it != shard_ready.end()) {
+                srep = std::move(it->second);
+                shard_ready.erase(it);
+            } else {
+                const shard::ShardedRuntime rt(
+                    cfg, cal, shard_config(q.request.model));
+                srep = rt.execute(*q.sharded,
+                                  request_seed(q.request.id));
+            }
+            const double service = srep.makespanUs / work_scale;
+            double prep = 0.0;
+            for (size_t j = 0; j < member.size(); ++j) {
+                auto &chip = pool.slot(member[j]);
+                auto &usage = rep.chips[static_cast<size_t>(
+                    member[j])];
+                const serve::DispatchCost cost = serve::dispatchCost(
+                    chip, slots.resident[j], slots.level[j],
+                    slots.reloadUs[j], fcfg.options.useBooster,
+                    cal.levelStepPct, fcfg.retuneUsPerStep);
+                if (cost.modelSwitch)
+                    ++usage.modelSwitches;
+                prep = std::max(prep, cost.reloadUs + cost.retuneUs);
+                usage.reloadUs += cost.reloadUs;
+                usage.retuneUs += cost.retuneUs;
+                usage.busyUs += service;
+                ++usage.served;
+                chip.resident = slots.resident[j];
+                chip.safeLevel = slots.level[j];
+            }
+            const double finish = start + prep + service;
+            for (int m : member)
+                pool.slot(m).freeAtUs = finish;
+            rep.totalMacs += srep.totalMacs / work_scale;
+            rep.irFailures += srep.merged.failures;
+            rep.stallWindows += srep.merged.stallWindows;
+            ++rep.gangDispatches;
+            account(q.request, start - q.request.arrivalUs,
+                    finish - q.request.arrivalUs, finish);
+            return;
+        }
+
+        auto &chip = pool.slot(c);
+        auto &usage = rep.chips[static_cast<size_t>(c)];
+        const serve::DispatchCost cost = serve::dispatchCost(
+            chip, q.request.model, q.safeLevel,
+            meta.reloadUs(q.request.model), fcfg.options.useBooster,
+            cal.levelStepPct, fcfg.retuneUsPerStep);
+        if (cost.modelSwitch)
+            ++usage.modelSwitches;
+
+        // The batch: the picked leader plus (with batching on) up
+        // to maxBatch-1 queued same-model requests, co-dispatched
+        // behind one reload/retune.
+        std::vector<serve::QueuedRequest> batch;
+        batch.push_back(q);
+        if (scfg.batching) {
+            for (size_t i = 0;
+                 i < pending.size() &&
+                 batch.size() < static_cast<size_t>(scfg.maxBatch);) {
+                if (!pending[i].sharded &&
+                    pending[i].request.model == q.request.model) {
+                    batch.push_back(pending[i]);
+                    pending.erase(
+                        pending.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+                } else {
+                    ++i;
+                }
+            }
+            rep.batchedRequests +=
+                static_cast<long>(batch.size()) - 1;
+        }
+
+        double cursor = now + cost.reloadUs + cost.retuneUs;
+        usage.reloadUs += cost.reloadUs;
+        usage.retuneUs += cost.retuneUs;
+        for (const auto &b : batch) {
+            const long id = b.request.id;
+            double service_us = 0.0;
+            if (scfg.transientCarry) {
+                const auto run = runtime.run(
+                    b.compiled->rounds, b.compiled->stream,
+                    request_seed(id),
+                    &carry[static_cast<size_t>(c)]);
+                service_us = run.wallTimeNs / 1000.0 / work_scale;
+                rep.totalMacs += run.totalMacs / work_scale;
+                rep.irFailures += run.failures;
+                rep.stallWindows += run.stallWindows;
+            } else if (scfg.serviceSamples > 0) {
+                const auto &pool_reports =
+                    model_samples(b.request.model, *b.compiled);
+                const auto &run = pool_reports[static_cast<size_t>(
+                    request_seed(id) %
+                    static_cast<uint64_t>(scfg.serviceSamples))];
+                service_us = run.wallTimeNs / 1000.0 / work_scale;
+                rep.totalMacs += run.totalMacs / work_scale;
+                rep.irFailures += run.failures;
+                rep.stallWindows += run.stallWindows;
+            } else {
+                const auto it = ready.find(id);
+                aim_assert(it != ready.end(),
+                           "request ", id,
+                           " dispatched without a prefetched "
+                           "report");
+                const auto run = std::move(it->second);
+                ready.erase(it);
+                service_us = run.wallTimeNs / 1000.0 / work_scale;
+                rep.totalMacs += run.totalMacs / work_scale;
+                rep.irFailures += run.failures;
+                rep.stallWindows += run.stallWindows;
+            }
+            cursor += service_us;
+            usage.busyUs += service_us;
+            ++usage.served;
+            account(b.request, now - b.request.arrivalUs,
+                    cursor - b.request.arrivalUs, cursor);
+        }
+        chip.freeAtUs = cursor;
+        chip.resident = q.request.model;
+        chip.safeLevel = q.safeLevel;
+    };
+
+    const auto dispatch_all = [&](double now) {
+        while (!pending.empty()) {
+            const int c = pool.freeChipAt(now);
+            if (c < 0)
+                break;
+            dispatch_one(c, now);
+        }
+    };
+
+    if (horizon > 0) {
+        next_req = source.next();
+        first_arrival = next_req.arrivalUs;
+        heap.push(
+            Event{next_req.arrivalUs, Event::Arrival, ++seq, 0.0});
+    }
+    if (scfg.controlTickUs > 0.0)
+        heap.push(Event{scfg.controlTickUs, Event::ControlTick,
+                        ++seq, 0.0});
+
+    while (!heap.empty()) {
+        const double now = heap.top().tUs;
+        // Drain every event of this instant (completions, then
+        // arrivals, then ticks) before dispatching, so the
+        // dispatcher sees exactly the requests that have arrived by
+        // now -- the Fleet replay's admission rule.
+        while (!heap.empty() && heap.top().tUs == now) {
+            const Event ev = heap.top();
+            heap.pop();
+            switch (ev.kind) {
+              case Event::Completion:
+                ++completed;
+                window.push(ev.latencyUs);
+                if (scfg.histogramLatency)
+                    hist.record(ev.latencyUs);
+                break;
+
+              case Event::Arrival: {
+                if (admission.admit(
+                        static_cast<long>(pending.size())))
+                    pending.push_back(
+                        meta.annotate(next_req, cache));
+                ++generated;
+                if (generated < horizon) {
+                    next_req = source.next();
+                    heap.push(Event{next_req.arrivalUs,
+                                    Event::Arrival, ++seq, 0.0});
+                }
+                break;
+              }
+
+              case Event::ControlTick: {
+                const double p99 = window.p99();
+                const ScaleAction action = scaler.tick(
+                    now, p99, static_cast<long>(pending.size()),
+                    pool.activeCount());
+                if (action == ScaleAction::Up &&
+                    pool.activateOne())
+                    ++rep.scaleUps;
+                else if (action == ScaleAction::Down &&
+                         pool.deactivateOne(min_active))
+                    ++rep.scaleDowns;
+                rep.trajectory.push_back(
+                    {now, pool.activeCount(), p99,
+                     static_cast<long>(pending.size()),
+                     admission.shedRate()});
+                // Keep ticking while the run is live; an empty heap
+                // here means all arrivals are served and drained.
+                if (!heap.empty())
+                    heap.push(Event{now + scfg.controlTickUs,
+                                    Event::ControlTick, ++seq,
+                                    0.0});
+                break;
+              }
+            }
+        }
+        dispatch_all(now);
+    }
+
+    rep.arrivals = generated;
+    rep.admitted = admission.admitted();
+    rep.shed = admission.shed();
+    rep.requests = completed;
+    rep.makespanUs =
+        completed > 0 ? last_completion - first_arrival : 0.0;
+    if (scfg.histogramLatency) {
+        rep.p50Us = hist.percentile(50.0);
+        rep.p95Us = hist.percentile(95.0);
+        rep.p99Us = hist.percentile(99.0);
+        rep.meanUs = hist.mean();
+    } else {
+        std::vector<double> sorted;
+        sorted.reserve(exact_lat.size());
+        double sum = 0.0;
+        for (const double l : exact_lat)
+            if (l >= 0.0) {
+                sorted.push_back(l);
+                sum += l;
+            }
+        std::sort(sorted.begin(), sorted.end());
+        rep.p50Us = util::percentileSorted(sorted, 50.0);
+        rep.p95Us = util::percentileSorted(sorted, 95.0);
+        rep.p99Us = util::percentileSorted(sorted, 99.0);
+        rep.meanUs =
+            sorted.empty()
+                ? 0.0
+                : sum / static_cast<double>(sorted.size());
+        rep.latencyUs = std::move(exact_lat);
+        rep.queueUs = std::move(exact_queue);
+    }
+    rep.cacheHits = cache.hits() - cache_hits;
+    rep.cacheMisses = cache.misses() - cache_misses;
+    rep.cacheEvictions = cache.evictions() - cache_evictions;
+    return rep;
+}
+
+} // namespace aim::stream

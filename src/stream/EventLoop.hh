@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Long-lived discrete-event serving engine.
+ *
+ * serve::Fleet replays a finite, fully materialized trace; this loop
+ * serves an *endless* one.  Time advances through a time-ordered
+ * event heap of three event kinds:
+ *
+ *   Arrival     -- the lazy TraceSource's next request reaches the
+ *                  front door; admission control admits it into the
+ *                  pending queue or sheds it
+ *   Completion  -- a dispatched request finishes; its latency lands
+ *                  in the digests and the freed chip can take work
+ *   ControlTick -- the periodic control plane runs: the autoscaler
+ *                  grows/shrinks the active chip pool against the
+ *                  windowed p99, and a trajectory sample is recorded
+ *
+ * After the events of a timestamp drain, the dispatcher places
+ * queued requests on free chips -- earliest-free chip first, the
+ * serve::Scheduler policy picking among the queue -- until chips or
+ * work run out.  Memory is bounded by the queue depth and in-flight
+ * work, never by the stream length.
+ *
+ * Equivalence contract: with the control policies off (no
+ * autoscaler, unbounded admission, no batching, exact service), the
+ * dispatch schedule is the same greedy earliest-free-chip schedule
+ * as serve::Fleet::serve -- dispatch times, chip choices, gang
+ * acquisition and cost arithmetic included (both sides share
+ * serve/Dispatch for exactly this reason) -- so a finite horizon
+ * reproduces the Fleet's ServeReport latency vector bit-for-bit
+ * (tests/stream/EventLoopTest).  Request execution reuses the
+ * id-keyed seeds and per-request RunReport memoization, evaluated
+ * concurrently on an exec::ExecPool with reports merged in dispatch
+ * order, so reports are also bit-identical across --threads counts.
+ *
+ * Service-time modes: exact (every request executes on the chip
+ * model; the equivalence mode) and sampled (per model, K seeded
+ * RunReports are drawn once and requests sample among them by their
+ * id-keyed seed) -- the latter is what makes a day-long million-
+ * request bench tractable while keeping per-request variation.
+ * With StreamConfig::transientCarry, requests execute serially at
+ * dispatch and thread each chip's settled electrical state into the
+ * next request on that chip (power::IrState burst continuity).
+ */
+
+#ifndef AIM_STREAM_EVENTLOOP_HH
+#define AIM_STREAM_EVENTLOOP_HH
+
+#include <string>
+
+#include "serve/Fleet.hh"
+#include "serve/ModelCache.hh"
+#include "serve/Trace.hh"
+#include "stream/AdmissionController.hh"
+#include "stream/Autoscaler.hh"
+#include "stream/StreamReport.hh"
+
+namespace aim::stream
+{
+
+/** Tuning of a streaming serve run. */
+struct StreamConfig
+{
+    /** Fleet shape, policy, execution options, seed, threads. */
+    serve::FleetConfig fleet;
+    /** Arrival process of the lazy source. */
+    serve::TraceConfig trace;
+    /**
+     * Requests to stream before the source closes; 0 falls back to
+     * trace.requests.  The run always drains to completion.
+     */
+    long maxRequests = 0;
+    /** Control-plane period [us]; 0 disables control ticks. */
+    double controlTickUs = 0.0;
+    AutoscalerConfig autoscaler;
+    AdmissionConfig admission;
+    /**
+     * Dynamic batching: when a chip dispatches, co-dispatch up to
+     * maxBatch-1 further queued requests of the same model behind
+     * the leader, paying the reload/retune once.
+     */
+    bool batching = false;
+    int maxBatch = 4;
+    /**
+     * 0 = exact service (every request executes on the chip model;
+     * required for Fleet equivalence).  K > 0 = sampled service:
+     * per model, K id-seeded RunReports are executed once and each
+     * request draws one by its request seed.
+     */
+    long serviceSamples = 0;
+    /**
+     * false = exact per-request latency vectors (memory grows with
+     * the horizon); true = fixed log-bucket histogram (O(1) memory,
+     * the day-long-bench mode).
+     */
+    bool histogramLatency = false;
+    /**
+     * Thread each chip's settled electrical state into the next
+     * request on that chip (power::IrState; effective with the
+     * Transient droop backend).  Forces serial execution at
+     * dispatch, so it excludes sampled service.
+     */
+    bool transientCarry = false;
+};
+
+/** Empty when valid, else the first problem. */
+std::string validateStreamConfig(const StreamConfig &scfg);
+
+/** The streaming serving engine.  One instance per run. */
+class EventLoop
+{
+  public:
+    /** Fatal on an invalid StreamConfig. */
+    EventLoop(const pim::PimConfig &cfg,
+              const power::Calibration &cal,
+              const StreamConfig &scfg);
+
+    /**
+     * Stream the configured horizon to completion.  Artifacts come
+     * from @p cache (shared and warm across runs); the report's
+     * cache counters are deltas over this run.
+     */
+    StreamReport run(serve::ModelCache &cache);
+
+  private:
+    pim::PimConfig cfg;
+    power::Calibration cal;
+    StreamConfig scfg;
+};
+
+} // namespace aim::stream
+
+#endif // AIM_STREAM_EVENTLOOP_HH

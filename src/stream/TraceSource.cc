@@ -1,0 +1,116 @@
+#include "stream/TraceSource.hh"
+
+#include <cmath>
+
+#include "util/Logging.hh"
+
+namespace aim::stream
+{
+
+namespace
+{
+
+/** Exponential variate with the given mean (inverse-CDF sampling).
+ * Must match serve/Trace.cc's sampler exactly: uniform() is in
+ * [0, 1), flipped so the log argument is in (0, 1]. */
+double
+expVariate(util::Rng &rng, double mean)
+{
+    return -mean * std::log(1.0 - rng.uniform());
+}
+
+} // namespace
+
+TraceSource::TraceSource(const serve::TraceConfig &cfg)
+    : cfg(cfg), arrivalRng(cfg.seed),
+      pickRng(arrivalRng.fork(0x7261ce))
+{
+    const std::string problem = serve::validateTraceConfig(cfg);
+    if (!problem.empty())
+        aim_fatal("invalid TraceConfig: ", problem);
+    for (const auto &m : cfg.mix)
+        totalWeight += m.weight;
+    rateUs = cfg.meanRatePerSec / 1e6;
+    if (cfg.arrivals == serve::ArrivalKind::Bursty) {
+        const double duty = cfg.burstDutyCycle;
+        baseRateUs =
+            rateUs / (1.0 - duty + cfg.burstFactor * duty);
+        meanQuietUs = cfg.meanBurstUs * (1.0 - duty) / duty;
+        // The batch generator draws the first episode boundary
+        // before any arrival; reproduce that draw order here.
+        episodeEndUs = expVariate(arrivalRng, meanQuietUs);
+    }
+}
+
+double
+TraceSource::nextArrivalUs()
+{
+    switch (cfg.arrivals) {
+      case serve::ArrivalKind::Poisson:
+        t += expVariate(arrivalRng, 1.0 / rateUs);
+        return t;
+
+      case serve::ArrivalKind::Bursty:
+        // Two-state MMPP, one arrival per call: candidate gaps that
+        // cross the current episode boundary are discarded and
+        // resampled at the new state's rate from the boundary --
+        // exact for exponential gaps (memorylessness).
+        for (;;) {
+            const double r = inBurst
+                                 ? baseRateUs * cfg.burstFactor
+                                 : baseRateUs;
+            const double gap = expVariate(arrivalRng, 1.0 / r);
+            if (t + gap < episodeEndUs) {
+                t += gap;
+                return t;
+            }
+            t = episodeEndUs;
+            inBurst = !inBurst;
+            episodeEndUs =
+                t + expVariate(arrivalRng, inBurst ? cfg.meanBurstUs
+                                                   : meanQuietUs);
+        }
+
+      case serve::ArrivalKind::Diurnal: {
+        // Lewis-Shedler thinning against the peak rate; loop until
+        // a candidate survives the thinning draw.
+        const double peak = rateUs * (1.0 + cfg.diurnalAmplitude);
+        for (;;) {
+            t += expVariate(arrivalRng, 1.0 / peak);
+            const double rate_t =
+                rateUs *
+                (1.0 + cfg.diurnalAmplitude *
+                           std::sin(2.0 * M_PI * t /
+                                    cfg.diurnalPeriodUs));
+            if (arrivalRng.uniform() * peak < rate_t)
+                return t;
+        }
+      }
+    }
+    aim_fatal("unknown arrival kind");
+}
+
+serve::Request
+TraceSource::next()
+{
+    serve::Request req;
+    req.id = count++;
+    req.arrivalUs = nextArrivalUs();
+
+    // Model pick from the independent fork, same draw order as the
+    // batch generator's pick loop.
+    double r = pickRng.uniform() * totalWeight;
+    const serve::TraceMix *chosen = &cfg.mix.back();
+    for (const auto &m : cfg.mix) {
+        r -= m.weight;
+        if (r < 0.0) {
+            chosen = &m;
+            break;
+        }
+    }
+    req.model = chosen->model;
+    req.sloUs = chosen->sloUs;
+    return req;
+}
+
+} // namespace aim::stream

@@ -132,11 +132,12 @@ sharedCache()
     return cache;
 }
 
-/** Two-model request trace of the fleet suites. */
-inline std::vector<serve::Request>
-serveTrace(long requests = 24,
-           serve::ArrivalKind arrivals = serve::ArrivalKind::Poisson,
-           double slo_us = 4000.0)
+/** Two-model trace config of the fleet/stream suites. */
+inline serve::TraceConfig
+serveTraceConfig(long requests = 24,
+                 serve::ArrivalKind arrivals =
+                     serve::ArrivalKind::Poisson,
+                 double slo_us = 4000.0)
 {
     serve::TraceConfig t;
     t.arrivals = arrivals;
@@ -145,7 +146,17 @@ serveTrace(long requests = 24,
     t.seed = 7;
     t.mix = {{"ResNet18", 1.0, slo_us},
              {"MobileNetV2", 1.0, slo_us}};
-    return generateTrace(t);
+    return t;
+}
+
+/** Two-model request trace of the fleet suites. */
+inline std::vector<serve::Request>
+serveTrace(long requests = 24,
+           serve::ArrivalKind arrivals = serve::ArrivalKind::Poisson,
+           double slo_us = 4000.0)
+{
+    return generateTrace(
+        serveTraceConfig(requests, arrivals, slo_us));
 }
 
 } // namespace aim::test

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Equivalence of the lazy stream::TraceSource with the materialized
+ * serve::generateTrace: same config and seed, same requests, bit for
+ * bit -- the property that lets the streaming engine replay any
+ * finite serving experiment without ever holding the trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include "TestUtil.hh"
+#include "stream/TraceSource.hh"
+
+using namespace aim;
+using namespace aim::serve;
+using namespace aim::stream;
+
+namespace
+{
+
+TraceConfig
+config(ArrivalKind kind, long requests = 200)
+{
+    TraceConfig t = test::serveTraceConfig(requests, kind);
+    t.mix.push_back({"GPT2", 0.5, 9000.0});
+    return t;
+}
+
+/** Pull the batch generator's horizon from a lazy source and demand
+ * bit-identical requests. */
+void
+expectSourceMatchesBatch(const TraceConfig &cfg)
+{
+    const auto batch = generateTrace(cfg);
+    TraceSource source(cfg);
+    for (const auto &want : batch) {
+        const Request got = source.next();
+        EXPECT_EQ(got.id, want.id);
+        EXPECT_EQ(got.model, want.model);
+        EXPECT_EQ(got.arrivalUs, want.arrivalUs) << "id " << want.id;
+        EXPECT_EQ(got.sloUs, want.sloUs) << "id " << want.id;
+    }
+    EXPECT_EQ(source.generated(), static_cast<long>(batch.size()));
+}
+
+} // namespace
+
+TEST(TraceSource, PoissonMatchesBatchGeneratorBitForBit)
+{
+    expectSourceMatchesBatch(config(ArrivalKind::Poisson));
+}
+
+TEST(TraceSource, BurstyMatchesBatchGeneratorBitForBit)
+{
+    expectSourceMatchesBatch(config(ArrivalKind::Bursty));
+}
+
+TEST(TraceSource, DiurnalMatchesBatchGeneratorBitForBit)
+{
+    expectSourceMatchesBatch(config(ArrivalKind::Diurnal));
+}
+
+TEST(TraceSource, StreamsPastTheBatchHorizon)
+{
+    // The source is endless: cfg.requests is the batch generator's
+    // horizon, not the source's.  Arrivals stay sorted and ids dense
+    // far beyond it.
+    const TraceConfig cfg = config(ArrivalKind::Bursty, 50);
+    TraceSource source(cfg);
+    double last = 0.0;
+    for (long i = 0; i < 4 * cfg.requests; ++i) {
+        const Request r = source.next();
+        EXPECT_EQ(r.id, i);
+        EXPECT_GE(r.arrivalUs, last);
+        last = r.arrivalUs;
+    }
+    EXPECT_EQ(source.lastArrivalUs(), last);
+}
+
+TEST(TraceSource, SameSeedSameStreamDifferentSeedDiverges)
+{
+    const TraceConfig cfg = config(ArrivalKind::Diurnal);
+    TraceConfig other = cfg;
+    other.seed = cfg.seed + 1;
+    TraceSource a(cfg), b(cfg), c(other);
+    bool diverged = false;
+    for (int i = 0; i < 100; ++i) {
+        const Request ra = a.next(), rb = b.next(), rc = c.next();
+        EXPECT_EQ(ra.arrivalUs, rb.arrivalUs);
+        EXPECT_EQ(ra.model, rb.model);
+        diverged |= ra.arrivalUs != rc.arrivalUs;
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(TraceSourceDeath, RejectsInvalidConfigsLikeTheBatchGenerator)
+{
+    TraceConfig no_mix = config(ArrivalKind::Poisson);
+    no_mix.mix.clear();
+    EXPECT_DEATH(TraceSource{no_mix}, "mix");
+
+    TraceConfig bad_rate = config(ArrivalKind::Poisson);
+    bad_rate.meanRatePerSec = 0.0;
+    EXPECT_DEATH(TraceSource{bad_rate}, "meanRatePerSec");
+
+    TraceConfig bad_burst = config(ArrivalKind::Bursty);
+    bad_burst.burstFactor = 0.5;
+    EXPECT_DEATH(TraceSource{bad_burst}, "burstFactor");
+}
