@@ -12,8 +12,10 @@
  * reference, and the transient backend reproduces the Fig. 17
  * first-droop overshoot a load step excites.  `--smoke` runs a
  * reduced sweep and exits non-zero unless the droop correlation is
- * >= 0.95, the mesh backend sustains >= 10% of the analytic
- * windows/sec, and the transient backend both overshoots its
+ * >= 0.95, the mesh backend sustains >= 50% of the analytic
+ * windows/sec (the red-black warm re-solves plus batched demand
+ * deltas put it well above the old 10% bar), and the transient
+ * backend both overshoots its
  * converged DC droop by 3%..60% on a step load and sustains >= 4%
  * of the analytic windows/sec (the CI gate).
  */
@@ -325,14 +327,14 @@ main(int argc, char **argv)
 
     if (smoke) {
         const bool mesh_ok =
-            droop_corr >= 0.95 && speed_ratio >= 0.10;
+            droop_corr >= 0.95 && speed_ratio >= 0.50;
         // Fig.-17 envelope: a real first droop (> +3%) that is a
         // transient, not a runaway (< +60%), at a usable cost.
         const bool transient_ok = overshoot_ratio >= 1.03 &&
                                   overshoot_ratio <= 1.60 &&
                                   transient_speed_ratio >= 0.04;
         std::printf("smoke gate: correlation >= 0.95 and mesh speed "
-                    "ratio >= 10%% ... %s\n",
+                    "ratio >= 50%% ... %s\n",
                     mesh_ok ? "PASS" : "FAIL");
         std::printf("smoke gate: transient overshoot in [1.03, "
                     "1.60] and speed ratio >= 4%% ... %s\n",

@@ -116,6 +116,42 @@ BM_PdnMeshWarmResolve(benchmark::State &state)
 BENCHMARK(BM_PdnMeshWarmResolve)->Arg(24)->Arg(48);
 
 void
+BM_PdnMeshRedBlackSolve(benchmark::State &state)
+{
+    // Cold red-black SOR solve, pinned past the Auto dispatch --
+    // compare against BM_PdnMeshSolve (Auto: multigrid when cold)
+    // and BM_PdnMeshVCycle at the same size.
+    power::PdnMeshConfig cfg;
+    cfg.size = static_cast<int>(state.range(0));
+    cfg.solver = power::PdnSolverKind::RedBlack;
+    power::PdnMesh mesh(cfg);
+    mesh.addBlockLoad(cfg.size / 4, cfg.size / 4, cfg.size / 2,
+                      cfg.size / 2, 3.0);
+    for (auto _ : state) {
+        auto sol = mesh.solve();
+        benchmark::DoNotOptimize(sol.voltage.data());
+    }
+}
+BENCHMARK(BM_PdnMeshRedBlackSolve)->Arg(24)->Arg(48);
+
+void
+BM_PdnMeshVCycle(benchmark::State &state)
+{
+    // Cold geometric-multigrid solve, pinned past the Auto dispatch.
+    power::PdnMeshConfig cfg;
+    cfg.size = static_cast<int>(state.range(0));
+    cfg.solver = power::PdnSolverKind::Multigrid;
+    power::PdnMesh mesh(cfg);
+    mesh.addBlockLoad(cfg.size / 4, cfg.size / 4, cfg.size / 2,
+                      cfg.size / 2, 3.0);
+    for (auto _ : state) {
+        auto sol = mesh.solve();
+        benchmark::DoNotOptimize(sol.voltage.data());
+    }
+}
+BENCHMARK(BM_PdnMeshVCycle)->Arg(24)->Arg(48);
+
+void
 BM_RuntimeWindowLoop(benchmark::State &state)
 {
     // The chip runtime's window engine (sim/WindowKernel) over many

@@ -31,9 +31,10 @@ class MeshEval final : public IrEval
     MeshEval(const MeshBackend &backend,
              const std::vector<std::vector<int>> &activeMacros)
         : bk(backend), mesh(backend.warmCfg),
-          prev(backend.baselineSol),
-          rects(backend.groupRects(activeMacros))
+          prev(backend.baselineSol)
     {
+        const auto rects = bk.groupRects(activeMacros);
+        groupNodes = bk.groupNodeLists(rects);
         const size_t groups = rects.size();
         activeCount.assign(groups, 0);
         appliedA.assign(groups, -1.0);
@@ -48,7 +49,7 @@ class MeshEval final : public IrEval
            std::vector<double> &dropMv) override
     {
         const double threshold = bk.bcfg.rtogThreshold;
-        bool any_dirty = false;
+        pendingDeltas.clear();
         for (size_t g = 0; g < groups.size(); ++g) {
             const GroupWindow &gw = groups[g];
             if (!gw.active || activeCount[g] == 0)
@@ -60,31 +61,34 @@ class MeshEval final : public IrEval
                 std::fabs(demandA[g] - appliedA[g]) >
                     threshold * std::max(appliedA[g], 1e-6);
             if (dirty) {
-                // Incremental load update: inject only the delta at
-                // the group's active-macro footprints.
-                const double delta_per_macro =
-                    (demandA[g] - std::max(appliedA[g], 0.0)) /
-                    activeCount[g];
-                for (const auto &r : rects[g])
-                    mesh.addBlockLoad(r.row0, r.col0, r.rows,
-                                      r.cols, delta_per_macro);
+                // Incremental load update: only the delta, batched
+                // into the window's single applyLoadDeltas call.
+                const double delta =
+                    demandA[g] - std::max(appliedA[g], 0.0);
+                const MeshBackend::GroupNodes &gn = groupNodes[g];
+                for (size_t i = 0; i < gn.nodes.size(); ++i)
+                    pendingDeltas.push_back(
+                        {gn.nodes[i], delta * gn.weightPerAmp[i]});
                 appliedA[g] = demandA[g];
-                any_dirty = true;
             }
         }
+        if (!pendingDeltas.empty())
+            mesh.applyLoadDeltas(pendingDeltas);
 
         // Re-solve when loads moved materially -- and keep iterating
         // on quiet windows while the last capped solve has not
         // reached tolerance yet, so a stable demand converges to the
         // consistent voltage map instead of freezing a stale one.
-        if (any_dirty || !converged) {
-            // Warm-started SOR from the previous window's voltage
-            // map: a few iterations instead of a cold solve.
-            prev = mesh.solve(&prev);
-            converged = prev.residual < bk.warmCfg.tolerance;
+        // Convergence is the solver's own verdict (the one tolerance
+        // constant lives in PdnMeshConfig), not a re-derived check.
+        if (!pendingDeltas.empty() || !prev.converged) {
+            // Warm-started red-black SOR from the previous window's
+            // voltage map, in place: a few sweeps instead of a cold
+            // solve, and no per-window allocation.
+            mesh.resolve(prev);
             ++solveCount;
             iterationCount += prev.iterations;
-            for (size_t g = 0; g < rects.size(); ++g)
+            for (size_t g = 0; g < groupNodes.size(); ++g)
                 if (activeCount[g] > 0)
                     cachedDynMv[g] = bk.scale * footprintDropMv(g);
         }
@@ -116,19 +120,19 @@ class MeshEval final : public IrEval
     double
     footprintDropMv(size_t g) const
     {
-        return MeshBackend::footprintDropMv(prev, rects[g],
-                                            bk.warmCfg.vdd);
+        return MeshBackend::nodesDropMv(prev, groupNodes[g],
+                                        bk.warmCfg.vdd);
     }
 
     const MeshBackend &bk;
     PdnMesh mesh;
     PdnSolution prev;
-    std::vector<std::vector<MeshBackend::Footprint>> rects;
+    std::vector<MeshBackend::GroupNodes> groupNodes;
+    std::vector<PdnLoadDelta> pendingDeltas;
     std::vector<int> activeCount;
     std::vector<double> appliedA;
     std::vector<double> demandA;
     std::vector<double> cachedDynMv;
-    bool converged = true;
     long solveCount = 0;
     long iterationCount = 0;
     long windowCount = 0;
@@ -149,11 +153,13 @@ MeshBackend::MeshBackend(const IrBackendConfig &cfg,
     fullA = ir.demandCurrentA(
         ir.dynamicDropMv(cal.vddNominal, cal.fNominal, 1.0));
 
-    // Cold calibration solve: every macro at full activity, tight
-    // tolerance.  Its solution doubles as the evals' warm seed.
+    // Cold calibration solve: every macro at full activity, at the
+    // solver's own defaults -- the single tolerance/cap constants
+    // live in PdnMeshConfig, not re-stated here.  Its solution
+    // doubles as the evals' warm seed.
     PdnMeshConfig tight = warmCfg;
-    tight.tolerance = 1e-7;
-    tight.maxIterations = 20000;
+    tight.tolerance = PdnMeshConfig{}.tolerance;
+    tight.maxIterations = PdnMeshConfig{}.maxIterations;
     PdnMesh mesh(tight);
     const int macros = bcfg.groups * bcfg.macrosPerGroup;
     const double per_macro = fullA / macros;
@@ -206,6 +212,47 @@ MeshBackend::footprintDropMv(const PdnSolution &sol,
                 ++nodes;
             }
     return nodes > 0 ? acc / static_cast<double>(nodes) : 0.0;
+}
+
+std::vector<MeshBackend::GroupNodes>
+MeshBackend::groupNodeLists(
+    const std::vector<std::vector<Footprint>> &rects) const
+{
+    const int n = warmCfg.size;
+    std::vector<GroupNodes> out(rects.size());
+    for (size_t g = 0; g < rects.size(); ++g) {
+        const auto &rs = rects[g];
+        if (rs.empty())
+            continue;
+        GroupNodes &gn = out[g];
+        const double per_macro =
+            1.0 / static_cast<double>(rs.size());
+        for (const auto &r : rs) {
+            const double w =
+                per_macro /
+                (static_cast<double>(r.rows) * r.cols);
+            for (int row = r.row0; row < r.row0 + r.rows; ++row)
+                for (int col = r.col0; col < r.col0 + r.cols;
+                     ++col) {
+                    gn.nodes.push_back(row * n + col);
+                    gn.weightPerAmp.push_back(w);
+                }
+        }
+    }
+    return out;
+}
+
+double
+MeshBackend::nodesDropMv(const PdnSolution &sol, const GroupNodes &gn,
+                         double vdd)
+{
+    double acc = 0.0;
+    for (int node : gn.nodes)
+        acc += (vdd - sol.voltage[static_cast<size_t>(node)]) *
+               1000.0;
+    return gn.nodes.empty()
+               ? 0.0
+               : acc / static_cast<double>(gn.nodes.size());
 }
 
 MeshBackend::Footprint

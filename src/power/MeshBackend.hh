@@ -12,16 +12,19 @@
  * resistive network does with it (bump proximity, neighbour
  * coupling).
  *
- * Cost model: the cold full-grid solve is paid once, at backend
- * construction, against the full-activity load (this also calibrates
- * the mesh scale to Equation 2's full-activity dynamic drop).  Each
- * round's evaluator then starts from that solution; per window, only
- * groups whose demand current moved beyond IrBackendConfig::
- * rtogThreshold update their loads, and the solve warm-starts from
- * the previous window's voltage map -- a handful of SOR iterations
- * instead of thousands.  Groups inside the threshold scale their
- * cached footprint drop linearly with demand (the mesh is a linear
- * network, so own-contribution scaling is exact).
+ * Cost model: the cold full-grid solve (a multigrid V-cycle under
+ * the solver's Auto dispatch) is paid once, at backend construction,
+ * against the full-activity load (this also calibrates the mesh
+ * scale to Equation 2's full-activity dynamic drop).  Each round's
+ * evaluator then starts from that solution; per window, only groups
+ * whose demand current moved beyond IrBackendConfig::rtogThreshold
+ * contribute to one batched PdnMesh::applyLoadDeltas vector (their
+ * footprints pre-flattened to node indices by groupNodeLists), and a
+ * single warm-started red-black re-solve runs in place on the
+ * previous window's voltage map -- a handful of half-sweeps instead
+ * of a cold solve's hundreds.  Groups inside the threshold scale
+ * their cached footprint drop linearly with demand (the mesh is a
+ * linear network, so own-contribution scaling is exact).
  */
 
 #ifndef AIM_POWER_MESHBACKEND_HH
@@ -68,6 +71,29 @@ class MeshBackend : public IrBackend
 
     /** Footprint of macro @p m on the mesh. */
     Footprint macroFootprint(int m) const;
+
+    /**
+     * A group's footprint flattened onto mesh node indices:
+     * injecting deltaA * weightPerAmp[i] at nodes[i] spreads a group
+     * demand delta evenly over its active macros and then evenly
+     * over each macro's footprint nodes.  This is the batched
+     * PdnMesh::applyLoadDeltas form of the per-rect addBlockLoad
+     * scatter: the evaluators build one delta vector per window and
+     * hand the mesh a single call.
+     */
+    struct GroupNodes
+    {
+        std::vector<int> nodes;
+        std::vector<double> weightPerAmp;
+    };
+
+    /** Flatten @p rects (one entry per group) into GroupNodes. */
+    std::vector<GroupNodes> groupNodeLists(
+        const std::vector<std::vector<Footprint>> &rects) const;
+
+    /** Mean drop over a flattened group footprint [mV]. */
+    static double nodesDropMv(const PdnSolution &sol,
+                              const GroupNodes &gn, double vdd);
 
     /**
      * Active-macro footprints per group (index = group id), sized to

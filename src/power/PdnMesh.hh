@@ -7,9 +7,16 @@
  * The die is discretized into a grid of PDN nodes joined by equal
  * sheet conductances.  Bump nodes (C4 pads) connect to the ideal
  * supply through a bump resistance; circuit blocks draw current at
- * their footprint nodes.  Solving Kirchhoff's current law with
- * successive over-relaxation yields the on-die voltage map; IR-drop is
- * VDD minus that map.
+ * their footprint nodes.  Solving Kirchhoff's current law yields the
+ * on-die voltage map; IR-drop is VDD minus that map.
+ *
+ * Three solve paths share one sweep kernel (see PdnSolverKind):
+ * red-black ordered SOR (the default for warm incremental re-solves:
+ * two data-independent half-sweeps, parallelizable over
+ * exec::ExecPool with bit-identical results at any thread count), a
+ * geometric-multigrid V-cycle (cold solves and large meshes), and
+ * the seed's lexicographic SOR kept as the reference ordering the
+ * property suite compares against (tests/power/SolverPropertyTest).
  */
 
 #ifndef AIM_POWER_PDNMESH_HH
@@ -18,8 +25,33 @@
 #include <string>
 #include <vector>
 
+namespace aim::exec
+{
+class ExecPool;
+}
+
 namespace aim::power
 {
+
+/**
+ * Which solver answers PdnMesh::solve.
+ *
+ *   Auto          -- multigrid for cold solves and meshes larger
+ *                    than kRbMaxAutoSize (24) nodes per side;
+ *                    warm-started red-black SOR for incremental
+ *                    re-solves (the droop backends' per-window path).
+ *   Lexicographic -- the seed's single-order SOR sweeps, kept as the
+ *                    bit-stable reference implementation.
+ *   RedBlack      -- force red-black SOR for every solve.
+ *   Multigrid     -- force the V-cycle for every solve.
+ */
+enum class PdnSolverKind : int
+{
+    Auto,
+    Lexicographic,
+    RedBlack,
+    Multigrid,
+};
 
 /** Mesh geometry and electrical parameters. */
 struct PdnMeshConfig
@@ -36,10 +68,19 @@ struct PdnMeshConfig
     double vdd = 0.75;
     /** SOR relaxation factor. */
     double omega = 1.88;
-    /** Convergence threshold on the max KCL residual [A]. */
+    /**
+     * Convergence threshold on the max KCL residual [A].  The single
+     * tolerance constant every solve path gates on -- SOR sweeps,
+     * the multigrid outer loop and its coarsest-level solve, and
+     * transient steps; PdnSolution::converged reports the outcome so
+     * callers (the droop backends' quiet-window guard) never
+     * re-derive it.
+     */
     double tolerance = 1e-7;
-    /** Iteration cap. */
+    /** Iteration cap: SOR sweeps, or V-cycles on the multigrid path. */
     int maxIterations = 20000;
+    /** Solve-path selection (see PdnSolverKind). */
+    PdnSolverKind solver = PdnSolverKind::Auto;
     /**
      * Decap from every node to ground [F].  Zero (the default) keeps
      * the mesh purely resistive: stepTransient degenerates to a
@@ -60,10 +101,17 @@ struct PdnSolution
     /** Node voltages, row-major size x size [V]. */
     std::vector<double> voltage;
     int size = 0;
-    /** Iterations used by the solver. */
+    /** Iterations used: SOR sweeps, or V-cycles for multigrid. */
     int iterations = 0;
-    /** Max |KCL residual| at convergence [A]. */
+    /** Max |KCL residual| at the last iteration [A]. */
     double residual = 0.0;
+    /**
+     * True when the solver reached PdnMeshConfig::tolerance within
+     * its iteration cap -- the one convergence predicate shared by
+     * every solve path and by the droop backends' quiet-window
+     * guard.
+     */
+    bool converged = false;
     /** Total current delivered through the bumps [A]. */
     double bumpCurrentA = 0.0;
     /** Mean voltage across bump nodes [V]. */
@@ -77,6 +125,13 @@ struct PdnSolution
     double dropAtMv(int row, int col, double vdd) const;
     /** ASCII heat map of the drop (darker glyph = larger drop). */
     std::string renderHeatMap(double vdd, double scaleMv) const;
+};
+
+/** One sparse load adjustment: amps added at a flat node index. */
+struct PdnLoadDelta
+{
+    int node = 0;
+    double amps = 0.0;
 };
 
 /**
@@ -93,16 +148,29 @@ struct PdnTransientState
     std::vector<double> bumpA;
 
     /**
-     * Scratch of stepTransient (previous-step voltages, dense bump
-     * history sources), kept here so the every-window step allocates
-     * nothing after its first call.  Contents are meaningless
-     * between calls.
+     * Scratch of stepTransient (previous-step voltages, dense source
+     * vector, dt-cached diagonal and its scaled reciprocal), kept
+     * here so the every-window step allocates nothing after its
+     * first call.  Contents are meaningless between calls except the
+     * diagonal cache, which stepTransient rebuilds whenever dt
+     * changes.
      */
     std::vector<double> prevVoltage;
-    std::vector<double> bumpSrc;
+    std::vector<double> src;
+    std::vector<double> diag;
+    std::vector<double> invW;
+    double cachedDtSec = -1.0;
 };
 
-/** SOR solver over the PDN mesh. */
+/**
+ * PDN mesh solver.  Immutable geometry (conductances, bumps and the
+ * precomputed nodal diagonals) with a mutable load set.  The solve
+ * methods reuse internal scratch buffers, so concurrent solve()
+ * calls on ONE instance race -- callers that parallelize hold one
+ * mesh per worker (the droop backends already hold one per
+ * round-eval); a single solve may itself fan out over an
+ * exec::ExecPool bit-deterministically.
+ */
 class PdnMesh
 {
   public:
@@ -122,18 +190,54 @@ class PdnMesh
     void addBlockLoad(int row0, int col0, int rows, int cols,
                       double currentA);
 
+    /**
+     * Apply a batch of sparse load deltas in one pass -- the droop
+     * backends' per-window path: every dirty group's demand delta,
+     * pre-scattered onto flat node indices, lands in a single call
+     * instead of per-group addBlockLoad rectangles.
+     */
+    void applyLoadDeltas(const std::vector<PdnLoadDelta> &deltas);
+
+    /** Flat row-major index of a node. */
+    int
+    nodeIndex(int row, int col) const
+    {
+        return row * cfg.size + col;
+    }
+
     /** Solve KCL for the current load set (flat-VDD initial guess). */
     PdnSolution solve() const;
 
     /**
      * Solve KCL warm-started from a previous solution.  When
      * @p warmStart matches the mesh size its voltage map seeds the
-     * SOR sweeps, so a re-solve after a small load perturbation
+     * sweeps, so a re-solve after a small load perturbation
      * converges in a handful of iterations instead of a cold solve's
      * hundreds (see PdnMeshTest.WarmStartCutsIterations).  A null or
-     * mismatched warm start falls back to the flat-VDD guess.
+     * mismatched warm start falls back to the flat-VDD guess -- and,
+     * under PdnSolverKind::Auto, onto the multigrid path.
      */
     PdnSolution solve(const PdnSolution *warmStart) const;
+
+    /**
+     * Solve with the red-black half-sweeps (and the multigrid
+     * smoother) fanned out over @p pool.  Results are bit-identical
+     * to the serial solve at every thread count: each half-sweep
+     * only reads the opposite colour, so node updates are
+     * order-independent, and the residual is a max-reduction.  A
+     * null pool (or the lexicographic path) runs serially.
+     */
+    PdnSolution solve(const PdnSolution *warmStart,
+                      exec::ExecPool *pool) const;
+
+    /**
+     * In-place re-solve: @p sol doubles as the warm start and the
+     * result, so the droop backends' per-window loop allocates
+     * nothing.  An empty or mismatched @p sol cold-starts from the
+     * flat-VDD guess.
+     */
+    void resolve(PdnSolution &sol,
+                 exec::ExecPool *pool = nullptr) const;
 
     /**
      * Consistent transient state for a DC operating point: voltages
@@ -155,18 +259,85 @@ class PdnMesh
      * decap conductance C/dt with a C/dt * V_prev history source, so
      * the step is one diagonally-dominant SOR solve -- unconditionally
      * stable at any dt.  With decapFarad == 0 and bumpInductanceH ==
-     * 0 (or dt -> infinity) the step *is* the warm-started DC solve.
+     * 0 (or dt -> infinity) the step *is* the warm-started DC solve,
+     * bit for bit: both run the same sweep kernel in the same order
+     * (red-black, or lexicographic when the config says so).
      */
     void stepTransient(double dtSec, PdnTransientState &state) const;
+
+    /**
+     * Max |KCL residual| of @p sol under the current load set [A] --
+     * the solver-independent convergence check the property suite
+     * gates every solve path on.
+     */
+    double kclResidualMax(const PdnSolution &sol) const;
 
     /** True when a node is a bump (supply-connected) node. */
     bool isBump(int row, int col) const;
 
     const PdnMeshConfig &config() const { return cfg; }
 
+    /** Auto picks red-black only at size <= this (else multigrid). */
+    static constexpr int kRbMaxAutoSize = 24;
+
   private:
+    /**
+     * One coarse grid of the multigrid hierarchy (level >= 1; the
+     * finest level lives in the caller's PdnSolution).  pj0/pj1 and
+     * pw0/pw1 map each 1-D index of the PARENT (finer) grid onto two
+     * coarse indices with linear-interpolation weights; the 2-D
+     * restriction/prolongation operators are their tensor product.
+     */
+    struct MgLevel
+    {
+        int n = 0;
+        /** Nodal diagonal: neighbour links + aggregated supply. */
+        std::vector<double> diag;
+        /** Smoother reciprocal, kMgOmega / diag. */
+        std::vector<double> invW;
+        /** Fine-index -> coarse interpolation (second weight may
+         *  be zero: even rows/cols and the clamped far edge). */
+        std::vector<int> pj0, pj1;
+        std::vector<double> pw0, pw1;
+        /** Correction, restricted residual, residual scratch. */
+        std::vector<double> v, src, res;
+    };
+
+    void solveLexicographic(PdnSolution &sol) const;
+    void solveRedBlack(PdnSolution &sol, exec::ExecPool *pool) const;
+    void solveMultigrid(PdnSolution &sol, exec::ExecPool *pool) const;
+    /** Seed-order SOR transient step (reference path). */
+    void stepTransientLexicographic(double dtSec,
+                                    PdnTransientState &state) const;
+    /** Fill srcScratch with the DC source vector (loads + bumps). */
+    void buildDcSource() const;
+    /** Bump observables of a finished solve. */
+    void finishSolution(PdnSolution &sol) const;
+    /** Build the coarse-grid hierarchy (at construction). */
+    void buildMultigrid();
+    /** One V-cycle recursion step over level @p lvl. */
+    void mgVCycle(int lvl, double *v, const double *src,
+                  const double *diag, const double *invW, int n,
+                  exec::ExecPool *pool) const;
+
     PdnMeshConfig cfg;
     std::vector<double> loadA;
+
+    // Geometry precomputed at construction: flat bump indices
+    // (row-major), the neighbour-link diagonal, the DC diagonal
+    // (+bump conductance) and its omega-scaled reciprocal -- the
+    // sweep kernels run division-free.
+    std::vector<int> bumpIdx;
+    std::vector<double> baseDiag;
+    std::vector<double> dcDiag;
+    std::vector<double> dcInvW;
+    /** Finest-level multigrid smoother reciprocal (kMgOmega/diag). */
+    std::vector<double> mgInvW0;
+
+    // Per-solve scratch (see the class comment on thread safety).
+    mutable std::vector<double> srcScratch;
+    mutable std::vector<double> mgRes0;
+    mutable std::vector<MgLevel> mg; ///< coarse levels, finest first
 };
 
 } // namespace aim::power

@@ -36,9 +36,10 @@ class TransientEval final : public IrEval
     TransientEval(const TransientBackend &backend,
                   const std::vector<std::vector<int>> &activeMacros,
                   const TransientIrState *seed = nullptr)
-        : bk(backend), mesh(backend.transCfg),
-          rects(backend.groupRects(activeMacros))
+        : bk(backend), mesh(backend.transCfg)
     {
+        const auto rects = bk.groupRects(activeMacros);
+        groupNodes = bk.groupNodeLists(rects);
         const size_t groups = rects.size();
         activeCount.assign(groups, 0);
         appliedA.assign(groups, 0.0);
@@ -72,11 +73,12 @@ class TransientEval final : public IrEval
     window(const std::vector<GroupWindow> &groups, util::Rng &rng,
            std::vector<double> &dropMv) override
     {
-        // Track the demand exactly: inject each group's load delta
-        // at its active-macro footprints (no rtogThreshold gating --
-        // the step below integrates every di/dt).
-        for (size_t g = 0; g < groups.size() && g < rects.size();
-             ++g) {
+        // Track the demand exactly: every group's load delta lands
+        // in one batched applyLoadDeltas call (no rtogThreshold
+        // gating -- the step below integrates every di/dt).
+        pendingDeltas.clear();
+        for (size_t g = 0;
+             g < groups.size() && g < groupNodes.size(); ++g) {
             const GroupWindow &gw = groups[g];
             if (!gw.active || activeCount[g] == 0)
                 continue;
@@ -84,14 +86,15 @@ class TransientEval final : public IrEval
                 gw.v, gw.fGhz, gw.rtog, activeCount[g]);
             const double delta = demand - appliedA[g];
             if (delta != 0.0) {
-                const double per_macro =
-                    delta / static_cast<double>(activeCount[g]);
-                for (const auto &r : rects[g])
-                    mesh.addBlockLoad(r.row0, r.col0, r.rows,
-                                      r.cols, per_macro);
+                const MeshBackend::GroupNodes &gn = groupNodes[g];
+                for (size_t i = 0; i < gn.nodes.size(); ++i)
+                    pendingDeltas.push_back(
+                        {gn.nodes[i], delta * gn.weightPerAmp[i]});
                 appliedA[g] = demand;
             }
         }
+        if (!pendingDeltas.empty())
+            mesh.applyLoadDeltas(pendingDeltas);
 
         // One backward-Euler step of the RC/RL network per window.
         mesh.stepTransient(bk.stepSec, state);
@@ -101,10 +104,10 @@ class TransientEval final : public IrEval
             if (!gw.active)
                 continue;
             const double dyn =
-                g < rects.size() && activeCount[g] > 0
+                g < groupNodes.size() && activeCount[g] > 0
                     ? bk.scale *
-                          MeshBackend::footprintDropMv(
-                              state.sol, rects[g],
+                          MeshBackend::nodesDropMv(
+                              state.sol, groupNodes[g],
                               bk.transCfg.vdd)
                     : 0.0;
             const double noisy = bk.ir.staticDropMv(gw.v) + dyn +
@@ -117,7 +120,8 @@ class TransientEval final : public IrEval
     const TransientBackend &bk;
     PdnMesh mesh;
     PdnTransientState state;
-    std::vector<std::vector<MeshBackend::Footprint>> rects;
+    std::vector<MeshBackend::GroupNodes> groupNodes;
+    std::vector<PdnLoadDelta> pendingDeltas;
     std::vector<int> activeCount;
     /** Demand currently injected per group [A]. */
     std::vector<double> appliedA;

@@ -132,8 +132,13 @@ TEST(PdnMesh, WarmStartCutsIterations)
     // Re-solving after a small load perturbation from the previous
     // solution must converge in a fraction of a cold solve's
     // iterations -- the property the mesh droop backend's per-window
-    // solves rely on (power/MeshBackend).
-    PdnMesh mesh(smallMesh());
+    // solves rely on (power/MeshBackend).  Pinned to the red-black
+    // solver: under Auto a cold solve runs the multigrid V-cycle,
+    // whose iteration count (cycles) is not comparable to sweep
+    // counts.
+    PdnMeshConfig cfg = smallMesh();
+    cfg.solver = PdnSolverKind::RedBlack;
+    PdnMesh mesh(cfg);
     mesh.addBlockLoad(4, 4, 8, 8, 2.0);
     const PdnSolution cold = mesh.solve();
 

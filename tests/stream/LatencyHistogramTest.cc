@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Property tests for the log-bucket latency digest: on randomized
+ * latency populations the approximate percentiles must stay within
+ * the documented bucket resolution (2^(1/8), ~9%) of the exact
+ * order statistics, and the mean must be exact.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "stream/StreamReport.hh"
+
+using aim::stream::LatencyHistogram;
+
+namespace
+{
+
+/**
+ * Exact percentile by sorting, using the digest's own rank
+ * convention (sorted index floor(p/100 * (n-1))): that sample is
+ * guaranteed to land in the bucket the digest selects, so the only
+ * approximation left to bound is bucket quantization.
+ */
+double
+exactPercentile(std::vector<double> v, double p)
+{
+    std::sort(v.begin(), v.end());
+    const size_t n = v.size();
+    const size_t idx = static_cast<size_t>(std::floor(
+        p / 100.0 * static_cast<double>(n - 1)));
+    return v[std::min(idx, n - 1)];
+}
+
+/** One bucket ratio of relative slack plus float fuzz. */
+constexpr double kBucketRatio = 1.0905077326652577; // 2^(1/8)
+
+void
+expectWithinBucket(double approx, double exact)
+{
+    EXPECT_GE(approx, exact / kBucketRatio * (1.0 - 1e-12));
+    EXPECT_LE(approx, exact * kBucketRatio * (1.0 + 1e-12));
+}
+
+} // namespace
+
+TEST(LatencyHistogram, EmptyReportsZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, SingleSampleEveryPercentile)
+{
+    LatencyHistogram h;
+    h.record(1234.5);
+    for (double p : {0.0, 50.0, 95.0, 99.0, 100.0})
+        expectWithinBucket(h.percentile(p), 1234.5);
+    EXPECT_DOUBLE_EQ(h.mean(), 1234.5);
+}
+
+TEST(LatencyHistogram, PercentilesWithinBucketResolution)
+{
+    // The property the bounded-RSS streaming report relies on:
+    // p50/p95/p99 from the digest stay within one bucket ratio of
+    // the exact order statistic for any latency population.  Mix
+    // distributions the serving engine actually produces: tight
+    // unimodal (uniform batch latency), heavy-tailed lognormal
+    // (queueing), and bimodal (cache hit vs. reload).
+    std::mt19937_64 rng(42);
+    for (int trial = 0; trial < 12; ++trial) {
+        std::vector<double> pop;
+        const int n = 500 + static_cast<int>(rng() % 5000);
+        const int shape = trial % 3;
+        std::uniform_real_distribution<double> uni(50.0, 80.0);
+        std::lognormal_distribution<double> logn(6.0, 1.5);
+        std::uniform_real_distribution<double> fast(100.0, 120.0);
+        std::uniform_real_distribution<double> slow(3000.0, 3600.0);
+        for (int i = 0; i < n; ++i) {
+            double x;
+            if (shape == 0)
+                x = uni(rng);
+            else if (shape == 1)
+                x = logn(rng);
+            else
+                x = (rng() % 10 < 8) ? fast(rng) : slow(rng);
+            pop.push_back(x);
+        }
+
+        LatencyHistogram h;
+        for (double x : pop)
+            h.record(x);
+        ASSERT_EQ(h.count(), static_cast<long>(pop.size()));
+        for (double p : {50.0, 95.0, 99.0})
+            expectWithinBucket(h.percentile(p),
+                               exactPercentile(pop, p));
+
+        double sum = 0.0;
+        for (double x : pop)
+            sum += x;
+        EXPECT_DOUBLE_EQ(h.mean(), sum / pop.size());
+    }
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotonic)
+{
+    std::mt19937_64 rng(7);
+    std::lognormal_distribution<double> logn(5.0, 2.0);
+    LatencyHistogram h;
+    for (int i = 0; i < 4000; ++i)
+        h.record(logn(rng));
+    double prev = 0.0;
+    for (double p = 0.0; p <= 100.0; p += 2.5) {
+        const double q = h.percentile(p);
+        EXPECT_GE(q, prev) << "p=" << p;
+        prev = q;
+    }
+}
+
+TEST(LatencyHistogram, ExtremesFoldIntoBoundaryBuckets)
+{
+    // Below the resolvable floor folds into bucket 0; absurdly
+    // large values land in the top bucket instead of overflowing.
+    LatencyHistogram h;
+    h.record(1e-6);
+    h.record(0.0);
+    h.record(1e15);
+    h.record(1e15);
+    h.record(1e15);
+    EXPECT_EQ(h.count(), 5);
+    EXPECT_GT(h.percentile(99), h.percentile(1));
+    EXPECT_GE(h.percentile(1), 0.0);
+    // The top bucket clamps: the reported value is its midpoint,
+    // far below the recorded outlier.
+    EXPECT_LT(h.percentile(99), 1e15);
+}
