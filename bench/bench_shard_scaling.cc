@@ -48,6 +48,9 @@ main(int argc, char **argv)
     AimOptions opts;
     opts.useLhr = false; // offline flow in ms; chips are the story
     opts.workScale = smoke ? 0.01 : 0.02;
+    // Layout-level droop: gang members map different stages, so the
+    // mesh's per-window PDN re-solve sees each member's footprint.
+    opts.irBackend = power::IrBackendKind::Mesh;
 
     const auto model = workload::llama3_8b();
     std::printf("model: %s, %.1f GMACs, %.2f B weights "

@@ -17,18 +17,28 @@
  *                                  droop model (default analytic)
  *   --decap F                      transient per-node decap [nF]
  *   --dt F                         transient window step [ns]
+ *                                  (0 = derive from group frequency)
+ *   --isa                          execute through the instruction-
+ *                                  level ISA engine (bit-identical
+ *                                  report + instruction accounting)
+ *   --trace FILE                   write the ISA issue/complete
+ *                                  trace as CSV (requires --isa)
  *
  * Example:
  *   ./build/examples/aim_cli ViT --mode lowpower --beta 30
  *   ./build/examples/aim_cli GPT2 --ir-backend transient --dt 1.5
+ *   ./build/examples/aim_cli ResNet18 --isa --trace trace.csv
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 
 #include "aim/Aim.hh"
+#include "isa/Isa.hh"
 
 namespace
 {
@@ -42,7 +52,7 @@ usage()
         "[--no-lhr] [--no-wds] [--delta N] [--beta N] "
         "[--mapper seq|zigzag|random|hr] [--work F] [--seed N] "
         "[--ir-backend analytic|mesh|transient] [--decap F] "
-        "[--dt F]\n");
+        "[--dt F] [--isa] [--trace FILE]\n");
     std::exit(2);
 }
 
@@ -57,6 +67,7 @@ main(int argc, char **argv)
     AimOptions opts;
     opts.workScale = 0.1;
     bool dvfs = false;
+    std::string trace_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -106,6 +117,10 @@ main(int argc, char **argv)
             opts.transientDecapNf = std::atof(next());
         } else if (arg == "--dt") {
             opts.transientDtNs = std::atof(next());
+        } else if (arg == "--isa") {
+            opts.useIsa = true;
+        } else if (arg == "--trace") {
+            trace_path = next();
         } else if (arg.rfind("--", 0) == 0) {
             usage();
         } else {
@@ -115,15 +130,43 @@ main(int argc, char **argv)
     if (dvfs) {
         const double work = opts.workScale;
         const uint64_t seed = opts.seed;
+        const bool isa = opts.useIsa;
         opts = AimOptions::dvfsBaseline();
         opts.workScale = work;
         opts.seed = seed;
+        opts.useIsa = isa;
+    }
+    if (!trace_path.empty() && !opts.useIsa) {
+        std::fprintf(stderr,
+                     "aim_cli: --trace requires --isa (the trace is "
+                     "the ISA engine's issue/complete stream)\n");
+        usage();
     }
 
     const auto model = workload::modelByName(model_name);
     pim::PimConfig chip;
     AimPipeline pipeline(chip, power::defaultCalibration());
-    const AimReport rep = pipeline.run(model, opts);
+    AimReport rep;
+    std::shared_ptr<const isa::Program> program;
+    if (opts.useIsa) {
+        const CompiledModel compiled = pipeline.compile(model, opts);
+        program = compiled.program;
+        if (!trace_path.empty()) {
+            std::ofstream file(trace_path);
+            if (!file) {
+                std::fprintf(stderr,
+                             "aim_cli: cannot open trace file %s\n",
+                             trace_path.c_str());
+                return 2;
+            }
+            isa::CsvTrace trace(file);
+            rep = pipeline.execute(compiled, 0, &trace);
+        } else {
+            rep = pipeline.execute(compiled);
+        }
+    } else {
+        rep = pipeline.run(model, opts);
+    }
 
     std::printf("model          %s\n", model.name.c_str());
     std::printf("config         lhr=%d wds(%d)=%d booster=%d beta=%d "
@@ -155,5 +198,12 @@ main(int argc, char **argv)
                 rep.accuracy.isPerplexity ? "perplexity"
                                           : "accuracy  ",
                 rep.accuracy.metric, model.baselineMetric);
+    if (program) {
+        std::printf("isa program    %ld instructions (%ld fused "
+                    "MAC+SHIFT pairs, tail idle %.1f ns)\n",
+                    static_cast<long>(program->code.size()),
+                    program->fusedMacs, rep.isaTailIdleNs);
+        std::printf("%s", program->renderCounts().c_str());
+    }
     return 0;
 }

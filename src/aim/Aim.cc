@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "isa/Engine.hh"
+#include "isa/Lower.hh"
 #include "quant/Wds.hh"
 #include "sim/Compiler.hh"
 #include "util/Logging.hh"
@@ -63,10 +65,11 @@ validateOptions(const AimOptions &opts)
                 "transientDecapNf must be positive (the transient "
                 "backend integrates an RC mesh), got ",
                 opts.transientDecapNf);
-        if (!(opts.transientDtNs > 0.0))
+        if (opts.transientDtNs < 0.0)
             return util::detail::concat(
-                "transientDtNs must be positive (the implicit-Euler "
-                "window step), got ",
+                "transientDtNs must be non-negative (the "
+                "implicit-Euler window step; 0 derives the step from "
+                "the group frequency), got ",
                 opts.transientDtNs);
     }
     return {};
@@ -202,12 +205,25 @@ AimPipeline::compile(const workload::ModelSpec &model,
                     static_cast<long>(task.macs * opts.workScale),
                     static_cast<long>(cfg.macsPerMacroPerPass()));
     }
+
+    // ISA path: lower the (already scaled) rounds to the instruction
+    // Program the engine executes, with the fusion peephole applied.
+    // RETUNE only exists where a booster would actually retune.
+    if (opts.useIsa) {
+        isa::LowerOptions lopts;
+        lopts.emitRetune = opts.useBooster;
+        auto program = std::make_shared<isa::Program>(
+            isa::lower(out.rounds, cfg, lopts));
+        isa::fuseMacShift(*program);
+        out.program = std::move(program);
+    }
     return out;
 }
 
 AimReport
 AimPipeline::execute(const CompiledModel &compiled,
-                     uint64_t runtime_seed) const
+                     uint64_t runtime_seed,
+                     isa::TraceSink *trace) const
 {
     const AimOptions &opts = compiled.options;
     AimReport rep;
@@ -221,8 +237,22 @@ AimPipeline::execute(const CompiledModel &compiled,
     sim::RunConfig rcfg = runConfigFor(opts);
     if (runtime_seed != 0)
         rcfg.seed = runtime_seed;
-    sim::Runtime runtime(cfg, cal, rcfg);
-    rep.run = runtime.run(compiled.rounds, compiled.stream);
+    if (opts.useIsa) {
+        aim_assert(compiled.program,
+                   "useIsa artifact of ", compiled.modelName,
+                   " carries no lowered program");
+        isa::Engine engine(cfg, cal, rcfg);
+        const isa::EngineReport er = engine.run(
+            *compiled.program, compiled.stream, rcfg.seed, nullptr,
+            trace);
+        rep.run = er.run;
+        rep.isaInstructions = er.decoded;
+        rep.isaFusedMacs = er.fusedMacs;
+        rep.isaTailIdleNs = er.tailIdleNs;
+    } else {
+        sim::Runtime runtime(cfg, cal, rcfg);
+        rep.run = runtime.run(compiled.rounds, compiled.stream);
+    }
 
     const power::IrModel ir(cal);
     rep.irMitigationVsSignoff =

@@ -26,6 +26,12 @@
 namespace aim
 {
 
+namespace isa
+{
+struct Program;
+class TraceSink;
+} // namespace isa
+
 /**
  * Feature toggles and tuning of a pipeline run.
  *
@@ -73,8 +79,21 @@ struct AimOptions
      * positive when irBackend is Transient. */
     double transientDecapNf = 20.0;
     /** Implicit-Euler step per window of the Transient backend [ns];
-     * must be positive when irBackend is Transient. */
+     * 0 derives the step from each window's actual duration
+     * (inputBits / the fastest active group's clock), negative is
+     * rejected. */
     double transientDtNs = 2.0;
+    /**
+     * Execute through the ISA path: compile() additionally lowers
+     * the rounds to a PIM instruction Program (src/isa/Lower, with
+     * the MAC_WINDOW+SHIFT_ACC fusion peephole) and execute() runs
+     * it on the decode->issue->complete engine (src/isa/Engine)
+     * instead of the round-level Runtime.  Reports are bit-identical
+     * either way; the ISA path adds instruction accounting, the
+     * cycle trace and the tail-idle measure the serving layer turns
+     * into reload/compute overlap.
+     */
+    bool useIsa = false;
     /** Quantization bit width. */
     int bits = 8;
     /** Fraction of the full inference workload simulated. */
@@ -137,6 +156,10 @@ struct CompiledModel
     std::vector<sim::Round> rounds;
     /** Activation statistics of the workload. */
     pim::StreamSpec stream;
+    /** Lowered + fused instruction Program (options.useIsa only;
+     * null otherwise).  Shared because the artifact itself is cached
+     * and shared across requests and threads. */
+    std::shared_ptr<const isa::Program> program;
 
     /** Total MAC work of the scaled rounds (one request's work). */
     double scaledMacs() const;
@@ -164,6 +187,14 @@ struct AimReport
     double irMitigationVsSignoff = 0.0;
     /** Energy-efficiency gain vs the 4.2978 mW baseline macro. */
     double efficiencyGain = 0.0;
+
+    // --- ISA-path accounting (populated only with useIsa) ---
+    /** Instructions decoded by the engine. */
+    long isaInstructions = 0;
+    /** MAC_WINDOWs carrying a fused SHIFT_ACC. */
+    long isaFusedMacs = 0;
+    /** Tail idle of the final round [ns] (reload-overlap budget). */
+    double isaTailIdleNs = 0.0;
 };
 
 /** End-to-end AIM flow on the modelled chip. */
@@ -195,9 +226,12 @@ class AimPipeline
      *        distinct values to simulate independent requests.  The
      *        default (0) derives the seed from the compiled options
      *        exactly as run() historically did.
+     * @param trace optional issue/complete trace sink; only read on
+     *        the ISA path (options.useIsa), ignored otherwise
      */
     AimReport execute(const CompiledModel &compiled,
-                      uint64_t runtimeSeed = 0) const;
+                      uint64_t runtimeSeed = 0,
+                      isa::TraceSink *trace = nullptr) const;
 
     /** Offline stages only: quantized layers + clamp stats. */
     struct OfflineResult

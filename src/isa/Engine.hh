@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The ISA execution engine: decode -> issuable-check -> issue ->
+ * complete over a lowered Program (isa/Lower), driving the exact
+ * window physics of the round-level runtime.
+ *
+ * The engine executes each round's instruction block against the
+ * same substrate Runtime::runRound uses -- the shared RuntimeEnv
+ * (V-f table, power model, timing thresholds, droop backend), the
+ * same ChipState round setup, the same WindowKernel per-window
+ * advance, the same RNG draw order -- so the RunReport it produces
+ * is bit-for-bit identical to Runtime::run on the same (rounds,
+ * stream, seed) triple (tests/isa/EngineGoldenTest pins this on the
+ * model zoo).  What the instruction granularity adds:
+ *
+ *   - a Scoreboard enforcing the explicit dependency tags, the
+ *     BARRIER round boundary and the same-Set structural hazard,
+ *     with per-opcode issue counters in the EngineReport
+ *   - a cycle-accurate issue/complete trace (TraceSink / --trace):
+ *     MAC_WINDOWs retire when their Set's last bit-serial pass
+ *     lands, at the Set's wall clock
+ *   - tailIdleNs: how long the chip's fastest Sets sit idle waiting
+ *     for the slowest at the end of the final round -- the window
+ *     the serving layer overlaps the next model's LOAD_WEIGHT into
+ *     (serve/Dispatch reload overlap)
+ *
+ * Only MAC_WINDOW consumes simulated time; LOAD_WEIGHT, SET_SYNC,
+ * RETUNE, SHIFT_ACC, NOP and BARRIER complete at issue, modelling
+ * the round setup the round-level runtime performs implicitly at
+ * round entry.
+ */
+
+#ifndef AIM_ISA_ENGINE_HH
+#define AIM_ISA_ENGINE_HH
+
+#include <array>
+#include <memory>
+
+#include "isa/Isa.hh"
+#include "pim/ToggleModel.hh"
+#include "sim/Runtime.hh"
+
+namespace aim::isa
+{
+
+/** A Program run's outcome: the round-level report plus the
+ * instruction-level accounting the round runtime cannot see. */
+struct EngineReport
+{
+    /** Bit-identical to Runtime::run on the source rounds. */
+    sim::RunReport run;
+    /** Instructions decoded (= the program's instruction count). */
+    long decoded = 0;
+    /** Instructions issued / completed (equal after a full run). */
+    long issued = 0;
+    long completed = 0;
+    /** Issue count per opcode (index = static_cast<int>(Opcode)). */
+    std::array<long, kOpcodeCount> issuedByOp{};
+    /** MAC_WINDOWs that carried a fused SHIFT_ACC. */
+    long fusedMacs = 0;
+    /**
+     * Macro-weighted idle time at the program tail [ns]: walking
+     * rounds backward, each round contributes its wall time scaled
+     * by the fraction of macros no round from it onward touches,
+     * plus -- for the final round -- the early-retired Sets' wait on
+     * the slowest (both weighted by macro share).  Those macros sit
+     * idle until the program retires, so a successor model's
+     * LOAD_WEIGHT can stream into them under the trailing compute
+     * (the serve/Dispatch reload-overlap budget).
+     */
+    double tailIdleNs = 0.0;
+};
+
+/** Executes lowered Programs on the modelled chip. */
+class Engine
+{
+  public:
+    /** Builds the same execution environment Runtime does. */
+    Engine(const pim::PimConfig &cfg, const power::Calibration &cal,
+           const sim::RunConfig &rcfg);
+
+    /**
+     * Execute @p program.  Mirrors the Runtime::run contract: const,
+     * stack-local mutable state (thread-safe for concurrent calls),
+     * report a pure function of (program, stream, seed, config).
+     *
+     * @param carry optional electrical-state carry, identical
+     *        semantics to Runtime::run's carry overload
+     * @param trace optional sink receiving every issue/complete
+     *        event in deterministic order
+     */
+    EngineReport
+    run(const Program &program, const pim::StreamSpec &stream,
+        uint64_t seed,
+        std::unique_ptr<power::IrState> *carry = nullptr,
+        TraceSink *trace = nullptr) const;
+
+    /** The shared execution environment. */
+    const sim::RuntimeEnv &environment() const { return env; }
+
+  private:
+    /** Per-round inputs of the tail-idle accounting. */
+    struct RoundTail
+    {
+        /** Macro ids the round's mapping occupies. */
+        std::vector<int> activeMacros;
+        /** Macro-weighted Set wait on the round's slowest Set
+         * [ns]. */
+        double setImbalanceNs = 0.0;
+    };
+
+    /** Execute one round's instruction block. */
+    sim::RunReport runBlock(const Program &program, size_t round,
+                            const pim::ToggleStats &toggles,
+                            uint64_t roundSeed,
+                            std::unique_ptr<power::IrState> *carry,
+                            TraceSink *trace, EngineReport &er,
+                            RoundTail &tail) const;
+
+    sim::RuntimeEnv env;
+};
+
+} // namespace aim::isa
+
+#endif // AIM_ISA_ENGINE_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The AIM PIM instruction set: what sim::Compiler rounds lower to
+ * (isa/Lower) and what the decode -> issue -> complete engine
+ * (isa/Engine) executes.
+ *
+ * A Program is a flat per-chip instruction queue.  Each compiled
+ * round lowers to a straight-line block -- weight loads, Set
+ * synchronization, bit-serial MAC windows, accumulator shifts --
+ * terminated by a BARRIER that restores the round boundary the
+ * round-level runtime gets implicitly.  Dependencies are explicit:
+ * every instruction carries up to two dependency tags (indices into
+ * the program), a BARRIER additionally waits on every instruction
+ * since the previous BARRIER, and the scoreboard adds the structural
+ * same-Set hazard at issue time.  Lowering is 1:1 with the round
+ * semantics -- only MAC_WINDOW instructions consume simulated window
+ * time, everything else models zero-latency round setup -- which is
+ * what lets isa::Engine reproduce the round-level RunReport
+ * bit-for-bit (tests/isa/EngineGoldenTest) while exposing the
+ * instruction granularity the serving layer exploits for
+ * reload/compute overlap.
+ */
+
+#ifndef AIM_ISA_ISA_HH
+#define AIM_ISA_ISA_HH
+
+#include <array>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/Compiler.hh"
+
+namespace aim::isa
+{
+
+/** Operation of one instruction. */
+enum class Opcode : int
+{
+    LoadWeight, ///< stream a Set's weight tiles into its macros
+    MacWindow,  ///< run the Set's bit-serial MAC passes (windows)
+    ShiftAcc,   ///< shift-and-add the Set's partial accumulators
+    SetSync,    ///< bind the Set's macro groups to one frequency
+    Retune,     ///< booster safe-level retune at round entry
+    Barrier,    ///< round boundary: waits on the whole round
+    Nop,        ///< placeholder of an empty round
+};
+
+/** Number of opcodes (size of per-opcode count arrays). */
+inline constexpr int kOpcodeCount = 7;
+
+/** Printable mnemonic ("LOAD_WEIGHT", "MAC_WINDOW", ...). */
+const char *opcodeName(Opcode op);
+
+/** One decoded instruction. */
+struct Instr
+{
+    Opcode op = Opcode::Nop;
+    /** Target logical Set id; -1 for RETUNE / BARRIER / NOP. */
+    int set = -1;
+    /** Round (lowered block) this instruction belongs to. */
+    int round = 0;
+    /** Bit-serial passes a MAC_WINDOW executes (0 otherwise). */
+    long windows = 0;
+    /** Weight elements a LOAD_WEIGHT streams in (0 otherwise). */
+    long weightWords = 0;
+    /** Macros the Set occupies (its tile count). */
+    int macros = 0;
+    /** MAC_WINDOW that absorbed its SHIFT_ACC (fusion peephole). */
+    bool fused = false;
+    /** Explicit dependency tags: indices into Program::code, -1 =
+     * none.  BARRIERs additionally wait on every instruction since
+     * the previous BARRIER (implicit, not tagged). */
+    int dep0 = -1;
+    int dep1 = -1;
+};
+
+/** A lowered per-chip instruction queue plus its round payloads. */
+struct Program
+{
+    /** The instruction queue, in program order. */
+    std::vector<Instr> code;
+    /** The source rounds (task payloads the engine maps/executes);
+     * index = Instr::round. */
+    std::vector<sim::Round> rounds;
+
+    /** Half-open code range of one round's block. */
+    struct Span
+    {
+        size_t begin = 0;
+        size_t end = 0;
+    };
+
+    /** Per-round code spans; size() == rounds.size(). */
+    std::vector<Span> roundSpan;
+
+    /** MAC_WINDOWs that absorbed a SHIFT_ACC (set by fuseMacShift). */
+    long fusedMacs = 0;
+
+    /** Instructions per opcode. */
+    std::array<long, kOpcodeCount> opcodeCounts() const;
+
+    /** Counts as "  MNEMONIC N" lines (opcode order, zero rows
+     * skipped) -- the aim_cli / CI golden format. */
+    std::string renderCounts() const;
+};
+
+/** One decode/issue/complete event of an Engine run. */
+struct TraceEvent
+{
+    /** Index into Program::code. */
+    long instr = 0;
+    Opcode op = Opcode::Nop;
+    int set = -1;
+    int round = 0;
+    /** Window count inside the round at the event. */
+    long window = 0;
+    /** Simulated time of the event [ns] (the instruction's Set wall
+     * clock; BARRIERs use the round wall clock). */
+    double tNs = 0.0;
+    /** "issue" or "complete". */
+    const char *event = "issue";
+};
+
+/** Receives engine trace events. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void emit(const TraceEvent &ev) = 0;
+};
+
+/** CSV trace writer (the aim_cli --trace format): one header row,
+ * then instr,op,set,round,window,t_ns,event per event. */
+class CsvTrace final : public TraceSink
+{
+  public:
+    /** Writes the header immediately. */
+    explicit CsvTrace(std::ostream &os);
+
+    void emit(const TraceEvent &ev) override;
+
+  private:
+    std::ostream &os;
+};
+
+} // namespace aim::isa
+
+#endif // AIM_ISA_ISA_HH

@@ -1,0 +1,196 @@
+#include "isa/Lower.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/Logging.hh"
+
+namespace aim::isa
+{
+
+namespace
+{
+
+/** Per-Set aggregate of one round's tasks. */
+struct SetWork
+{
+    /** Slowest tile's pass count (ChipState's `remaining`). */
+    long windows = 0;
+    /** Weight elements across the Set's tiles. */
+    long weightWords = 0;
+    /** Tiles (= macros occupied). */
+    int macros = 0;
+};
+
+} // namespace
+
+Program
+lower(const std::vector<sim::Round> &rounds,
+      const pim::PimConfig &cfg, const LowerOptions &opts)
+{
+    Program prog;
+    prog.rounds = rounds;
+    prog.roundSpan.reserve(rounds.size());
+
+    const double macs_per_pass =
+        static_cast<double>(cfg.macsPerMacroPerPass());
+    // Weight words a full macro load streams (rows x banks cells).
+    const long words_per_macro =
+        static_cast<long>(cfg.rows) * static_cast<long>(cfg.banks);
+
+    int prev_barrier = -1;
+    for (size_t r = 0; r < rounds.size(); ++r) {
+        Program::Span span;
+        span.begin = prog.code.size();
+        const int round_id = static_cast<int>(r);
+
+        if (rounds[r].tasks.empty()) {
+            Instr nop;
+            nop.op = Opcode::Nop;
+            nop.round = round_id;
+            nop.dep0 = prev_barrier;
+            prog.code.push_back(nop);
+            span.end = prog.code.size();
+            prog.roundSpan.push_back(span);
+            // An empty round has no barrier; the NOP carries the
+            // boundary for the next round's dependencies.
+            prev_barrier = static_cast<int>(prog.code.size()) - 1;
+            continue;
+        }
+
+        // Aggregate the round's tasks per Set, ascending Set id
+        // (std::map iteration order) -- the same order ChipState's
+        // Set bookkeeping uses.
+        std::map<int, SetWork> work;
+        for (const auto &task : rounds[r].tasks) {
+            auto &w = work[task.setId];
+            const double scaled =
+                std::max(static_cast<double>(task.macs), 1.0);
+            w.windows = std::max(
+                w.windows,
+                static_cast<long>(
+                    std::ceil(scaled / macs_per_pass)));
+            w.weightWords += words_per_macro;
+            ++w.macros;
+        }
+
+        if (opts.emitRetune) {
+            Instr retune;
+            retune.op = Opcode::Retune;
+            retune.round = round_id;
+            retune.dep0 = prev_barrier;
+            prog.code.push_back(retune);
+        }
+
+        for (const auto &[set_id, w] : work) {
+            Instr load;
+            load.op = Opcode::LoadWeight;
+            load.set = set_id;
+            load.round = round_id;
+            load.weightWords = w.weightWords;
+            load.macros = w.macros;
+            load.dep0 = prev_barrier;
+            const int load_idx =
+                static_cast<int>(prog.code.size());
+            prog.code.push_back(load);
+
+            int sync_idx = -1;
+            if (w.macros > 1) {
+                Instr sync;
+                sync.op = Opcode::SetSync;
+                sync.set = set_id;
+                sync.round = round_id;
+                sync.macros = w.macros;
+                sync.dep0 = load_idx;
+                sync_idx = static_cast<int>(prog.code.size());
+                prog.code.push_back(sync);
+            }
+
+            Instr mac;
+            mac.op = Opcode::MacWindow;
+            mac.set = set_id;
+            mac.round = round_id;
+            mac.windows = w.windows;
+            mac.macros = w.macros;
+            mac.dep0 = load_idx;
+            mac.dep1 = sync_idx;
+            const int mac_idx = static_cast<int>(prog.code.size());
+            prog.code.push_back(mac);
+
+            Instr shift;
+            shift.op = Opcode::ShiftAcc;
+            shift.set = set_id;
+            shift.round = round_id;
+            shift.macros = w.macros;
+            shift.dep0 = mac_idx;
+            prog.code.push_back(shift);
+        }
+
+        Instr barrier;
+        barrier.op = Opcode::Barrier;
+        barrier.round = round_id;
+        barrier.dep0 = prev_barrier;
+        prog.code.push_back(barrier);
+        prev_barrier = static_cast<int>(prog.code.size()) - 1;
+
+        span.end = prog.code.size();
+        prog.roundSpan.push_back(span);
+    }
+    return prog;
+}
+
+long
+fuseMacShift(Program &program)
+{
+    const auto &code = program.code;
+    std::vector<Instr> fused;
+    fused.reserve(code.size());
+    // new index of old instruction i, or the absorbing MAC's index
+    // for a fused-away SHIFT_ACC.
+    std::vector<int> remap(code.size(), -1);
+
+    long pairs = 0;
+    for (size_t i = 0; i < code.size(); ++i) {
+        const bool fusable =
+            i + 1 < code.size() &&
+            code[i].op == Opcode::MacWindow && !code[i].fused &&
+            code[i + 1].op == Opcode::ShiftAcc &&
+            code[i + 1].set == code[i].set &&
+            code[i + 1].round == code[i].round &&
+            code[i + 1].dep0 == static_cast<int>(i);
+        remap[i] = static_cast<int>(fused.size());
+        fused.push_back(code[i]);
+        if (fusable) {
+            fused.back().fused = true;
+            remap[i + 1] = remap[i];
+            ++i; // skip the absorbed SHIFT_ACC
+            ++pairs;
+        }
+    }
+
+    for (auto &instr : fused) {
+        if (instr.dep0 >= 0)
+            instr.dep0 = remap[static_cast<size_t>(instr.dep0)];
+        if (instr.dep1 >= 0)
+            instr.dep1 = remap[static_cast<size_t>(instr.dep1)];
+    }
+
+    // Rebuild the round spans over the compacted code (every round
+    // lowers to at least one instruction, so min/max always land).
+    std::vector<Program::Span> spans(program.roundSpan.size());
+    for (auto &span : spans)
+        span = {fused.size(), 0};
+    for (size_t i = 0; i < fused.size(); ++i) {
+        auto &span =
+            spans[static_cast<size_t>(fused[i].round)];
+        span.begin = std::min(span.begin, i);
+        span.end = std::max(span.end, i + 1);
+    }
+    program.code = std::move(fused);
+    program.roundSpan = std::move(spans);
+    program.fusedMacs += pairs;
+    return pairs;
+}
+
+} // namespace aim::isa

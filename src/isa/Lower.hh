@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Lowering pass from compiled rounds to the AIM instruction stream.
+ *
+ * Per round, per Set (ascending Set id), the pass emits
+ *
+ *   LOAD_WEIGHT  -- the Set's weight tiles (depends on the previous
+ *                   round's BARRIER)
+ *   SET_SYNC     -- frequency binding of a multi-macro Set (elided
+ *                   for single-macro Sets, which have nothing to
+ *                   synchronize)
+ *   MAC_WINDOW   -- the Set's bit-serial passes; windows = the
+ *                   slowest tile's pass count, which is a pure
+ *                   function of the task MACs (mapping-independent:
+ *                   sim::ChipState derives the identical count from
+ *                   any mapping, so lowering needs no mapper/seed)
+ *   SHIFT_ACC    -- the accumulator shift behind the MAC
+ *
+ * then one RETUNE at round entry when the booster is active (the
+ * safe-level derivation ChipState performs at round setup), and one
+ * BARRIER closing the round.  An empty round lowers to a single NOP
+ * so round indices stay aligned with the engine's report merging.
+ *
+ * All non-MAC instructions model zero-latency round setup -- their
+ * serving-level costs (weight reload, booster retune) are paid by
+ * serve/Dispatch, not by chip window time -- so the lowering is 1:1:
+ * executing the program reproduces the round-level RunReport
+ * bit-for-bit.  fuseMacShift is the first instruction-level
+ * optimization on top: a peephole that absorbs a SHIFT_ACC into its
+ * adjacent same-Set MAC_WINDOW (semantics-preserving, since the
+ * shift costs no windows).
+ */
+
+#ifndef AIM_ISA_LOWER_HH
+#define AIM_ISA_LOWER_HH
+
+#include "isa/Isa.hh"
+#include "pim/PimConfig.hh"
+
+namespace aim::isa
+{
+
+/** Lowering knobs. */
+struct LowerOptions
+{
+    /** Emit a RETUNE at each round entry (booster active). */
+    bool emitRetune = false;
+};
+
+/**
+ * Lower compiled rounds into a Program.  Deterministic: the program
+ * is a pure function of (rounds, cfg, opts).
+ */
+Program lower(const std::vector<sim::Round> &rounds,
+              const pim::PimConfig &cfg,
+              const LowerOptions &opts = {});
+
+/**
+ * Fusion peephole: absorb every SHIFT_ACC into the adjacent
+ * MAC_WINDOW of the same Set (marking the MAC fused), rewriting
+ * dependency tags of later instructions onto the fused MAC.
+ *
+ * @return the number of pairs fused this call
+ */
+long fuseMacShift(Program &program);
+
+} // namespace aim::isa
+
+#endif // AIM_ISA_LOWER_HH

@@ -1,0 +1,110 @@
+#include "isa/Scoreboard.hh"
+
+#include "util/Logging.hh"
+
+namespace aim::isa
+{
+
+Scoreboard::Scoreboard(const std::vector<Instr> &code, size_t begin,
+                       size_t end)
+    : code(&code), blockBegin(begin), blockEnd(end),
+      state(end - begin, Pending),
+      pending(static_cast<long>(end - begin))
+{
+    aim_assert(begin <= end && end <= code.size(),
+               "scoreboard block [", begin, ", ", end,
+               ") outside program of ", code.size(),
+               " instructions");
+}
+
+bool
+Scoreboard::depDone(int dep) const
+{
+    if (dep < 0)
+        return true;
+    const auto d = static_cast<size_t>(dep);
+    // Previous rounds have retired before this block runs.
+    if (d < blockBegin)
+        return true;
+    aim_assert(d < blockEnd, "dependency ", d,
+               " reaches past the block end ", blockEnd);
+    return state[d - blockBegin] == Completed;
+}
+
+bool
+Scoreboard::issuable(size_t i) const
+{
+    aim_assert(i >= blockBegin && i < blockEnd,
+               "instruction ", i, " outside block");
+    if (state[i - blockBegin] != Pending)
+        return false;
+    const Instr &instr = (*code)[i];
+    if (!depDone(instr.dep0) || !depDone(instr.dep1))
+        return false;
+    if (instr.op == Opcode::Barrier) {
+        // Implicit round-boundary dependency: everything earlier in
+        // the block must have retired.
+        for (size_t j = blockBegin; j < i; ++j)
+            if (state[j - blockBegin] != Completed)
+                return false;
+    }
+    if (instr.set >= 0) {
+        // Structural hazard: one in-flight instruction per Set.
+        for (size_t j = blockBegin; j < blockEnd; ++j)
+            if (j != i && (*code)[j].set == instr.set &&
+                state[j - blockBegin] == Issued)
+                return false;
+    }
+    return true;
+}
+
+void
+Scoreboard::issue(size_t i)
+{
+    aim_assert(issuable(i), "instruction ", i, " (",
+               opcodeName((*code)[i].op), ") is not issuable");
+    state[i - blockBegin] = Issued;
+    --pending;
+}
+
+void
+Scoreboard::complete(size_t i)
+{
+    aim_assert(i >= blockBegin && i < blockEnd,
+               "instruction ", i, " outside block");
+    aim_assert(state[i - blockBegin] == Issued,
+               "completing instruction ", i,
+               " that is not in flight");
+    state[i - blockBegin] = Completed;
+    ++done;
+}
+
+bool
+Scoreboard::issued(size_t i) const
+{
+    aim_assert(i >= blockBegin && i < blockEnd,
+               "instruction ", i, " outside block");
+    return state[i - blockBegin] != Pending;
+}
+
+bool
+Scoreboard::completed(size_t i) const
+{
+    aim_assert(i >= blockBegin && i < blockEnd,
+               "instruction ", i, " outside block");
+    return state[i - blockBegin] == Completed;
+}
+
+bool
+Scoreboard::allCompleted() const
+{
+    return done == static_cast<long>(blockEnd - blockBegin);
+}
+
+long
+Scoreboard::pendingCount() const
+{
+    return pending;
+}
+
+} // namespace aim::isa

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Issue scoreboard of the ISA engine: tracks every instruction of a
+ * round block through pending -> issued -> completed and answers the
+ * issuable-check of the decode -> issue -> complete pipeline.
+ *
+ * Hazard rules:
+ *   - explicit dependency tags (Instr::dep0/dep1) must be completed
+ *   - a BARRIER additionally waits on every earlier instruction of
+ *     its block (the implicit round-boundary dependency)
+ *   - same-Set structural hazard: at most one instruction of a Set
+ *     is in flight (issued but not completed) at a time -- a Set's
+ *     macros are a single bit-serial resource
+ *
+ * The scoreboard is pure bookkeeping (no simulated time); the
+ * engine drives it window by window and unit tests
+ * (tests/isa/ScoreboardTest) drive it directly.
+ */
+
+#ifndef AIM_ISA_SCOREBOARD_HH
+#define AIM_ISA_SCOREBOARD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/Isa.hh"
+
+namespace aim::isa
+{
+
+/** Tracks one round block's instructions through issue/complete. */
+class Scoreboard
+{
+  public:
+    /**
+     * @param code  the full program's instruction queue (dependency
+     *              tags index into it); must outlive the scoreboard
+     * @param begin first instruction of the tracked block
+     * @param end   one past the last instruction of the block
+     *
+     * Dependencies on instructions before @p begin (previous
+     * rounds) are treated as completed: the engine executes rounds
+     * in order, so everything behind the block has retired.
+     */
+    Scoreboard(const std::vector<Instr> &code, size_t begin,
+               size_t end);
+
+    /** Pending with all hazards resolved? */
+    bool issuable(size_t i) const;
+
+    /** Mark @p i issued; fatal unless issuable. */
+    void issue(size_t i);
+
+    /** Mark @p i completed; fatal unless issued. */
+    void complete(size_t i);
+
+    bool issued(size_t i) const;
+    bool completed(size_t i) const;
+
+    /** Every tracked instruction completed? */
+    bool allCompleted() const;
+
+    /** Instructions still pending (not yet issued). */
+    long pendingCount() const;
+
+    size_t begin() const { return blockBegin; }
+    size_t end() const { return blockEnd; }
+
+  private:
+    enum State : uint8_t
+    {
+        Pending = 0,
+        Issued = 1,
+        Completed = 2,
+    };
+
+    bool depDone(int dep) const;
+
+    const std::vector<Instr> *code;
+    size_t blockBegin;
+    size_t blockEnd;
+    std::vector<State> state;
+    long pending = 0;
+    long done = 0;
+};
+
+} // namespace aim::isa
+
+#endif // AIM_ISA_SCOREBOARD_HH

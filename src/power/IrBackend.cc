@@ -111,7 +111,8 @@ backendKey(const IrBackendConfig &cfg, const Calibration &cal)
     // differ nowhere the backend can see.
     if (cfg.kind == IrBackendKind::Transient)
         os << ',' << cfg.transientDecapNf << ','
-           << cfg.transientDtNs << ',' << cfg.transientBumpPh;
+           << cfg.transientDtNs << ',' << cfg.transientBumpPh << ','
+           << cfg.windowCycles;
     os << '|' << cal.vddNominal << ','
        << cal.fNominal << ',' << cal.vth << ',' << cal.alphaPower
        << ',' << cal.staticDropMv << ',' << cal.dynDropFullMv << ','

@@ -198,8 +198,20 @@ struct IrBackendConfig
      * step onto the resistive DC solve.
      */
     double transientDecapNf = 20.0;
-    /** Backward-Euler step per window [ns]. */
+    /**
+     * Backward-Euler step per window [ns].  0 = auto: derive the
+     * step from the window's actual duration -- windowCycles divided
+     * by the slowest active group's effective frequency -- so the
+     * integrated RC time tracks simulated wall time even as the
+     * booster moves the clock.
+     */
     double transientDtNs = 2.0;
+    /**
+     * Cycles per bit-serial window (PimConfig::inputBits), the
+     * numerator of the auto-derived step.  Only read when
+     * transientDtNs == 0.
+     */
+    int windowCycles = 8;
     /**
      * Series loop inductance of each bump branch [pH] (C4 +
      * package).  This is what makes a load step overshoot its DC

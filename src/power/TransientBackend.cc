@@ -97,7 +97,14 @@ class TransientEval final : public IrEval
             mesh.applyLoadDeltas(pendingDeltas);
 
         // One backward-Euler step of the RC/RL network per window.
-        mesh.stepTransient(bk.stepSec, state);
+        // In auto-dt mode the step is the shortest active group
+        // window's duration, so integrated RC time tracks the chip's
+        // simulated wall time as the booster moves the clock.
+        double f_max = 0.0;
+        for (const GroupWindow &gw : groups)
+            if (gw.active)
+                f_max = std::max(f_max, gw.fGhz);
+        mesh.stepTransient(bk.effectiveDtSec(f_max), state);
 
         for (size_t g = 0; g < groups.size(); ++g) {
             const GroupWindow &gw = groups[g];
@@ -133,8 +140,10 @@ TransientBackend::TransientBackend(const IrBackendConfig &cfg,
 {
     aim_assert(cfg.transientDecapNf > 0.0,
                "transient backend needs positive decap");
-    aim_assert(cfg.transientDtNs > 0.0,
-               "transient backend needs a positive dt");
+    aim_assert(cfg.transientDtNs >= 0.0,
+               "transient backend needs a non-negative dt (0 = "
+               "derive the step from the window duration)");
+    aim_assert(cfg.windowCycles > 0, "windowCycles must be positive");
     aim_assert(cfg.transientBumpPh >= 0.0,
                "negative bump inductance");
     transCfg = warmCfg;
@@ -145,7 +154,18 @@ TransientBackend::TransientBackend(const IrBackendConfig &cfg,
     // poor guess; a cap well above the warm-solve budget keeps the
     // step's charge accounting tight without a cold-solve cost.
     transCfg.maxIterations = 40;
-    stepSec = cfg.transientDtNs * 1e-9;
+    autoDt = cfg.transientDtNs == 0.0;
+    winCycles = cfg.windowCycles;
+    stepSec = autoDt ? 0.0 : cfg.transientDtNs * 1e-9;
+}
+
+double
+TransientBackend::effectiveDtSec(double fMaxGhz) const
+{
+    if (!autoDt)
+        return stepSec;
+    const double f = fMaxGhz > 0.0 ? fMaxGhz : cal.fNominal;
+    return winCycles / (f * 1e9);
 }
 
 std::unique_ptr<IrEval>

@@ -71,14 +71,27 @@ class TransientBackend final : public MeshBackend
     /** Mesh config of the per-window transient steps. */
     const PdnMeshConfig &transientConfig() const { return transCfg; }
 
-    /** Backward-Euler step per window [s]. */
+    /** Fixed Backward-Euler step per window [s]; 0 in auto-dt mode
+     * (IrBackendConfig::transientDtNs == 0). */
     double dtSec() const { return stepSec; }
+
+    /**
+     * The step actually integrated for a window whose fastest active
+     * group runs at @p fMaxGhz: the configured fixed step, or -- in
+     * auto-dt mode -- the shortest group window's physical duration,
+     * windowCycles / f (conservative: the RC state is advanced no
+     * further than any group's clock).  A non-positive frequency (no
+     * active groups) falls back to the calibration's nominal clock.
+     */
+    double effectiveDtSec(double fMaxGhz) const;
 
   private:
     friend class TransientEval;
 
     PdnMeshConfig transCfg;
     double stepSec = 2e-9;
+    bool autoDt = false;
+    int winCycles = 8;
 };
 
 } // namespace aim::power

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "isa/Engine.hh"
 #include "util/Logging.hh"
 #include "workload/ModelZoo.hh"
 
@@ -117,17 +118,98 @@ ChipPool::deactivateOne(int min_active)
 DispatchCost
 dispatchCost(const ChipSlot &chip, const std::string &model,
              int safe_level, double reload_us, bool use_booster,
-             double level_step_pct, double retune_us_per_step)
+             double level_step_pct, double retune_us_per_step,
+             double overlap_us)
 {
     DispatchCost cost;
     if (chip.resident != model) {
-        cost.reloadUs = reload_us;
+        // ISA-path overlap: the successor's LOAD_WEIGHT streams
+        // while the predecessor's slowest Sets finish their trailing
+        // windows, so the tail-idle budget hides that much of the
+        // reload.  Resident hits never pay a reload, so the budget
+        // only matters on a switch.
+        const double saved =
+            std::min(reload_us, std::max(overlap_us, 0.0));
+        cost.reloadUs = reload_us - saved;
+        cost.overlapSavedUs = saved;
         cost.modelSwitch = true;
     }
     if (use_booster && level_step_pct > 0)
         cost.retuneUs = std::abs(safe_level - chip.safeLevel) /
                         level_step_pct * retune_us_per_step;
     return cost;
+}
+
+RequestExecutor::RequestExecutor(const pim::PimConfig &cfg,
+                                 const power::Calibration &cal,
+                                 const AimOptions &options)
+    : workScale(options.workScale)
+{
+    const sim::RunConfig rcfg = runConfigFor(options);
+    if (options.useIsa)
+        engine = std::make_unique<const isa::Engine>(cfg, cal, rcfg);
+    else
+        runtime =
+            std::make_unique<const sim::Runtime>(cfg, cal, rcfg);
+}
+
+RequestExecutor::~RequestExecutor() = default;
+
+bool
+RequestExecutor::usesIsa() const
+{
+    return engine != nullptr;
+}
+
+ExecResult
+RequestExecutor::run(const CompiledModel &compiled, uint64_t seed,
+                     std::unique_ptr<power::IrState> *carry) const
+{
+    ExecResult out;
+    if (engine) {
+        aim_assert(compiled.program, "useIsa fleet executes ",
+                   compiled.modelName,
+                   " but its artifact carries no lowered program");
+        const isa::EngineReport er = engine->run(
+            *compiled.program, compiled.stream, seed, carry);
+        out.run = er.run;
+        out.overlapUs = er.tailIdleNs / 1000.0 / workScale;
+    } else {
+        out.run = runtime->run(compiled.rounds, compiled.stream,
+                               seed, carry);
+    }
+    return out;
+}
+
+double
+prepareGangMembers(ChipPool &pool, const std::vector<int> &member,
+                   const ArtifactMeta::GangSlots &slots,
+                   double service_us, bool use_booster,
+                   double level_step_pct, double retune_us_per_step,
+                   std::vector<ChipUsage> &usage)
+{
+    double prep = 0.0;
+    for (size_t j = 0; j < member.size(); ++j) {
+        ChipSlot &chip = pool.slot(member[j]);
+        ChipUsage &u = usage[static_cast<size_t>(member[j])];
+        const DispatchCost cost = dispatchCost(
+            chip, slots.resident[j], slots.level[j],
+            slots.reloadUs[j], use_booster, level_step_pct,
+            retune_us_per_step);
+        if (cost.modelSwitch)
+            ++u.modelSwitches;
+        prep = std::max(prep, cost.reloadUs + cost.retuneUs);
+        u.reloadUs += cost.reloadUs;
+        u.retuneUs += cost.retuneUs;
+        u.busyUs += service_us;
+        ++u.served;
+        chip.resident = slots.resident[j];
+        chip.safeLevel = slots.level[j];
+        // The stage execution is opaque to the dispatch layer; no
+        // tail window survives a gang placement.
+        chip.overlapUs = 0.0;
+    }
+    return prep;
 }
 
 ArtifactMeta::ArtifactMeta(const FleetConfig &fcfg,

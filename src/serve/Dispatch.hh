@@ -41,6 +41,11 @@
 #include "serve/ModelCache.hh"
 #include "serve/Scheduler.hh"
 
+namespace aim::isa
+{
+class Engine;
+} // namespace aim::isa
+
 namespace aim::serve
 {
 
@@ -53,6 +58,14 @@ struct ChipSlot
     std::string resident;
     /** Safe level the chip's booster is currently tuned for [%]. */
     int safeLevel = 100;
+    /**
+     * Trailing-compute window of the chip's last request [us,
+     * full-inference scale]: the tail idle the ISA engine measured
+     * while the slowest Set finished.  A successor request's weight
+     * reload overlaps into it (dispatchCost).  Stays 0 on the
+     * round-level path, so flat fleets are unaffected.
+     */
+    double overlapUs = 0.0;
     /**
      * Dispatchable?  Inactive chips finish whatever they are running
      * but receive no new work -- the streaming autoscaler's shrink
@@ -127,10 +140,14 @@ class ChipPool
 /** Serving-cost outcome of placing a request on a chip. */
 struct DispatchCost
 {
-    /** Weight reload paid before execution [us] (0 on a hit). */
+    /** Weight reload paid before execution [us] (0 on a hit; net of
+     * any reload/compute overlap). */
     double reloadUs = 0.0;
     /** Booster V-f retune paid before execution [us]. */
     double retuneUs = 0.0;
+    /** Reload hidden under the previous request's trailing compute
+     * [us] (ISA path only; 0 without an overlap budget). */
+    double overlapSavedUs = 0.0;
     /** The placement rewrites the chip's resident weights. */
     bool modelSwitch = false;
 };
@@ -140,12 +157,70 @@ struct DispatchCost
  * reload when the resident model differs, a booster retune per
  * safe-level step between the chip's current tuning and the
  * artifact's level.  Pure; does not mutate the slot.
+ *
+ * @param overlapUs trailing-compute window of the chip's previous
+ *        request [us] (ChipSlot::overlapUs).  On a model switch the
+ *        successor's LOAD_WEIGHT streams while the predecessor's
+ *        slowest Sets still compute, so up to this much of the
+ *        reload is free.  The default 0 reproduces the flat
+ *        round-level cost exactly.
  */
 DispatchCost dispatchCost(const ChipSlot &chip,
                           const std::string &model, int safeLevel,
                           double reloadUs, bool useBooster,
                           double levelStepPct,
-                          double retuneUsPerStep);
+                          double retuneUsPerStep,
+                          double overlapUs = 0.0);
+
+/** A request execution's outcome as the dispatch layer sees it. */
+struct ExecResult
+{
+    /** The chip-level report (bit-identical on either path). */
+    sim::RunReport run;
+    /**
+     * Tail-idle window of the execution [us, full-inference scale]:
+     * how long the fastest Sets idled while the slowest finished the
+     * final round.  The next request's reload overlaps into it.
+     * 0 on the round-level path (the round runtime cannot see it).
+     */
+    double overlapUs = 0.0;
+};
+
+/**
+ * Executes compiled artifacts for the serving engines, routing
+ * through the round-level sim::Runtime or -- when the fleet's
+ * options carry useIsa -- the instruction-level isa::Engine.  Both
+ * produce bit-identical RunReports; the ISA path additionally
+ * surfaces the per-request tail-idle overlap budget.  Stateless
+ * across run() calls (thread-safe for concurrent use), exactly like
+ * the runtimes it wraps.  One instance per serve run, shared by the
+ * Fleet replay and the streaming loop so the execution arithmetic
+ * has a single owner.
+ */
+class RequestExecutor
+{
+  public:
+    RequestExecutor(const pim::PimConfig &cfg,
+                    const power::Calibration &cal,
+                    const AimOptions &options);
+    ~RequestExecutor();
+
+    /**
+     * Execute @p compiled with per-request @p seed.  @p carry has
+     * Runtime::run's electrical-state-carry semantics on both paths.
+     */
+    ExecResult
+    run(const CompiledModel &compiled, uint64_t seed,
+        std::unique_ptr<power::IrState> *carry = nullptr) const;
+
+    /** Executing through the ISA engine? */
+    bool usesIsa() const;
+
+  private:
+    double workScale;
+    std::unique_ptr<const sim::Runtime> runtime;
+    std::unique_ptr<const isa::Engine> engine;
+};
 
 /**
  * Annotates requests with artifacts and scheduling keys, memoizing
@@ -207,6 +282,25 @@ class ArtifactMeta
     std::map<const CompiledModel *, ArtifactInfo> artifactInfo;
     std::map<const shard::ShardedModel *, GangInfo> gangInfo;
 };
+
+/**
+ * Per-member preparation of a gang dispatch, the loop the Fleet
+ * replay and the streaming loop previously each carried a copy of:
+ * charge every member chip its stage reload + retune (overlap does
+ * not apply -- gang members load different stage weights than the
+ * single-chip artifact that left the tail window), account usage,
+ * and rewrite the member's resident/level/overlap state.
+ *
+ * @return the gang's preparation time [us]: the slowest member's
+ *         reload + retune (members prepare in parallel)
+ */
+double prepareGangMembers(ChipPool &pool,
+                          const std::vector<int> &member,
+                          const ArtifactMeta::GangSlots &slots,
+                          double serviceUs, bool useBooster,
+                          double levelStepPct,
+                          double retuneUsPerStep,
+                          std::vector<ChipUsage> &usage);
 
 } // namespace aim::serve
 

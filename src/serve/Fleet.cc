@@ -80,6 +80,7 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
     ServeReport rep;
     rep.policy = fcfg.policy;
     rep.backend = fcfg.options.irBackend;
+    rep.isa = fcfg.options.useIsa;
     rep.chips.resize(fcfg.chips);
     if (trace.empty())
         return rep;
@@ -107,13 +108,13 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
         annotated.push_back(meta.annotate(request, cache));
     }
 
-    // The modelled chips are identical and sim::Runtime::run is
-    // const and stateless across calls, so one Runtime instance
-    // executes every request; the per-chip state below is purely the
-    // queueing simulation's.  The RunConfig seed is irrelevant:
-    // every run gets a per-request seed through the run() overload.
-    const sim::RunConfig rcfg = runConfigFor(fcfg.options);
-    const sim::Runtime runtime(cfg, cal, rcfg);
+    // The modelled chips are identical and the executor is const and
+    // stateless across calls, so one instance executes every request
+    // (through sim::Runtime, or the ISA engine when the options say
+    // useIsa); the per-chip state below is purely the queueing
+    // simulation's.  The RunConfig seed is irrelevant: every run
+    // gets a per-request seed.
+    const RequestExecutor executor(cfg, cal, fcfg.options);
     ChipPool chips(fcfg.chips);
 
     // Per-request runtime seeds keyed by id (not by chip), so every
@@ -137,7 +138,7 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
     // every core busy across requests.  threads = 1 runs the same
     // loop inline: the N-thread report is bit-identical to it.
     exec::ExecPool pool(fcfg.threads == 0 ? -1 : fcfg.threads);
-    std::vector<sim::RunReport> executed(trace.size());
+    std::vector<ExecResult> executed(trace.size());
     std::vector<shard::ShardReport> shard_executed(trace.size());
     pool.parallelFor(
         static_cast<long>(annotated.size()), [&](long i) {
@@ -155,9 +156,7 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
                     *q.sharded, request_seed[id]);
             } else {
                 executed[id] =
-                    runtime.run(q.compiled->rounds,
-                                q.compiled->stream,
-                                request_seed[id]);
+                    executor.run(*q.compiled, request_seed[id]);
             }
         });
 
@@ -220,26 +219,12 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
             // Per-member stage preparation runs in parallel across
             // the gang; the pipeline starts when the slowest member
             // finishes reloading and retuning.
-            double prep = 0.0;
             const auto &srep = shard_executed[q.request.id];
             const double service = srep.makespanUs / work_scale;
-            for (size_t j = 0; j < member.size(); ++j) {
-                auto &chip = chips.slot(member[j]);
-                auto &usage = rep.chips[member[j]];
-                const DispatchCost cost = dispatchCost(
-                    chip, slots.resident[j], slots.level[j],
-                    slots.reloadUs[j], fcfg.options.useBooster,
-                    cal.levelStepPct, fcfg.retuneUsPerStep);
-                if (cost.modelSwitch)
-                    ++usage.modelSwitches;
-                prep = std::max(prep, cost.reloadUs + cost.retuneUs);
-                usage.reloadUs += cost.reloadUs;
-                usage.retuneUs += cost.retuneUs;
-                usage.busyUs += service;
-                ++usage.served;
-                chip.resident = slots.resident[j];
-                chip.safeLevel = slots.level[j];
-            }
+            const double prep = prepareGangMembers(
+                chips, member, slots, service,
+                fcfg.options.useBooster, cal.levelStepPct,
+                fcfg.retuneUsPerStep, rep.chips);
             const double finish = start + prep + service;
             for (int m : member)
                 chips.slot(m).freeAtUs = finish;
@@ -264,11 +249,12 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
         const DispatchCost cost = dispatchCost(
             chip, q.request.model, q.safeLevel,
             meta.reloadUs(q.request.model), fcfg.options.useBooster,
-            cal.levelStepPct, fcfg.retuneUsPerStep);
+            cal.levelStepPct, fcfg.retuneUsPerStep, chip.overlapUs);
         if (cost.modelSwitch)
             ++usage.modelSwitches;
+        rep.reloadOverlapSavedUs += cost.overlapSavedUs;
 
-        const auto &run = executed[q.request.id];
+        const auto &run = executed[q.request.id].run;
         const double service_us =
             run.wallTimeNs / 1000.0 / work_scale;
 
@@ -277,6 +263,7 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
         chip.freeAtUs = finish;
         chip.resident = q.request.model;
         chip.safeLevel = q.safeLevel;
+        chip.overlapUs = executed[q.request.id].overlapUs;
         last_completion = std::max(last_completion, finish);
 
         usage.busyUs += service_us;

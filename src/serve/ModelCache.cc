@@ -54,7 +54,7 @@ ModelCache::key(const std::string &model, const AimOptions &opts)
         os << ",tdc=" << opts.transientDecapNf
            << ",tdt=" << opts.transientDtNs;
     os << ",bits=" << opts.bits << ",work=" << opts.workScale
-       << ",seed=" << opts.seed;
+       << ",seed=" << opts.seed << ",isa=" << opts.useIsa;
     return os.str();
 }
 

@@ -83,6 +83,13 @@ ServeReport::render() const
                       gangDispatches);
         os << line;
     }
+    if (isa) {
+        std::snprintf(line, sizeof(line),
+                      "isa engine: reload overlap saved %.1f us "
+                      "across model switches\n",
+                      reloadOverlapSavedUs);
+        os << line;
+    }
 
     util::Table t("per-chip usage");
     t.setHeader({"chip", "served", "busy %", "reload %", "retune %",

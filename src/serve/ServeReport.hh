@@ -42,6 +42,11 @@ struct ServeReport
     SchedPolicy policy = SchedPolicy::Fcfs;
     /** Droop backend every chip execution ran under. */
     power::IrBackendKind backend = power::IrBackendKind::Analytic;
+    /** Executions ran on the instruction-level ISA engine. */
+    bool isa = false;
+    /** Reload time hidden under trailing compute on model switches
+     * [us] (ISA path only; 0 on the round-level path). */
+    double reloadOverlapSavedUs = 0.0;
     /** Requests served. */
     long requests = 0;
     /** First arrival to last completion [us]. */

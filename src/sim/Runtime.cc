@@ -30,12 +30,13 @@ RunReport::topsPerWatt(int active_macros) const
     return watts > 0.0 ? tops / watts : 0.0;
 }
 
-Runtime::Runtime(const pim::PimConfig &cfg,
-                 const power::Calibration &cal, const RunConfig &rcfg)
+RuntimeEnv::RuntimeEnv(const pim::PimConfig &cfg,
+                       const power::Calibration &cal,
+                       const RunConfig &rcfg)
     : cfg(cfg), cal(cal), rcfg(rcfg), table(cal), pm(cal)
 {
     // Timing thresholds per grid frequency (bisection is slow):
-    // computed once for the Runtime's lifetime, not per round.
+    // computed once for the env's lifetime, not per round.
     for (double f : cal.fGrid)
         vminByF[f] = table.vMinTiming(f);
 
@@ -52,14 +53,52 @@ Runtime::Runtime(const pim::PimConfig &cfg,
     bcfg.macrosPerGroup = cfg.macrosPerGroup;
     bcfg.transientDecapNf = rcfg.transientDecapNf;
     bcfg.transientDtNs = rcfg.transientDtNs;
+    bcfg.windowCycles = cfg.inputBits;
     backend = power::makeIrBackend(bcfg, cal);
+}
+
+void
+finalizeRoundReport(const ChipState &state, const WindowStats &stats,
+                    const RuntimeEnv &env, RunReport &rep)
+{
+    for (const auto &[sid, ss] : state.sets)
+        rep.wallTimeNs = std::max(rep.wallTimeNs, ss.wallNs);
+    double energy = 0.0;
+    for (const auto &gs : state.groups)
+        energy += gs.energyMwNs;
+    rep.macroPowerMw =
+        rep.wallTimeNs > 0.0 && state.activeMacros > 0
+            ? energy / rep.wallTimeNs / state.activeMacros
+            : 0.0;
+    rep.irMeanMv = stats.dropStats.mean();
+    rep.meanLevel = stats.levelSamples > 0
+                        ? stats.levelWeighted / stats.levelSamples
+                        : 100.0;
+    rep.meanRtog = stats.levelSamples > 0
+                       ? stats.rtogWeighted / stats.levelSamples
+                       : 0.0;
+    // Effective throughput: the paper's framing is peak TOPS scaled
+    // by the achieved frequency and the fraction of windows doing
+    // useful work (recompute bubbles and V-f settling subtract).
+    const double mean_f =
+        rep.usefulWindows > 0
+            ? stats.usefulFreqSum / rep.usefulWindows
+            : env.cal.fNominal;
+    rep.tops = env.pm.chipTops(mean_f, rep.utilization());
+    rep.roundLatencyNs.push_back(rep.wallTimeNs);
+}
+
+Runtime::Runtime(const pim::PimConfig &cfg,
+                 const power::Calibration &cal, const RunConfig &rcfg)
+    : env(cfg, cal, rcfg)
+{
 }
 
 RunReport
 Runtime::run(const std::vector<Round> &rounds,
              const pim::StreamSpec &stream) const
 {
-    return run(rounds, stream, rcfg.seed);
+    return run(rounds, stream, env.rcfg.seed);
 }
 
 RunReport
@@ -75,7 +114,7 @@ Runtime::run(const std::vector<Round> &rounds,
              std::unique_ptr<power::IrState> *carry) const
 {
     const auto toggles =
-        pim::estimateToggleStats(stream, cfg.rows, 200, seed);
+        pim::estimateToggleStats(stream, env.cfg.rows, 200, seed);
     std::vector<RunReport> parts;
     parts.reserve(rounds.size());
     for (const auto &round : rounds)
@@ -96,17 +135,17 @@ Runtime::runRound(const Round &round, const pim::ToggleStats &toggles,
 
     // Map the round's tasks onto macros.
     const auto objective =
-        rcfg.boost.mode == booster::BoostMode::Sprint
+        env.rcfg.boost.mode == booster::BoostMode::Sprint
             ? mapping::Objective::Sprint
             : mapping::Objective::LowPower;
-    mapping::MappingEvaluator eval(cfg, table, pm, objective,
-                                   round_seed);
-    const mapping::Mapping map =
-        mapWith(rcfg.mapper, round.tasks, cfg, eval, round_seed);
+    mapping::MappingEvaluator eval(env.cfg, env.table, env.pm,
+                                   objective, round_seed);
+    const mapping::Mapping map = mapWith(
+        env.rcfg.mapper, round.tasks, env.cfg, eval, round_seed);
 
     // Round setup: group / Set bookkeeping, controllers, samplers.
-    ChipState state(cfg, cal, table, rcfg.boost, rcfg.useBooster,
-                    round, map, toggles, rng);
+    ChipState state(env.cfg, env.cal, env.table, env.rcfg.boost,
+                    env.rcfg.useBooster, round, map, toggles, rng);
     rep.totalMacs = state.totalMacs;
 
     // Per-round droop evaluator of the configured backend, seeded
@@ -115,45 +154,24 @@ Runtime::runRound(const Round &round, const pim::ToggleStats &toggles,
     // null-carry path calls the plain newEval and stays bit-identical
     // to the pre-carry runtime.
     const auto droop =
-        carry ? backend->newEval(state.activeMacroIds(), carry->get())
-              : backend->newEval(state.activeMacroIds());
+        carry ? env.backend->newEval(state.activeMacroIds(),
+                                     carry->get())
+              : env.backend->newEval(state.activeMacroIds());
 
-    WindowKernel kernel(cfg, cal, rcfg.useBooster, pm, vminByF,
-                        recomputeStall, switchStall);
+    WindowKernel kernel(env.cfg, env.cal, env.rcfg.useBooster,
+                        env.pm, env.vminByF, env.recomputeStall,
+                        env.switchStall);
     WindowStats stats;
 
     long window = 0;
-    for (; window < rcfg.maxWindowsPerRound && state.anyRemaining();
+    for (; window < env.rcfg.maxWindowsPerRound &&
+           state.anyRemaining();
          ++window)
         kernel.step(state, *droop, rng, rep, stats);
     aim_assert(!state.anyRemaining(), "round did not converge within ",
-               rcfg.maxWindowsPerRound, " windows");
+               env.rcfg.maxWindowsPerRound, " windows");
 
-    for (auto &[sid, ss] : state.sets)
-        rep.wallTimeNs = std::max(rep.wallTimeNs, ss.wallNs);
-    double energy = 0.0;
-    for (auto &gs : state.groups)
-        energy += gs.energyMwNs;
-    rep.macroPowerMw =
-        rep.wallTimeNs > 0.0 && state.activeMacros > 0
-            ? energy / rep.wallTimeNs / state.activeMacros
-            : 0.0;
-    rep.irMeanMv = stats.dropStats.mean();
-    rep.meanLevel = stats.levelSamples > 0
-                        ? stats.levelWeighted / stats.levelSamples
-                        : 100.0;
-    rep.meanRtog = stats.levelSamples > 0
-                       ? stats.rtogWeighted / stats.levelSamples
-                       : 0.0;
-    // Effective throughput: the paper's framing is peak TOPS scaled
-    // by the achieved frequency and the fraction of windows doing
-    // useful work (recompute bubbles and V-f settling subtract).
-    const double mean_f =
-        rep.usefulWindows > 0
-            ? stats.usefulFreqSum / rep.usefulWindows
-            : cal.fNominal;
-    rep.tops = pm.chipTops(mean_f, rep.utilization());
-    rep.roundLatencyNs.push_back(rep.wallTimeNs);
+    finalizeRoundReport(state, stats, env, rep);
     if (carry)
         *carry = droop->exportState();
     return rep;

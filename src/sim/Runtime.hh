@@ -106,6 +106,48 @@ struct RunReport
     double topsPerWatt(int activeMacros) const;
 };
 
+class ChipState;
+struct WindowStats;
+
+/**
+ * Construction-time execution environment of the window engine:
+ * everything Runtime::runRound needs that is immutable across
+ * rounds -- the V-f table, power model, the per-frequency timing
+ * thresholds (one bisection each, computed once), the stall widths
+ * and the shared droop backend.  Factored out of Runtime so the
+ * instruction-level engine (src/isa/Engine) executes against the
+ * byte-identical environment instead of re-deriving its own.
+ */
+struct RuntimeEnv
+{
+    RuntimeEnv(const pim::PimConfig &cfg,
+               const power::Calibration &cal, const RunConfig &rcfg);
+
+    pim::PimConfig cfg;
+    power::Calibration cal;
+    RunConfig rcfg;
+    power::VfTable table;
+    power::PowerModel pm;
+    /** Timing threshold per grid frequency. */
+    std::map<double, double> vminByF;
+    long recomputeStall = 1;
+    long switchStall = 1;
+    /** Shared across rounds and threads (immutable; evals are
+     * per-round).  shared_ptr keeps the env copyable. */
+    std::shared_ptr<const power::IrBackend> backend;
+};
+
+/**
+ * Post-loop round finalization shared by Runtime::runRound and
+ * isa::Engine: wall time from the Set clocks, energy -> macro power,
+ * the work-weighted level/Rtog/droop means and the effective-TOPS
+ * derivation.  @p rep must already carry the loop-accumulated
+ * counters (failures, stalls, useful windows, totalMacs).
+ */
+void finalizeRoundReport(const ChipState &state,
+                         const WindowStats &stats,
+                         const RuntimeEnv &env, RunReport &rep);
+
 /** Executes rounds on the modelled chip. */
 class Runtime
 {
@@ -158,10 +200,16 @@ class Runtime
                   std::unique_ptr<power::IrState> *carry) const;
 
     /** Access the V-f table (for reporting). */
-    const power::VfTable &vfTable() const { return table; }
+    const power::VfTable &vfTable() const { return env.table; }
 
     /** The droop backend executing this runtime's windows. */
-    const power::IrBackend &irBackend() const { return *backend; }
+    const power::IrBackend &irBackend() const
+    {
+        return *env.backend;
+    }
+
+    /** The shared execution environment (isa::Engine's substrate). */
+    const RuntimeEnv &environment() const { return env; }
 
   private:
     RunReport runRound(const Round &round,
@@ -169,21 +217,7 @@ class Runtime
                        uint64_t roundSeed,
                        std::unique_ptr<power::IrState> *carry) const;
 
-    pim::PimConfig cfg;
-    power::Calibration cal;
-    RunConfig rcfg;
-    power::VfTable table;
-    power::PowerModel pm;
-    /**
-     * Timing threshold per grid frequency, computed once here (one
-     * bisection per frequency) instead of once per round.
-     */
-    std::map<double, double> vminByF;
-    long recomputeStall = 1;
-    long switchStall = 1;
-    /** Shared across rounds and threads (immutable; evals are
-     * per-round).  shared_ptr keeps Runtime copyable. */
-    std::shared_ptr<const power::IrBackend> backend;
+    RuntimeEnv env;
 };
 
 /** Merge per-round reports (time-weighted means). */

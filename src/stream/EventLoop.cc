@@ -176,6 +176,7 @@ EventLoop::run(serve::ModelCache &cache)
     StreamReport rep;
     rep.policy = fcfg.policy;
     rep.backend = fcfg.options.irBackend;
+    rep.isa = fcfg.options.useIsa;
     rep.chips.resize(fcfg.chips);
     const long cache_hits = cache.hits();
     const long cache_misses = cache.misses();
@@ -185,8 +186,7 @@ EventLoop::run(serve::ModelCache &cache)
     serve::ArtifactMeta meta(fcfg, cal);
     serve::ChipPool pool(fcfg.chips);
     const serve::Scheduler sched(fcfg.policy);
-    const sim::RunConfig rcfg = runConfigFor(fcfg.options);
-    const sim::Runtime runtime(cfg, cal, rcfg);
+    const serve::RequestExecutor executor(cfg, cal, fcfg.options);
     exec::ExecPool exec(fcfg.threads == 0 ? -1 : fcfg.threads);
     Autoscaler scaler(scfg.autoscaler);
     AdmissionController admission(scfg.admission);
@@ -219,7 +219,7 @@ EventLoop::run(serve::ModelCache &cache)
     // Exact-service memoization: reports land keyed by id when the
     // batch prefetch executes them and are consumed (erased) at
     // dispatch, so the map never outgrows the pending queue.
-    std::map<long, sim::RunReport> ready;
+    std::map<long, serve::ExecResult> ready;
     std::map<long, shard::ShardReport> shard_ready;
     // Sampled-service pools, keyed by model.
     std::map<std::string, std::vector<sim::RunReport>> samples;
@@ -264,7 +264,7 @@ EventLoop::run(serve::ModelCache &cache)
         }
         if (todo.empty())
             return;
-        std::vector<sim::RunReport> runs(todo.size());
+        std::vector<serve::ExecResult> runs(todo.size());
         std::vector<shard::ShardReport> shard_runs(todo.size());
         exec.parallelFor(
             static_cast<long>(todo.size()), [&](long i) {
@@ -276,9 +276,8 @@ EventLoop::run(serve::ModelCache &cache)
                     shard_runs[static_cast<size_t>(i)] =
                         rt.execute(*q.sharded, request_seed(id));
                 } else {
-                    runs[static_cast<size_t>(i)] = runtime.run(
-                        q.compiled->rounds, q.compiled->stream,
-                        request_seed(id));
+                    runs[static_cast<size_t>(i)] = executor.run(
+                        *q.compiled, request_seed(id));
                 }
             });
         for (size_t i = 0; i < todo.size(); ++i) {
@@ -308,8 +307,8 @@ EventLoop::run(serve::ModelCache &cache)
                              .next();
             if (s == 0)
                 s = 1;
-            v[static_cast<size_t>(k)] = runtime.run(
-                compiled.rounds, compiled.stream, s);
+            v[static_cast<size_t>(k)] =
+                executor.run(compiled, s).run;
         });
         return samples.emplace(model, std::move(v)).first->second;
     };
@@ -365,25 +364,10 @@ EventLoop::run(serve::ModelCache &cache)
                                   request_seed(q.request.id));
             }
             const double service = srep.makespanUs / work_scale;
-            double prep = 0.0;
-            for (size_t j = 0; j < member.size(); ++j) {
-                auto &chip = pool.slot(member[j]);
-                auto &usage = rep.chips[static_cast<size_t>(
-                    member[j])];
-                const serve::DispatchCost cost = serve::dispatchCost(
-                    chip, slots.resident[j], slots.level[j],
-                    slots.reloadUs[j], fcfg.options.useBooster,
-                    cal.levelStepPct, fcfg.retuneUsPerStep);
-                if (cost.modelSwitch)
-                    ++usage.modelSwitches;
-                prep = std::max(prep, cost.reloadUs + cost.retuneUs);
-                usage.reloadUs += cost.reloadUs;
-                usage.retuneUs += cost.retuneUs;
-                usage.busyUs += service;
-                ++usage.served;
-                chip.resident = slots.resident[j];
-                chip.safeLevel = slots.level[j];
-            }
+            const double prep = serve::prepareGangMembers(
+                pool, member, slots, service,
+                fcfg.options.useBooster, cal.levelStepPct,
+                fcfg.retuneUsPerStep, rep.chips);
             const double finish = start + prep + service;
             for (int m : member)
                 pool.slot(m).freeAtUs = finish;
@@ -401,9 +385,10 @@ EventLoop::run(serve::ModelCache &cache)
         const serve::DispatchCost cost = serve::dispatchCost(
             chip, q.request.model, q.safeLevel,
             meta.reloadUs(q.request.model), fcfg.options.useBooster,
-            cal.levelStepPct, fcfg.retuneUsPerStep);
+            cal.levelStepPct, fcfg.retuneUsPerStep, chip.overlapUs);
         if (cost.modelSwitch)
             ++usage.modelSwitches;
+        rep.reloadOverlapSavedUs += cost.overlapSavedUs;
 
         // The batch: the picked leader plus (with batching on) up
         // to maxBatch-1 queued same-model requests, co-dispatched
@@ -431,18 +416,23 @@ EventLoop::run(serve::ModelCache &cache)
         double cursor = now + cost.reloadUs + cost.retuneUs;
         usage.reloadUs += cost.reloadUs;
         usage.retuneUs += cost.retuneUs;
+        // Tail window the chip keeps after this dispatch: the last
+        // executed batch member's (sampled service carries none --
+        // the pool reports are shared across requests).
+        double tail_overlap = 0.0;
         for (const auto &b : batch) {
             const long id = b.request.id;
             double service_us = 0.0;
             if (scfg.transientCarry) {
-                const auto run = runtime.run(
-                    b.compiled->rounds, b.compiled->stream,
-                    request_seed(id),
+                const auto res = executor.run(
+                    *b.compiled, request_seed(id),
                     &carry[static_cast<size_t>(c)]);
-                service_us = run.wallTimeNs / 1000.0 / work_scale;
-                rep.totalMacs += run.totalMacs / work_scale;
-                rep.irFailures += run.failures;
-                rep.stallWindows += run.stallWindows;
+                service_us =
+                    res.run.wallTimeNs / 1000.0 / work_scale;
+                rep.totalMacs += res.run.totalMacs / work_scale;
+                rep.irFailures += res.run.failures;
+                rep.stallWindows += res.run.stallWindows;
+                tail_overlap = res.overlapUs;
             } else if (scfg.serviceSamples > 0) {
                 const auto &pool_reports =
                     model_samples(b.request.model, *b.compiled);
@@ -453,18 +443,21 @@ EventLoop::run(serve::ModelCache &cache)
                 rep.totalMacs += run.totalMacs / work_scale;
                 rep.irFailures += run.failures;
                 rep.stallWindows += run.stallWindows;
+                tail_overlap = 0.0;
             } else {
                 const auto it = ready.find(id);
                 aim_assert(it != ready.end(),
                            "request ", id,
                            " dispatched without a prefetched "
                            "report");
-                const auto run = std::move(it->second);
+                const auto res = std::move(it->second);
                 ready.erase(it);
-                service_us = run.wallTimeNs / 1000.0 / work_scale;
-                rep.totalMacs += run.totalMacs / work_scale;
-                rep.irFailures += run.failures;
-                rep.stallWindows += run.stallWindows;
+                service_us =
+                    res.run.wallTimeNs / 1000.0 / work_scale;
+                rep.totalMacs += res.run.totalMacs / work_scale;
+                rep.irFailures += res.run.failures;
+                rep.stallWindows += res.run.stallWindows;
+                tail_overlap = res.overlapUs;
             }
             cursor += service_us;
             usage.busyUs += service_us;
@@ -475,6 +468,7 @@ EventLoop::run(serve::ModelCache &cache)
         chip.freeAtUs = cursor;
         chip.resident = q.request.model;
         chip.safeLevel = q.safeLevel;
+        chip.overlapUs = tail_overlap;
     };
 
     const auto dispatch_all = [&](double now) {

@@ -89,6 +89,13 @@ StreamReport::render() const
                   "%ld\n",
                   cacheHits, cacheMisses, cacheEvictions);
     os << line;
+    if (isa) {
+        std::snprintf(line, sizeof(line),
+                      "isa engine: reload overlap saved %.1f us "
+                      "across model switches\n",
+                      reloadOverlapSavedUs);
+        os << line;
+    }
 
     util::Table t("per-chip usage");
     t.setHeader({"chip", "served", "busy %", "reload %", "retune %",

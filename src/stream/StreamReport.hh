@@ -79,6 +79,11 @@ struct StreamReport
 {
     serve::SchedPolicy policy = serve::SchedPolicy::Fcfs;
     power::IrBackendKind backend = power::IrBackendKind::Analytic;
+    /** Executions ran on the instruction-level ISA engine. */
+    bool isa = false;
+    /** Reload time hidden under trailing compute on model switches
+     * [us] (ISA path only; 0 on the round-level path). */
+    double reloadOverlapSavedUs = 0.0;
 
     /** Arrivals generated (admitted + shed). */
     long arrivals = 0;

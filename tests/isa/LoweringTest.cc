@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Lowering-pass gate: program structure, dependency tags,
+ * determinism, empty-round alignment and the MAC+SHIFT fusion
+ * peephole (remap correctness, idempotence).
+ */
+
+#include <gtest/gtest.h>
+
+#include "TestUtil.hh"
+#include "isa/Lower.hh"
+
+namespace aim::isa
+{
+namespace
+{
+
+using test::convRound;
+
+Program
+lowerConv(const LowerOptions &opts = {})
+{
+    return lower({convRound(0.30, 16, 10'000'000)}, pim::PimConfig{},
+                 opts);
+}
+
+TEST(IsaLowering, ConvRoundStructure)
+{
+    const pim::PimConfig cfg;
+    const Program p = lowerConv();
+
+    // 16 tasks, 4 per Set -> 4 Sets, each LOAD + SYNC + MAC + SHIFT,
+    // plus the closing BARRIER.
+    ASSERT_EQ(p.code.size(), 17u);
+    ASSERT_EQ(p.rounds.size(), 1u);
+    ASSERT_EQ(p.roundSpan.size(), 1u);
+    EXPECT_EQ(p.roundSpan[0].begin, 0u);
+    EXPECT_EQ(p.roundSpan[0].end, 17u);
+
+    const auto counts = p.opcodeCounts();
+    EXPECT_EQ(counts[static_cast<int>(Opcode::LoadWeight)], 4);
+    EXPECT_EQ(counts[static_cast<int>(Opcode::SetSync)], 4);
+    EXPECT_EQ(counts[static_cast<int>(Opcode::MacWindow)], 4);
+    EXPECT_EQ(counts[static_cast<int>(Opcode::ShiftAcc)], 4);
+    EXPECT_EQ(counts[static_cast<int>(Opcode::Barrier)], 1);
+    EXPECT_EQ(counts[static_cast<int>(Opcode::Retune)], 0);
+    EXPECT_EQ(counts[static_cast<int>(Opcode::Nop)], 0);
+
+    // Window count is the mapping-independent tiling arithmetic:
+    // ceil(10e6 / macsPerMacroPerPass).
+    const long want_windows =
+        (10'000'000 + cfg.macsPerMacroPerPass() - 1) /
+        cfg.macsPerMacroPerPass();
+    for (size_t i = 0; i < 16; i += 4) {
+        const Instr &load = p.code[i];
+        const Instr &sync = p.code[i + 1];
+        const Instr &mac = p.code[i + 2];
+        const Instr &shift = p.code[i + 3];
+        EXPECT_EQ(load.op, Opcode::LoadWeight);
+        EXPECT_EQ(sync.op, Opcode::SetSync);
+        EXPECT_EQ(mac.op, Opcode::MacWindow);
+        EXPECT_EQ(shift.op, Opcode::ShiftAcc);
+        const int set = static_cast<int>(i / 4);
+        EXPECT_EQ(load.set, set);
+        EXPECT_EQ(mac.set, set);
+        EXPECT_EQ(mac.windows, want_windows);
+        EXPECT_EQ(load.macros, 4);
+        EXPECT_EQ(load.weightWords,
+                  4L * cfg.rows * cfg.banks);
+        // Dependency tags: MAC after its LOAD and SYNC, SHIFT after
+        // its MAC.
+        EXPECT_EQ(mac.dep0, static_cast<int>(i));
+        EXPECT_EQ(mac.dep1, static_cast<int>(i + 1));
+        EXPECT_EQ(shift.dep0, static_cast<int>(i + 2));
+    }
+    EXPECT_EQ(p.code.back().op, Opcode::Barrier);
+}
+
+TEST(IsaLowering, RetuneOptionEmitsOnePerRound)
+{
+    LowerOptions opts;
+    opts.emitRetune = true;
+    const Program p =
+        lower({convRound(0.30), convRound(0.45)}, pim::PimConfig{},
+              opts);
+    EXPECT_EQ(p.opcodeCounts()[static_cast<int>(Opcode::Retune)], 2);
+    EXPECT_EQ(p.code[p.roundSpan[0].begin].op, Opcode::Retune);
+    EXPECT_EQ(p.code[p.roundSpan[1].begin].op, Opcode::Retune);
+}
+
+TEST(IsaLowering, Deterministic)
+{
+    const std::vector<sim::Round> rounds = {
+        convRound(0.30, 16), sim::Round{}, convRound(0.45, 8)};
+    const Program a = lower(rounds, pim::PimConfig{});
+    const Program b = lower(rounds, pim::PimConfig{});
+    ASSERT_EQ(a.code.size(), b.code.size());
+    for (size_t i = 0; i < a.code.size(); ++i) {
+        EXPECT_EQ(a.code[i].op, b.code[i].op) << i;
+        EXPECT_EQ(a.code[i].set, b.code[i].set) << i;
+        EXPECT_EQ(a.code[i].round, b.code[i].round) << i;
+        EXPECT_EQ(a.code[i].windows, b.code[i].windows) << i;
+        EXPECT_EQ(a.code[i].weightWords, b.code[i].weightWords) << i;
+        EXPECT_EQ(a.code[i].dep0, b.code[i].dep0) << i;
+        EXPECT_EQ(a.code[i].dep1, b.code[i].dep1) << i;
+    }
+}
+
+TEST(IsaLowering, EmptyRoundLowersToAlignedNop)
+{
+    const std::vector<sim::Round> rounds = {
+        sim::Round{}, convRound(0.30, 8), sim::Round{}};
+    const Program p = lower(rounds, pim::PimConfig{});
+    ASSERT_EQ(p.roundSpan.size(), 3u);
+    EXPECT_EQ(p.roundSpan[0].end - p.roundSpan[0].begin, 1u);
+    EXPECT_EQ(p.code[p.roundSpan[0].begin].op, Opcode::Nop);
+    EXPECT_EQ(p.roundSpan[2].end - p.roundSpan[2].begin, 1u);
+    EXPECT_EQ(p.code[p.roundSpan[2].begin].op, Opcode::Nop);
+    // Every instruction's round tag matches the span it sits in.
+    for (size_t r = 0; r < p.roundSpan.size(); ++r)
+        for (size_t i = p.roundSpan[r].begin; i < p.roundSpan[r].end;
+             ++i)
+            EXPECT_EQ(p.code[i].round, static_cast<int>(r));
+}
+
+TEST(IsaLowering, FusionAbsorbsEveryShift)
+{
+    Program p = lowerConv();
+    const long fused = fuseMacShift(p);
+    EXPECT_EQ(fused, 4);
+    EXPECT_EQ(p.fusedMacs, 4);
+    ASSERT_EQ(p.code.size(), 13u);
+    const auto counts = p.opcodeCounts();
+    EXPECT_EQ(counts[static_cast<int>(Opcode::ShiftAcc)], 0);
+    EXPECT_EQ(counts[static_cast<int>(Opcode::MacWindow)], 4);
+    ASSERT_EQ(p.roundSpan.size(), 1u);
+    EXPECT_EQ(p.roundSpan[0].end, p.code.size());
+
+    // Surviving MACs are marked fused and their dependency tags
+    // still point at valid earlier instructions of the right opcode.
+    for (size_t i = 0; i < p.code.size(); ++i) {
+        const Instr &in = p.code[i];
+        if (in.op == Opcode::MacWindow) {
+            EXPECT_TRUE(in.fused);
+            ASSERT_GE(in.dep0, 0);
+            EXPECT_EQ(p.code[static_cast<size_t>(in.dep0)].op,
+                      Opcode::LoadWeight);
+        }
+        EXPECT_LT(in.dep0, static_cast<int>(i));
+        EXPECT_LT(in.dep1, static_cast<int>(i));
+    }
+}
+
+TEST(IsaLowering, FusionIsIdempotent)
+{
+    Program p = lowerConv();
+    fuseMacShift(p);
+    EXPECT_EQ(fuseMacShift(p), 0);
+    EXPECT_EQ(p.fusedMacs, 4);
+}
+
+TEST(IsaLowering, RenderCountsSkipsZeroRows)
+{
+    const Program p = lowerConv();
+    const std::string text = p.renderCounts();
+    EXPECT_NE(text.find("LOAD_WEIGHT 4"), std::string::npos);
+    EXPECT_NE(text.find("MAC_WINDOW 4"), std::string::npos);
+    EXPECT_NE(text.find("BARRIER 1"), std::string::npos);
+    EXPECT_EQ(text.find("RETUNE"), std::string::npos);
+    EXPECT_EQ(text.find("NOP"), std::string::npos);
+}
+
+} // namespace
+} // namespace aim::isa

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Serving-layer gate of the ISA engine's reload/compute overlap: a
+ * two-model trace on one chip must bank tail-idle overlap budget and
+ * spend it against reloads on model switches (cheaper than the flat
+ * round-level path, same physics), the streaming loop must agree
+ * with the Fleet replay bit-for-bit, and the ISA fleet must stay
+ * bit-identical across thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "TestUtil.hh"
+#include "stream/EventLoop.hh"
+
+namespace aim::isa
+{
+namespace
+{
+
+serve::FleetConfig
+singleChipFleet(bool use_isa)
+{
+    serve::FleetConfig fcfg;
+    fcfg.chips = 1; // every model change is a switch
+    fcfg.options = test::fastServeOptions();
+    fcfg.options.useIsa = use_isa;
+    return fcfg;
+}
+
+TEST(IsaOverlap, SavesReloadOnModelSwitches)
+{
+    const pim::PimConfig cfg;
+    const auto cal = power::defaultCalibration();
+    const auto trace = test::serveTrace(24);
+
+    serve::Fleet flat_fleet(cfg, cal, singleChipFleet(false));
+    serve::Fleet isa_fleet(cfg, cal, singleChipFleet(true));
+    const auto flat = flat_fleet.serve(trace, test::sharedCache());
+    const auto isa = isa_fleet.serve(trace, test::sharedCache());
+
+    EXPECT_FALSE(flat.isa);
+    EXPECT_EQ(flat.reloadOverlapSavedUs, 0.0);
+    EXPECT_TRUE(isa.isa);
+
+    // Same chip physics either way...
+    EXPECT_EQ(isa.totalMacs, flat.totalMacs);
+    EXPECT_EQ(isa.irFailures, flat.irFailures);
+    EXPECT_EQ(isa.stallWindows, flat.stallWindows);
+    EXPECT_EQ(isa.totalModelSwitches(), flat.totalModelSwitches());
+    ASSERT_GT(isa.totalModelSwitches(), 0);
+
+    // ...but the ISA path hides reload time under the previous
+    // request's trailing compute on every switch.
+    EXPECT_GT(isa.reloadOverlapSavedUs, 0.0);
+    ASSERT_EQ(flat.chips.size(), 1u);
+    ASSERT_EQ(isa.chips.size(), 1u);
+    EXPECT_NEAR(flat.chips[0].reloadUs - isa.chips[0].reloadUs,
+                isa.reloadOverlapSavedUs, 1e-9);
+    EXPECT_LT(isa.makespanUs, flat.makespanUs);
+}
+
+TEST(IsaOverlap, StreamLoopMatchesFleetBitForBit)
+{
+    const pim::PimConfig cfg;
+    const auto cal = power::defaultCalibration();
+    const auto trace_cfg = test::serveTraceConfig(16);
+    const auto trace = generateTrace(trace_cfg);
+
+    serve::Fleet fleet(cfg, cal, singleChipFleet(true));
+    const auto want = fleet.serve(trace, test::sharedCache());
+
+    stream::StreamConfig scfg;
+    scfg.fleet = singleChipFleet(true);
+    scfg.trace = trace_cfg;
+    stream::EventLoop loop(cfg, cal, scfg);
+    const auto got = loop.run(test::sharedCache());
+
+    EXPECT_TRUE(got.isa);
+    EXPECT_EQ(got.reloadOverlapSavedUs, want.reloadOverlapSavedUs);
+    EXPECT_EQ(got.makespanUs, want.makespanUs);
+    ASSERT_EQ(got.latencyUs.size(), want.latencyUs.size());
+    for (size_t i = 0; i < want.latencyUs.size(); ++i)
+        EXPECT_EQ(got.latencyUs[i], want.latencyUs[i]) << i;
+}
+
+TEST(IsaOverlap, ThreadCountBitIdentity)
+{
+    const pim::PimConfig cfg;
+    const auto cal = power::defaultCalibration();
+    const auto trace = test::serveTrace(24);
+
+    auto fcfg = singleChipFleet(true);
+    fcfg.chips = 3;
+    serve::Fleet one(cfg, cal, fcfg);
+    fcfg.threads = 4;
+    serve::Fleet four(cfg, cal, fcfg);
+
+    const auto a = one.serve(trace, test::sharedCache());
+    const auto b = four.serve(trace, test::sharedCache());
+    EXPECT_EQ(a.makespanUs, b.makespanUs);
+    EXPECT_EQ(a.reloadOverlapSavedUs, b.reloadOverlapSavedUs);
+    EXPECT_EQ(a.totalMacs, b.totalMacs);
+    ASSERT_EQ(a.latencyUs.size(), b.latencyUs.size());
+    for (size_t i = 0; i < a.latencyUs.size(); ++i) {
+        EXPECT_EQ(a.latencyUs[i], b.latencyUs[i]) << i;
+        EXPECT_EQ(a.queueUs[i], b.queueUs[i]) << i;
+    }
+}
+
+} // namespace
+} // namespace aim::isa

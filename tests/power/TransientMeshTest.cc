@@ -14,6 +14,7 @@
 #include <cmath>
 
 #include "power/PdnMesh.hh"
+#include "power/TransientBackend.hh"
 
 using namespace aim::power;
 
@@ -204,6 +205,45 @@ TEST(TransientMesh, StepLoadOvershootsDcDroopThenRecovers)
         << "no first-droop overshoot over the DC solution";
     EXPECT_NEAR(settled, dc_worst, dc_worst * 0.01)
         << "transient did not recover to the DC droop";
+}
+
+TEST(TransientMesh, AutoDtDerivesStepFromGroupFrequency)
+{
+    IrBackendConfig cfg;
+    cfg.kind = IrBackendKind::Transient;
+    cfg.transientDtNs = 0.0; // auto mode
+    cfg.windowCycles = 8;
+    const Calibration cal = defaultCalibration();
+    const TransientBackend bk(cfg, cal);
+    EXPECT_EQ(bk.dtSec(), 0.0);
+
+    // The step is the window's physical duration at the fastest
+    // active group's clock: windowCycles / f.
+    EXPECT_DOUBLE_EQ(bk.effectiveDtSec(1.0), 8.0 / 1e9);
+    EXPECT_DOUBLE_EQ(bk.effectiveDtSec(2.0), 4.0 / 1e9);
+    // No active groups: fall back to the nominal clock.
+    EXPECT_DOUBLE_EQ(bk.effectiveDtSec(0.0),
+                     8.0 / (cal.fNominal * 1e9));
+
+    // A fixed-dt backend ignores the frequency entirely.
+    cfg.transientDtNs = 2.0;
+    const TransientBackend fixed(cfg, cal);
+    EXPECT_DOUBLE_EQ(fixed.effectiveDtSec(1.0), 2e-9);
+    EXPECT_DOUBLE_EQ(fixed.effectiveDtSec(3.0), 2e-9);
+}
+
+TEST(TransientMesh, AutoDtBackendRejectsBadConfig)
+{
+    const Calibration cal = defaultCalibration();
+    IrBackendConfig bad;
+    bad.kind = IrBackendKind::Transient;
+    bad.transientDtNs = -1.0;
+    EXPECT_DEATH(TransientBackend(bad, cal), "dt");
+    IrBackendConfig bad_win;
+    bad_win.kind = IrBackendKind::Transient;
+    bad_win.transientDtNs = 0.0;
+    bad_win.windowCycles = 0;
+    EXPECT_DEATH(TransientBackend(bad_win, cal), "window");
 }
 
 TEST(TransientMesh, RejectsNonPositiveDt)

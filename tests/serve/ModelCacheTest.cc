@@ -83,6 +83,9 @@ TEST(ModelCache, KeyCoversModelAndOptions)
     changed = opts;
     changed.workScale = 0.5;
     EXPECT_NE(base, ModelCache::key("ResNet18", changed));
+    changed = opts;
+    changed.useIsa = true;
+    EXPECT_NE(base, ModelCache::key("ResNet18", changed));
     EXPECT_EQ(base, ModelCache::key("ResNet18", opts));
 }
 
