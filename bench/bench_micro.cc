@@ -2,12 +2,16 @@
  * @file
  * Google-benchmark microbenchmarks of the hot simulator kernels:
  * the bit-serial MAC + Rtog engine, the HR kernel, the LHR gradient,
- * the PDN mesh solve and the annealing mapper.
+ * the PDN mesh solve, the annealing mapper, and the ISA front end
+ * (lowering, scoreboard issue walk, list scheduling).
  */
 
 #include <benchmark/benchmark.h>
 
 #include "BenchCommon.hh"
+#include "isa/Lower.hh"
+#include "isa/Schedule.hh"
+#include "isa/Scoreboard.hh"
 #include "mapping/Mappers.hh"
 #include "pim/Macro.hh"
 #include "power/PdnMesh.hh"
@@ -235,6 +239,109 @@ BM_HrAwareAnnealing(benchmark::State &state)
     }
 }
 BENCHMARK(BM_HrAwareAnnealing);
+
+/** Many-round synthetic program for the ISA front-end benches. */
+isa::Program
+benchProgram(int rounds, bool costed)
+{
+    std::vector<sim::Round> rs;
+    for (int r = 0; r < rounds; ++r)
+        rs.push_back(
+            aim::bench::syntheticRound(0.30, 16, 2'000'000));
+    pim::PimConfig cfg;
+    isa::LowerOptions lopts;
+    if (costed) {
+        lopts.loadNsPerWord = 0.008;
+        lopts.retuneNs = 500.0;
+    }
+    isa::Program p = isa::lower(rs, cfg, lopts);
+    isa::fuseMacShift(p);
+    return p;
+}
+
+void
+BM_IsaLower(benchmark::State &state)
+{
+    // Lowering + fusion over a many-round workload: the compile-side
+    // cost the serving layer pays once per cached model.
+    std::vector<sim::Round> rs;
+    for (long r = 0; r < state.range(0); ++r)
+        rs.push_back(
+            aim::bench::syntheticRound(0.30, 16, 2'000'000));
+    pim::PimConfig cfg;
+    isa::LowerOptions lopts;
+    lopts.loadNsPerWord = 0.008;
+    lopts.retuneNs = 500.0;
+    long instrs = 0;
+    for (auto _ : state) {
+        isa::Program p = isa::lower(rs, cfg, lopts);
+        isa::fuseMacShift(p);
+        instrs = static_cast<long>(p.code.size());
+        benchmark::DoNotOptimize(p.code.data());
+    }
+    state.SetItemsProcessed(state.iterations() * instrs);
+}
+BENCHMARK(BM_IsaLower)->Arg(16)->Arg(64);
+
+void
+BM_ScoreboardIssue(benchmark::State &state)
+{
+    // Full pending -> issued -> completed walk of a lowered program:
+    // scan for an issuable instruction, issue, complete, repeat.
+    // With the O(1) hazard checks (per-Set lanes + round counters)
+    // the walk is linear in program size; Arg selects the policy
+    // (0 = per-round RoundOrder blocks, the engine's machine;
+    // 1 = whole-program Pipelined, the scheduler's legality oracle).
+    const isa::Program p = benchProgram(16, false);
+    const bool pipelined = state.range(0) == 1;
+    for (auto _ : state) {
+        long issued = 0;
+        auto walk = [&](isa::Scoreboard &sb, size_t begin,
+                        size_t end) {
+            while (!sb.allCompleted()) {
+                for (size_t i = begin; i < end; ++i) {
+                    if (!sb.issuable(i))
+                        continue;
+                    sb.issue(i);
+                    sb.complete(i);
+                    ++issued;
+                }
+            }
+        };
+        if (pipelined) {
+            isa::Scoreboard sb(p,
+                               isa::Scoreboard::Policy::Pipelined);
+            walk(sb, 0, p.code.size());
+        } else {
+            for (const auto &span : p.roundSpan) {
+                isa::Scoreboard sb(p.code, span.begin, span.end);
+                walk(sb, span.begin, span.end);
+            }
+        }
+        benchmark::DoNotOptimize(issued);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(p.code.size()));
+    state.SetLabel(pipelined ? "pipelined" : "round-order");
+}
+BENCHMARK(BM_ScoreboardIssue)->Arg(0)->Arg(1);
+
+void
+BM_IsaSchedule(benchmark::State &state)
+{
+    // List scheduling (strict + relaxed timing replays and the
+    // slot sort) of a costed pre-lowered program.
+    const isa::Program p = benchProgram(static_cast<int>(
+                                            state.range(0)),
+                                        true);
+    for (auto _ : state) {
+        isa::Schedule s = isa::scheduleProgram(p);
+        benchmark::DoNotOptimize(s.order.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(p.code.size()));
+}
+BENCHMARK(BM_IsaSchedule)->Arg(16)->Arg(64);
 
 } // namespace
 

@@ -18,12 +18,17 @@
  *      bit-identical to serial while host wall clock drops; the
  *      headline is the speedup (threshold 3x at 8 threads on a
  *      multi-core runner).
- *  (d) ISA reload overlap -- a two-model trace on one chip, flat
- *      round-level execution vs the instruction-level ISA engine.
- *      The physics is bit-identical; the ISA path hides reload time
- *      under the predecessor's trailing compute on every model
- *      switch.  Gated: overlap saved > 0 and reload time strictly
- *      below the flat path's.
+ *  (d) ISA reload overlap + scheduling -- a two-model trace on one
+ *      chip, flat round-level execution vs the instruction-level
+ *      ISA engine vs the ISA engine with the cost-modelled list
+ *      scheduler (isaSchedule).  The physics is bit-identical on
+ *      all three; the ISA path hides reload time under the
+ *      predecessor's trailing compute on every model switch, and
+ *      the scheduler software-pipelines the next round's
+ *      loads/retunes into trailing MAC windows, shrinking every
+ *      request's modelled makespan.  Gated: overlap saved > 0,
+ *      reload time strictly below the flat path's, scheduler
+ *      savings > 0 with identical MAC/IRFailure accounting.
  *
  * Usage: bench_serve_throughput [--threads N] [--smoke]
  *   --smoke  CI-bounded run: small trace, sections (b) and (d) only
@@ -267,6 +272,9 @@ main(int argc, char **argv)
     icfg.options.useIsa = true;
     serve::Fleet isa_fleet(chip, cal, icfg);
     const auto isa_rep = isa_fleet.serve(isa_trace, cache);
+    icfg.options.isaSchedule = true;
+    serve::Fleet sched_fleet(chip, cal, icfg);
+    const auto sched_rep = sched_fleet.serve(isa_trace, cache);
 
     const double flat_reload = flat_rep.chips[0].reloadUs;
     const double isa_reload = isa_rep.chips[0].reloadUs;
@@ -286,6 +294,16 @@ main(int argc, char **argv)
                                      1),
                     util::Table::fmt(isa_rep.makespanUs, 1),
                     util::Table::fmt(isa_rep.p99Us, 1)});
+    overlap.addRow({"isa scheduled",
+                    std::to_string(sched_rep.totalModelSwitches()),
+                    util::Table::fmt(sched_rep.chips[0].reloadUs,
+                                     1),
+                    util::Table::fmt(
+                        sched_rep.reloadOverlapSavedUs +
+                            sched_rep.scheduleSavedUs,
+                        1),
+                    util::Table::fmt(sched_rep.makespanUs, 1),
+                    util::Table::fmt(sched_rep.p99Us, 1)});
     overlap.print();
     const bool overlap_pass =
         isa_rep.reloadOverlapSavedUs > 0.0 &&
@@ -297,6 +315,19 @@ main(int argc, char **argv)
                 isa_rep.totalModelSwitches(),
                 overlap_pass ? "PASS" : "FAIL");
     if (!overlap_pass)
+        return 1;
+    // Scheduler gate: the list scheduler must shrink the modelled
+    // request makespans (saved > 0) while leaving the physics
+    // untouched (same MACs, same droop failures as the flat path).
+    const bool sched_pass =
+        sched_rep.scheduleSavedUs > 0.0 &&
+        sched_rep.totalMacs == flat_rep.totalMacs &&
+        sched_rep.irFailures == flat_rep.irFailures;
+    std::printf("isa scheduler: %.1f us makespan saved across %ld "
+                "requests %s\n",
+                sched_rep.scheduleSavedUs, sched_rep.requests,
+                sched_pass ? "PASS" : "FAIL");
+    if (!sched_pass)
         return 1;
     return 0;
 }

@@ -21,6 +21,10 @@
  *   --isa                          execute through the instruction-
  *                                  level ISA engine (bit-identical
  *                                  report + instruction accounting)
+ *   --isa-schedule                 cost-modelled list scheduling on
+ *                                  the ISA path (implies --isa):
+ *                                  loads/retunes charged per Set and
+ *                                  software-pipelined across rounds
  *   --trace FILE                   write the ISA issue/complete
  *                                  trace as CSV (requires --isa)
  *
@@ -28,6 +32,7 @@
  *   ./build/examples/aim_cli ViT --mode lowpower --beta 30
  *   ./build/examples/aim_cli GPT2 --ir-backend transient --dt 1.5
  *   ./build/examples/aim_cli ResNet18 --isa --trace trace.csv
+ *   ./build/examples/aim_cli ResNet18 --isa-schedule
  */
 
 #include <cstdio>
@@ -52,7 +57,7 @@ usage()
         "[--no-lhr] [--no-wds] [--delta N] [--beta N] "
         "[--mapper seq|zigzag|random|hr] [--work F] [--seed N] "
         "[--ir-backend analytic|mesh|transient] [--decap F] "
-        "[--dt F] [--isa] [--trace FILE]\n");
+        "[--dt F] [--isa] [--isa-schedule] [--trace FILE]\n");
     std::exit(2);
 }
 
@@ -119,6 +124,9 @@ main(int argc, char **argv)
             opts.transientDtNs = std::atof(next());
         } else if (arg == "--isa") {
             opts.useIsa = true;
+        } else if (arg == "--isa-schedule") {
+            opts.useIsa = true;
+            opts.isaSchedule = true;
         } else if (arg == "--trace") {
             trace_path = next();
         } else if (arg.rfind("--", 0) == 0) {
@@ -131,10 +139,12 @@ main(int argc, char **argv)
         const double work = opts.workScale;
         const uint64_t seed = opts.seed;
         const bool isa = opts.useIsa;
+        const bool isa_sched = opts.isaSchedule;
         opts = AimOptions::dvfsBaseline();
         opts.workScale = work;
         opts.seed = seed;
         opts.useIsa = isa;
+        opts.isaSchedule = isa_sched;
     }
     if (!trace_path.empty() && !opts.useIsa) {
         std::fprintf(stderr,
@@ -203,6 +213,14 @@ main(int argc, char **argv)
                     "MAC+SHIFT pairs, tail idle %.1f ns)\n",
                     static_cast<long>(program->code.size()),
                     program->fusedMacs, rep.isaTailIdleNs);
+        if (opts.isaSchedule)
+            std::printf("isa schedule   pipelined %ld slots "
+                        "(in-order %.1f us, scheduled %.1f us, "
+                        "saved %.1f us)\n",
+                        static_cast<long>(program->code.size()),
+                        rep.isaInOrderMakespanNs / 1000.0,
+                        rep.isaScheduledMakespanNs / 1000.0,
+                        rep.isaScheduleSavedNs / 1000.0);
         std::printf("%s", program->renderCounts().c_str());
     }
     return 0;

@@ -5,6 +5,7 @@
 
 #include "isa/Engine.hh"
 #include "isa/Lower.hh"
+#include "isa/Schedule.hh"
 #include "quant/Wds.hh"
 #include "sim/Compiler.hh"
 #include "util/Logging.hh"
@@ -71,6 +72,19 @@ validateOptions(const AimOptions &opts)
                 "implicit-Euler window step; 0 derives the step from "
                 "the group frequency), got ",
                 opts.transientDtNs);
+    }
+    if (opts.isaSchedule) {
+        if (!opts.useIsa)
+            return "isaSchedule requires useIsa (the scheduler "
+                   "reorders the lowered instruction program)";
+        if (opts.isaLoadUsPerMword < 0.0)
+            return util::detail::concat(
+                "isaLoadUsPerMword must be non-negative, got ",
+                opts.isaLoadUsPerMword);
+        if (opts.isaRetuneUs < 0.0)
+            return util::detail::concat(
+                "isaRetuneUs must be non-negative, got ",
+                opts.isaRetuneUs);
     }
     return {};
 }
@@ -212,9 +226,20 @@ AimPipeline::compile(const workload::ModelSpec &model,
     if (opts.useIsa) {
         isa::LowerOptions lopts;
         lopts.emitRetune = opts.useBooster;
+        if (opts.isaSchedule) {
+            // us per Mword -> ns per word: the per-Set share of the
+            // serving layer's reload/retune charges at instruction
+            // grain.
+            lopts.loadNsPerWord =
+                opts.isaLoadUsPerMword * 1000.0 / 1e6;
+            lopts.retuneNs = opts.isaRetuneUs * 1000.0;
+        }
         auto program = std::make_shared<isa::Program>(
             isa::lower(out.rounds, cfg, lopts));
         isa::fuseMacShift(*program);
+        if (opts.isaSchedule)
+            out.schedule = std::make_shared<isa::Schedule>(
+                isa::scheduleProgram(*program));
         out.program = std::move(program);
     }
     return out;
@@ -244,11 +269,14 @@ AimPipeline::execute(const CompiledModel &compiled,
         isa::Engine engine(cfg, cal, rcfg);
         const isa::EngineReport er = engine.run(
             *compiled.program, compiled.stream, rcfg.seed, nullptr,
-            trace);
+            trace, compiled.schedule.get());
         rep.run = er.run;
         rep.isaInstructions = er.decoded;
         rep.isaFusedMacs = er.fusedMacs;
         rep.isaTailIdleNs = er.tailIdleNs;
+        rep.isaInOrderMakespanNs = er.inOrderMakespanNs;
+        rep.isaScheduledMakespanNs = er.scheduledMakespanNs;
+        rep.isaScheduleSavedNs = er.scheduleSavedNs;
     } else {
         sim::Runtime runtime(cfg, cal, rcfg);
         rep.run = runtime.run(compiled.rounds, compiled.stream);

@@ -29,6 +29,7 @@ namespace aim
 namespace isa
 {
 struct Program;
+struct Schedule;
 class TraceSink;
 } // namespace isa
 
@@ -94,6 +95,26 @@ struct AimOptions
      * into reload/compute overlap.
      */
     bool useIsa = false;
+    /**
+     * Cost-modelled instruction scheduling on the ISA path (requires
+     * useIsa): lowering charges LOAD_WEIGHT/RETUNE their per-Set
+     * costs (isaLoadUsPerMword / isaRetuneUs) and compile()
+     * additionally list-schedules the program (src/isa/Schedule),
+     * software-pipelining round r+1's loads/retunes into round r's
+     * trailing MAC windows.  Droop/accuracy statistics stay
+     * bit-identical to the in-order path -- only the cost-modelled
+     * makespan (and the serving-layer service time derived from it)
+     * moves; the saved difference is reported per request
+     * (ServeReport/StreamReport::scheduleSavedUs).
+     */
+    bool isaSchedule = false;
+    /** LOAD_WEIGHT streaming cost [us per 1e6 weight words] of the
+     * isaSchedule timing model (the instruction-grain analogue of
+     * serve::FleetConfig::reloadUsPerMweight). */
+    double isaLoadUsPerMword = 8.0;
+    /** RETUNE V-f settling cost [us] of the isaSchedule timing model
+     * (the analogue of serve::FleetConfig::retuneUsPerStep). */
+    double isaRetuneUs = 0.5;
     /** Quantization bit width. */
     int bits = 8;
     /** Fraction of the full inference workload simulated. */
@@ -160,6 +181,9 @@ struct CompiledModel
      * null otherwise).  Shared because the artifact itself is cached
      * and shared across requests and threads. */
     std::shared_ptr<const isa::Program> program;
+    /** List-scheduled issue order of the program
+     * (options.isaSchedule only; null otherwise). */
+    std::shared_ptr<const isa::Schedule> schedule;
 
     /** Total MAC work of the scaled rounds (one request's work). */
     double scaledMacs() const;
@@ -195,6 +219,14 @@ struct AimReport
     long isaFusedMacs = 0;
     /** Tail idle of the final round [ns] (reload-overlap budget). */
     double isaTailIdleNs = 0.0;
+    /** Cost-modelled in-order makespan [ns] (isa/Schedule replay;
+     * equals run.wallTimeNs when no instruction costs are set). */
+    double isaInOrderMakespanNs = 0.0;
+    /** Makespan of the scheduled issue order [ns] (== in-order
+     * unless options.isaSchedule). */
+    double isaScheduledMakespanNs = 0.0;
+    /** In-order minus scheduled makespan [ns] (>= 0). */
+    double isaScheduleSavedNs = 0.0;
 };
 
 /** End-to-end AIM flow on the modelled chip. */

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "isa/Schedule.hh"
 #include "isa/Scoreboard.hh"
 #include "sim/ChipState.hh"
 #include "sim/WindowKernel.hh"
@@ -25,6 +26,20 @@ maxWallNs(const sim::ChipState &state)
     return t;
 }
 
+/** Buffers trace events so the timing replay (which needs the whole
+ * run's measured MAC durations) can fill slot/clkNs before the real
+ * sink sees them. */
+class BufferSink final : public TraceSink
+{
+  public:
+    void emit(const TraceEvent &ev) override
+    {
+        events.push_back(ev);
+    }
+
+    std::vector<TraceEvent> events;
+};
+
 } // namespace
 
 Engine::Engine(const pim::PimConfig &cfg,
@@ -37,14 +52,33 @@ Engine::Engine(const pim::PimConfig &cfg,
 EngineReport
 Engine::run(const Program &program, const pim::StreamSpec &stream,
             uint64_t seed, std::unique_ptr<power::IrState> *carry,
-            TraceSink *trace) const
+            TraceSink *trace, const Schedule *schedule) const
 {
     aim_assert(program.roundSpan.size() == program.rounds.size(),
                "program has ", program.roundSpan.size(),
                " round spans for ", program.rounds.size(),
                " rounds");
+    aim_assert(!schedule ||
+                   schedule->order.size() == program.code.size(),
+               "schedule covers ",
+               schedule ? schedule->order.size() : 0,
+               " instructions for a program of ",
+               program.code.size());
     EngineReport er;
     er.fusedMacs = program.fusedMacs;
+
+    // Per-instruction durations of the timing replay: lowered costs
+    // for round setup, measured Set wall clocks for MAC_WINDOWs
+    // (filled at retirement by runBlock).
+    std::vector<double> dur_ns(program.code.size(), 0.0);
+    for (size_t i = 0; i < program.code.size(); ++i)
+        if (program.code[i].op != Opcode::MacWindow)
+            dur_ns[i] = program.code[i].costNs;
+
+    // Trace events are buffered so the replay below can stamp each
+    // one with its issue slot and lane clock before emission.
+    BufferSink buffer;
+    TraceSink *const sink = trace ? &buffer : nullptr;
 
     // Identical preamble and per-round seed walk to Runtime::run, so
     // the physics below sees byte-identical inputs.
@@ -55,8 +89,35 @@ Engine::run(const Program &program, const pim::StreamSpec &stream,
     std::vector<RoundTail> tails(program.rounds.size());
     for (size_t r = 0; r < program.rounds.size(); ++r)
         parts.push_back(runBlock(program, r, toggles, ++seed, carry,
-                                 trace, er, tails[r]));
+                                 sink, er, tails[r], dur_ns));
     er.run = sim::mergeReports(parts);
+
+    // The cost-modelled timing replay: the strict in-order makespan
+    // always, the software-pipelined one when a schedule is active.
+    // Physics (er.run) is untouched either way.
+    const TimingReplay inorder =
+        replayTiming(program, dur_ns, false);
+    er.inOrderMakespanNs = inorder.makespanNs;
+    er.scheduledMakespanNs = inorder.makespanNs;
+    TimingReplay piped;
+    const TimingReplay *clk = &inorder;
+    if (schedule) {
+        piped = replayTiming(program, dur_ns, true);
+        er.scheduledMakespanNs = piped.makespanNs;
+        er.scheduleSavedNs =
+            er.inOrderMakespanNs - er.scheduledMakespanNs;
+        clk = &piped;
+    }
+    if (trace) {
+        for (TraceEvent ev : buffer.events) {
+            const auto i = static_cast<size_t>(ev.instr);
+            ev.slot =
+                schedule ? schedule->slotOf[i] : ev.instr;
+            ev.clkNs = ev.event[0] == 'i' ? clk->startNs[i]
+                                          : clk->completeNs[i];
+            trace->emit(ev);
+        }
+    }
 
     // Tail-idle budget: walk rounds backward; a round's wall time
     // counts in proportion to the macros no round from it onward
@@ -91,7 +152,7 @@ Engine::runBlock(const Program &program, size_t round,
                  const pim::ToggleStats &toggles, uint64_t round_seed,
                  std::unique_ptr<power::IrState> *carry,
                  TraceSink *trace, EngineReport &er,
-                 RoundTail &tail) const
+                 RoundTail &tail, std::vector<double> &durNs) const
 {
     const auto &code = program.code;
     const Program::Span span = program.roundSpan[round];
@@ -228,6 +289,9 @@ Engine::runBlock(const Program &program, size_t round,
         for (auto it = inflight.begin(); it != inflight.end();) {
             const sim::SetState &ss = state.sets.at(it->first);
             if (ss.remaining == 0) {
+                // The MAC's replay duration is the Set's measured
+                // wall within its round.
+                durNs[it->second] = ss.wallNs;
                 completeAt(it->second, ss.wallNs);
                 it = inflight.erase(it);
             } else {

@@ -28,6 +28,14 @@
  * RETUNE, SHIFT_ACC, NOP and BARRIER complete at issue, modelling
  * the round setup the round-level runtime performs implicitly at
  * round entry.
+ *
+ * On top of the physics walk the engine replays the program's
+ * timing on per-Set lane clocks (isa/Schedule): measured MAC
+ * durations plus the lowered Instr::costNs of loads/retunes give an
+ * in-order cost-modelled makespan, and -- when a Schedule is passed
+ * -- a software-pipelined one, with the saved difference reported.
+ * The replay never feeds back into the physics, which is what keeps
+ * droop/accuracy statistics bit-identical under scheduling.
  */
 
 #ifndef AIM_ISA_ENGINE_HH
@@ -42,6 +50,8 @@
 
 namespace aim::isa
 {
+
+struct Schedule;
 
 /** A Program run's outcome: the round-level report plus the
  * instruction-level accounting the round runtime cannot see. */
@@ -69,6 +79,19 @@ struct EngineReport
      * (the serve/Dispatch reload-overlap budget).
      */
     double tailIdleNs = 0.0;
+    /**
+     * Cost-modelled makespan of the strict in-order issue machine
+     * [ns]: measured MAC_WINDOW durations plus Instr::costNs of the
+     * rest, replayed on per-Set lane clocks.  With all costs zero
+     * (the default lowering) this equals run.wallTimeNs.
+     */
+    double inOrderMakespanNs = 0.0;
+    /** Makespan of the scheduled (software-pipelined) issue order
+     * [ns]; equals inOrderMakespanNs when no Schedule was passed. */
+    double scheduledMakespanNs = 0.0;
+    /** inOrderMakespanNs - scheduledMakespanNs (>= 0: every relaxed
+     * edge is contained in the strict graph's closure). */
+    double scheduleSavedNs = 0.0;
 };
 
 /** Executes lowered Programs on the modelled chip. */
@@ -88,12 +111,17 @@ class Engine
      *        semantics to Runtime::run's carry overload
      * @param trace optional sink receiving every issue/complete
      *        event in deterministic order
+     * @param schedule optional software-pipelined issue order
+     *        (isa::scheduleProgram of the same program): re-times
+     *        the trace slots and the scheduledMakespanNs replay;
+     *        the physics walk (and run) are unaffected
      */
     EngineReport
     run(const Program &program, const pim::StreamSpec &stream,
         uint64_t seed,
         std::unique_ptr<power::IrState> *carry = nullptr,
-        TraceSink *trace = nullptr) const;
+        TraceSink *trace = nullptr,
+        const Schedule *schedule = nullptr) const;
 
     /** The shared execution environment. */
     const sim::RuntimeEnv &environment() const { return env; }
@@ -109,13 +137,15 @@ class Engine
         double setImbalanceNs = 0.0;
     };
 
-    /** Execute one round's instruction block. */
+    /** Execute one round's instruction block; records the measured
+     * MAC durations into @p durNs for the timing replay. */
     sim::RunReport runBlock(const Program &program, size_t round,
                             const pim::ToggleStats &toggles,
                             uint64_t roundSeed,
                             std::unique_ptr<power::IrState> *carry,
                             TraceSink *trace, EngineReport &er,
-                            RoundTail &tail) const;
+                            RoundTail &tail,
+                            std::vector<double> &durNs) const;
 
     sim::RuntimeEnv env;
 };

@@ -57,16 +57,17 @@ Program::renderCounts() const
 
 CsvTrace::CsvTrace(std::ostream &os) : os(os)
 {
-    os << "instr,op,set,round,window,t_ns,event\n";
+    os << "instr,op,set,round,window,t_ns,slot,clk_ns,event\n";
 }
 
 void
 CsvTrace::emit(const TraceEvent &ev)
 {
-    char line[128];
-    std::snprintf(line, sizeof(line), "%ld,%s,%d,%d,%ld,%.3f,%s\n",
-                  ev.instr, opcodeName(ev.op), ev.set, ev.round,
-                  ev.window, ev.tNs, ev.event);
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%ld,%s,%d,%d,%ld,%.3f,%ld,%.3f,%s\n", ev.instr,
+                  opcodeName(ev.op), ev.set, ev.round, ev.window,
+                  ev.tNs, ev.slot, ev.clkNs, ev.event);
     os << line;
 }
 

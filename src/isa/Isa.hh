@@ -14,11 +14,19 @@
  * since the previous BARRIER, and the scoreboard adds the structural
  * same-Set hazard at issue time.  Lowering is 1:1 with the round
  * semantics -- only MAC_WINDOW instructions consume simulated window
- * time, everything else models zero-latency round setup -- which is
- * what lets isa::Engine reproduce the round-level RunReport
+ * time, everything else models zero-latency round setup by default --
+ * which is what lets isa::Engine reproduce the round-level RunReport
  * bit-for-bit (tests/isa/EngineGoldenTest) while exposing the
  * instruction granularity the serving layer exploits for
  * reload/compute overlap.
+ *
+ * With LowerOptions cost knobs set (AimOptions::isaSchedule), non-MAC
+ * instructions additionally carry a costNs charged on per-Set lane
+ * clocks by the engine's timing replay, and isa/Schedule reorders the
+ * issue slots to hide those costs under trailing MAC windows of the
+ * previous round (cross-round software pipelining).  The physics walk
+ * stays in lowered order either way, so droop/accuracy statistics
+ * never move -- only the modelled makespan does.
  */
 
 #ifndef AIM_ISA_ISA_HH
@@ -69,6 +77,11 @@ struct Instr
     int macros = 0;
     /** MAC_WINDOW that absorbed its SHIFT_ACC (fusion peephole). */
     bool fused = false;
+    /** Modelled duration of a non-MAC instruction [ns] (LOAD_WEIGHT
+     * weight streaming, RETUNE V-f settling).  0 (the default) keeps
+     * the instruction zero-latency; MAC_WINDOW durations are always
+     * measured from the window physics instead. */
+    double costNs = 0.0;
     /** Explicit dependency tags: indices into Program::code, -1 =
      * none.  BARRIERs additionally wait on every instruction since
      * the previous BARRIER (implicit, not tagged). */
@@ -119,6 +132,13 @@ struct TraceEvent
     /** Simulated time of the event [ns] (the instruction's Set wall
      * clock; BARRIERs use the round wall clock). */
     double tNs = 0.0;
+    /** Issue slot: position in the scheduled issue order (program
+     * index when no schedule is active). */
+    long slot = 0;
+    /** Cost-modelled per-Set lane clock of the event [ns] (the
+     * timing replay's start/complete time; equals the round-boundary
+     * walk when no instruction costs are modelled). */
+    double clkNs = 0.0;
     /** "issue" or "complete". */
     const char *event = "issue";
 };
@@ -132,7 +152,7 @@ class TraceSink
 };
 
 /** CSV trace writer (the aim_cli --trace format): one header row,
- * then instr,op,set,round,window,t_ns,event per event. */
+ * then instr,op,set,round,window,t_ns,slot,clk_ns,event per event. */
 class CsvTrace final : public TraceSink
 {
   public:

@@ -80,6 +80,7 @@ lower(const std::vector<sim::Round> &rounds,
             retune.op = Opcode::Retune;
             retune.round = round_id;
             retune.dep0 = prev_barrier;
+            retune.costNs = opts.retuneNs;
             prog.code.push_back(retune);
         }
 
@@ -91,6 +92,8 @@ lower(const std::vector<sim::Round> &rounds,
             load.weightWords = w.weightWords;
             load.macros = w.macros;
             load.dep0 = prev_barrier;
+            load.costNs = static_cast<double>(w.weightWords) *
+                          opts.loadNsPerWord;
             const int load_idx =
                 static_cast<int>(prog.code.size());
             prog.code.push_back(load);

@@ -45,6 +45,14 @@ struct LowerOptions
 {
     /** Emit a RETUNE at each round entry (booster active). */
     bool emitRetune = false;
+    /** LOAD_WEIGHT cost per weight word [ns] -- the per-Set share of
+     * serve/Dispatch's reloadUsPerMweight pulled down to instruction
+     * grain.  0 keeps loads zero-latency (the default in-order
+     * bit-identity path). */
+    double loadNsPerWord = 0.0;
+    /** RETUNE cost [ns] -- the V-f settling time serve/Dispatch
+     * charges per booster step.  0 keeps retunes zero-latency. */
+    double retuneNs = 0.0;
 };
 
 /**

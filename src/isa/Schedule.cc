@@ -1,0 +1,173 @@
+#include "isa/Schedule.hh"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "util/Logging.hh"
+
+namespace aim::isa
+{
+
+namespace
+{
+
+bool
+isBoundary(Opcode op)
+{
+    return op == Opcode::Barrier || op == Opcode::Nop;
+}
+
+} // namespace
+
+TimingReplay
+replayTiming(const Program &prog, const std::vector<double> &durNs,
+             bool pipelined)
+{
+    const auto &code = prog.code;
+    aim_assert(durNs.size() == code.size(),
+               "replayTiming: durations/program size mismatch");
+
+    // Per-round metadata: the boundary instruction (closing BARRIER,
+    // or the lone NOP of an empty round) and the entry RETUNE.
+    const size_t nrounds = prog.roundSpan.size();
+    std::vector<int> boundary(nrounds, -1);
+    std::vector<int> retune(nrounds, -1);
+    for (size_t r = 0; r < nrounds; ++r) {
+        for (size_t i = prog.roundSpan[r].begin;
+             i < prog.roundSpan[r].end; ++i) {
+            if (isBoundary(code[i].op))
+                boundary[r] = static_cast<int>(i);
+            else if (code[i].op == Opcode::Retune)
+                retune[r] = static_cast<int>(i);
+        }
+    }
+
+    // Lane table: one lane per Set, one for the RETUNE chain, one
+    // for the BARRIER/NOP control stream.
+    std::map<int, int> lane_of_set;
+    for (const auto &instr : code)
+        if (instr.set >= 0)
+            lane_of_set.emplace(instr.set, 0);
+    int nlanes = 0;
+    for (auto &kv : lane_of_set)
+        kv.second = nlanes++;
+    const int retune_lane = nlanes++;
+    const int control_lane = nlanes++;
+    std::vector<double> lane_clock(static_cast<size_t>(nlanes), 0.0);
+
+    TimingReplay out;
+    out.startNs.resize(code.size(), 0.0);
+    out.completeNs.resize(code.size(), 0.0);
+    std::vector<double> round_done(nrounds, 0.0);
+    double global_done = 0.0;
+    int prev_retune = -1;
+
+    for (size_t i = 0; i < code.size(); ++i) {
+        const Instr &instr = code[i];
+        const auto r = static_cast<size_t>(instr.round);
+        double ready = 0.0;
+
+        // Explicit dependency tags.  In the relaxed graph a LOAD /
+        // RETUNE's round-boundary tag is replaced by its lane chain,
+        // which is what lets it pipeline into the previous round.
+        const bool drop_boundary_tags =
+            pipelined && (instr.op == Opcode::LoadWeight ||
+                          instr.op == Opcode::Retune);
+        for (const int dep : {instr.dep0, instr.dep1}) {
+            if (dep < 0)
+                continue;
+            if (drop_boundary_tags &&
+                isBoundary(code[static_cast<size_t>(dep)].op))
+                continue;
+            ready = std::max(
+                ready, out.completeNs[static_cast<size_t>(dep)]);
+        }
+
+        switch (instr.op) {
+        case Opcode::MacWindow:
+            // The MAC-only barrier: a round's windows run behind the
+            // previous round's boundary and the round's RETUNE, in
+            // both graphs.
+            if (r > 0 && boundary[r - 1] >= 0)
+                ready = std::max(
+                    ready,
+                    out.completeNs[static_cast<size_t>(
+                        boundary[r - 1])]);
+            if (retune[r] >= 0)
+                ready = std::max(
+                    ready, out.completeNs[static_cast<size_t>(
+                               retune[r])]);
+            break;
+        case Opcode::Retune:
+            if (pipelined && prev_retune >= 0)
+                ready = std::max(
+                    ready, out.completeNs[static_cast<size_t>(
+                               prev_retune)]);
+            break;
+        case Opcode::Barrier:
+            // Strict: every earlier instruction.  Relaxed: only the
+            // barrier's own round (the MAC-only demotion).
+            ready = std::max(ready,
+                             pipelined ? round_done[r] : global_done);
+            break;
+        default:
+            break;
+        }
+
+        const int lane = instr.set >= 0 ? lane_of_set.at(instr.set)
+                         : instr.op == Opcode::Retune ? retune_lane
+                                                      : control_lane;
+        ready =
+            std::max(ready, lane_clock[static_cast<size_t>(lane)]);
+
+        out.startNs[i] = ready;
+        const double done = ready + durNs[i];
+        out.completeNs[i] = done;
+        lane_clock[static_cast<size_t>(lane)] = done;
+        round_done[r] = std::max(round_done[r], done);
+        global_done = std::max(global_done, done);
+        out.makespanNs = std::max(out.makespanNs, done);
+        if (instr.op == Opcode::Retune)
+            prev_retune = static_cast<int>(i);
+    }
+    return out;
+}
+
+Schedule
+scheduleProgram(const Program &prog, const ScheduleOptions &opts)
+{
+    const auto &code = prog.code;
+    std::vector<double> est(code.size(), 0.0);
+    for (size_t i = 0; i < code.size(); ++i)
+        est[i] = code[i].op == Opcode::MacWindow
+                     ? static_cast<double>(code[i].windows) *
+                           opts.windowNs
+                     : code[i].costNs;
+
+    const TimingReplay inorder = replayTiming(prog, est, false);
+    const TimingReplay piped = replayTiming(prog, est, true);
+
+    Schedule sched;
+    sched.order.resize(code.size());
+    std::iota(sched.order.begin(), sched.order.end(), 0);
+    // Earliest-ready-time list priority; program order breaks ties,
+    // which keeps the sort's output a legal scoreboard walk (every
+    // dependency and lane predecessor starts no later and indexes
+    // earlier on equal starts).
+    std::stable_sort(
+        sched.order.begin(), sched.order.end(),
+        [&](int a, int b) {
+            return piped.startNs[static_cast<size_t>(a)] <
+                   piped.startNs[static_cast<size_t>(b)];
+        });
+    sched.slotOf.resize(code.size());
+    for (size_t slot = 0; slot < sched.order.size(); ++slot)
+        sched.slotOf[static_cast<size_t>(sched.order[slot])] =
+            static_cast<int>(slot);
+    sched.estInOrderNs = inorder.makespanNs;
+    sched.estScheduledNs = piped.makespanNs;
+    return sched;
+}
+
+} // namespace aim::isa

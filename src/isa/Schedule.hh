@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Instruction timing replay and the cross-round list scheduler.
+ *
+ * Two dependency graphs over one Program:
+ *
+ *  - The STRICT graph models the in-order issue machine: explicit
+ *    dependency tags, per-Set program order (one instruction in
+ *    flight per Set lane), a BARRIER waiting on every earlier
+ *    instruction, and a round's MAC_WINDOWs waiting on the round's
+ *    RETUNE (the in-order machine issues the RETUNE first and the
+ *    windows run at the retuned level).
+ *
+ *  - The RELAXED graph keeps every dataflow edge but demotes the
+ *    BARRIER to a MAC-only barrier: a round's MAC_WINDOWs still wait
+ *    on the previous round's boundary (and on the round's RETUNE),
+ *    but LOAD_WEIGHT / SET_SYNC / RETUNE of round r+1 only wait on
+ *    their own Set lane (RETUNEs chain on the retune lane), so they
+ *    software-pipeline into round r's trailing MAC windows.
+ *
+ * Program order is a topological order of both graphs, so one
+ * forward pass (replayTiming) computes ASAP start/complete times on
+ * per-Set lane clocks given per-instruction durations.  Every
+ * relaxed edge is contained in the strict graph's transitive
+ * closure, which guarantees scheduled makespan <= in-order makespan
+ * on any duration vector.
+ *
+ * scheduleProgram is the list scheduler: it priorities instructions
+ * by earliest cost-modelled ready time on the relaxed graph
+ * (breaking ties by program order) and emits the resulting issue
+ * order.  The order is a scoreboard-legal permutation under
+ * Scoreboard::Policy::Pipelined (property-gated by
+ * tests/isa/ScheduleTest).  The engine never executes physics in
+ * scheduled order -- rounds stay atomic and in-order, which is what
+ * keeps droop/accuracy statistics bit-identical -- the schedule only
+ * re-times issue slots and shrinks the modelled makespan.
+ */
+
+#ifndef AIM_ISA_SCHEDULE_HH
+#define AIM_ISA_SCHEDULE_HH
+
+#include <vector>
+
+#include "isa/Isa.hh"
+
+namespace aim::isa
+{
+
+/** ASAP start/complete times of every instruction [ns]. */
+struct TimingReplay
+{
+    std::vector<double> startNs;
+    std::vector<double> completeNs;
+    /** Completion of the last instruction [ns]. */
+    double makespanNs = 0.0;
+};
+
+/**
+ * Replay the program on per-Set lane clocks with the given
+ * per-instruction durations.
+ *
+ * @param durNs one duration per instruction (measured MAC windows,
+ *              Instr::costNs for the rest)
+ * @param pipelined false = strict in-order graph, true = relaxed
+ *                  MAC-only-barrier graph
+ */
+TimingReplay replayTiming(const Program &prog,
+                          const std::vector<double> &durNs,
+                          bool pipelined);
+
+/** Host-side duration estimates the list scheduler prioritizes by
+ * (slot assignment only -- reported makespans always come from the
+ * engine's measured replay). */
+struct ScheduleOptions
+{
+    /** Estimated duration of one bit-serial MAC window [ns]. */
+    double windowNs = 4.0;
+};
+
+/** A scheduled issue order over one Program. */
+struct Schedule
+{
+    /** Program indices in issue order; order[slot] = instr. */
+    std::vector<int> order;
+    /** Inverse permutation; slotOf[instr] = slot. */
+    std::vector<int> slotOf;
+    /** Cost-estimated makespans at scheduling time [ns]. */
+    double estInOrderNs = 0.0;
+    double estScheduledNs = 0.0;
+};
+
+/**
+ * List-schedule the program on the relaxed dependency graph.
+ * Deterministic: a pure function of (prog, opts).
+ */
+Schedule scheduleProgram(const Program &prog,
+                         const ScheduleOptions &opts = {});
+
+} // namespace aim::isa
+
+#endif // AIM_ISA_SCHEDULE_HH

@@ -1,9 +1,22 @@
 #include "isa/Scoreboard.hh"
 
+#include <algorithm>
+
 #include "util/Logging.hh"
 
 namespace aim::isa
 {
+
+namespace
+{
+
+bool
+isBoundary(Opcode op)
+{
+    return op == Opcode::Barrier || op == Opcode::Nop;
+}
+
+} // namespace
 
 Scoreboard::Scoreboard(const std::vector<Instr> &code, size_t begin,
                        size_t end)
@@ -15,6 +28,67 @@ Scoreboard::Scoreboard(const std::vector<Instr> &code, size_t begin,
                "scoreboard block [", begin, ", ", end,
                ") outside program of ", code.size(),
                " instructions");
+    init();
+}
+
+Scoreboard::Scoreboard(const Program &prog, Policy policy)
+    : code(&prog.code), policy(policy), blockBegin(0),
+      blockEnd(prog.code.size()),
+      state(prog.code.size(), Pending),
+      pending(static_cast<long>(prog.code.size()))
+{
+    init();
+    if (policy != Policy::Pipelined)
+        return;
+    // MAC-only-barrier metadata from the round spans: the previous
+    // round's boundary instruction, each round's RETUNE, and the
+    // RETUNE chain (same edges isa::replayTiming walks).
+    const size_t nrounds = prog.roundSpan.size();
+    prevBoundary.assign(nrounds, -1);
+    roundRetune.assign(nrounds, -1);
+    prevRetune.assign(blockEnd - blockBegin, -1);
+    std::vector<int32_t> bound(nrounds, -1);
+    int32_t last_retune = -1;
+    for (size_t i = 0; i < prog.code.size(); ++i) {
+        const Instr &instr = prog.code[i];
+        const auto r = static_cast<size_t>(instr.round);
+        if (isBoundary(instr.op))
+            bound[r] = static_cast<int32_t>(i);
+        else if (instr.op == Opcode::Retune) {
+            prevRetune[i] = last_retune;
+            last_retune = static_cast<int32_t>(i);
+            roundRetune[r] = static_cast<int32_t>(i);
+        }
+    }
+    for (size_t r = 1; r < nrounds; ++r)
+        prevBoundary[r] = bound[r - 1];
+}
+
+void
+Scoreboard::init()
+{
+    // Index the block by Set id (O(1) structural-hazard checks and
+    // per-Set order cursors) and by round (O(1) barrier checks).
+    int max_set = -1;
+    int max_round = 0;
+    for (size_t i = blockBegin; i < blockEnd; ++i) {
+        max_set = std::max(max_set, (*code)[i].set);
+        max_round = std::max(max_round, (*code)[i].round);
+    }
+    lanes.resize(static_cast<size_t>(max_set + 1));
+    roundCompleted.assign(static_cast<size_t>(max_round + 1), 0);
+    barrierNeed.assign(blockEnd - blockBegin, 0);
+    std::vector<int32_t> same_round_before(
+        static_cast<size_t>(max_round + 1), 0);
+    for (size_t i = blockBegin; i < blockEnd; ++i) {
+        const Instr &instr = (*code)[i];
+        if (instr.set >= 0)
+            lanes[static_cast<size_t>(instr.set)]
+                .members.push_back(static_cast<int32_t>(i));
+        const auto r = static_cast<size_t>(instr.round);
+        barrierNeed[i - blockBegin] = same_round_before[r];
+        ++same_round_before[r];
+    }
 }
 
 bool
@@ -39,22 +113,55 @@ Scoreboard::issuable(size_t i) const
     if (state[i - blockBegin] != Pending)
         return false;
     const Instr &instr = (*code)[i];
-    if (!depDone(instr.dep0) || !depDone(instr.dep1))
-        return false;
+    // Explicit dependency tags.  Under Policy::Pipelined a LOAD /
+    // RETUNE's round-boundary tag is replaced by its Set lane order
+    // (the software-pipelining relaxation).
+    const bool drop_boundary_tags =
+        policy == Policy::Pipelined &&
+        (instr.op == Opcode::LoadWeight ||
+         instr.op == Opcode::Retune);
+    for (const int dep : {instr.dep0, instr.dep1}) {
+        if (dep >= 0 && drop_boundary_tags &&
+            isBoundary((*code)[static_cast<size_t>(dep)].op))
+            continue;
+        if (!depDone(dep))
+            return false;
+    }
     if (instr.op == Opcode::Barrier) {
-        // Implicit round-boundary dependency: everything earlier in
-        // the block must have retired.
-        for (size_t j = blockBegin; j < i; ++j)
-            if (state[j - blockBegin] != Completed)
-                return false;
+        // Implicit round-boundary dependency: every earlier
+        // instruction of the barrier's round must have retired.
+        const auto r = static_cast<size_t>(instr.round);
+        if (roundCompleted[r] != barrierNeed[i - blockBegin])
+            return false;
     }
-    if (instr.set >= 0) {
+    if (policy == Policy::Pipelined) {
+        const auto r = static_cast<size_t>(instr.round);
+        if (instr.op == Opcode::MacWindow) {
+            // The MAC-only barrier: windows wait on the previous
+            // round's boundary and their round's RETUNE.
+            if (!depDone(prevBoundary[r]))
+                return false;
+            if (roundRetune[r] >= 0 &&
+                !depDone(roundRetune[r]))
+                return false;
+        } else if (instr.op == Opcode::Retune) {
+            if (!depDone(prevRetune[i - blockBegin]))
+                return false;
+        }
+        if (instr.set >= 0) {
+            // Per-Set program order: only the Set's oldest
+            // uncompleted instruction may issue.
+            const Lane &lane =
+                lanes[static_cast<size_t>(instr.set)];
+            if (lane.members[lane.donePrefix] !=
+                static_cast<int32_t>(i))
+                return false;
+        }
+    }
+    if (instr.set >= 0 &&
+        lanes[static_cast<size_t>(instr.set)].inFlight > 0)
         // Structural hazard: one in-flight instruction per Set.
-        for (size_t j = blockBegin; j < blockEnd; ++j)
-            if (j != i && (*code)[j].set == instr.set &&
-                state[j - blockBegin] == Issued)
-                return false;
-    }
+        return false;
     return true;
 }
 
@@ -65,6 +172,9 @@ Scoreboard::issue(size_t i)
                opcodeName((*code)[i].op), ") is not issuable");
     state[i - blockBegin] = Issued;
     --pending;
+    const Instr &instr = (*code)[i];
+    if (instr.set >= 0)
+        ++lanes[static_cast<size_t>(instr.set)].inFlight;
 }
 
 void
@@ -77,6 +187,17 @@ Scoreboard::complete(size_t i)
                " that is not in flight");
     state[i - blockBegin] = Completed;
     ++done;
+    const Instr &instr = (*code)[i];
+    ++roundCompleted[static_cast<size_t>(instr.round)];
+    if (instr.set >= 0) {
+        Lane &lane = lanes[static_cast<size_t>(instr.set)];
+        --lane.inFlight;
+        while (lane.donePrefix < lane.members.size() &&
+               state[static_cast<size_t>(
+                         lane.members[lane.donePrefix]) -
+                     blockBegin] == Completed)
+            ++lane.donePrefix;
+    }
 }
 
 bool

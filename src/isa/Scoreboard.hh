@@ -1,16 +1,29 @@
 /**
  * @file
- * Issue scoreboard of the ISA engine: tracks every instruction of a
- * round block through pending -> issued -> completed and answers the
- * issuable-check of the decode -> issue -> complete pipeline.
+ * Issue scoreboard of the ISA engine: tracks instructions through
+ * pending -> issued -> completed and answers the issuable-check of
+ * the decode -> issue -> complete pipeline.
  *
- * Hazard rules:
+ * Hazard rules (Policy::RoundOrder, the engine's in-order machine):
  *   - explicit dependency tags (Instr::dep0/dep1) must be completed
  *   - a BARRIER additionally waits on every earlier instruction of
- *     its block (the implicit round-boundary dependency)
+ *     its round within the block (the implicit round-boundary
+ *     dependency; engine blocks are single rounds)
  *   - same-Set structural hazard: at most one instruction of a Set
  *     is in flight (issued but not completed) at a time -- a Set's
  *     macros are a single bit-serial resource
+ *
+ * Policy::Pipelined relaxes the BARRIER to a MAC-only barrier over a
+ * whole program (the isa/Schedule dependency graph): LOAD_WEIGHT /
+ * RETUNE round-boundary tags are replaced by per-Set program order
+ * (RETUNEs chain on each other), MAC_WINDOWs wait on the previous
+ * round's boundary and their round's RETUNE, and a BARRIER waits
+ * only on its own round.  This is the legality oracle the scheduled
+ * issue order is property-tested against (tests/isa/ScheduleTest).
+ *
+ * All issuable-checks are O(1): pending work is indexed by Set id
+ * (in-flight counters + per-Set order cursors) and per-round
+ * completion counters replace the barrier's linear scan.
  *
  * The scoreboard is pure bookkeeping (no simulated time); the
  * engine drives it window by window and unit tests
@@ -28,11 +41,23 @@
 namespace aim::isa
 {
 
-/** Tracks one round block's instructions through issue/complete. */
+/** Tracks a block's instructions through issue/complete. */
 class Scoreboard
 {
   public:
+    /** Legality rule set. */
+    enum class Policy
+    {
+        /** In-order machine: full round barrier (default). */
+        RoundOrder,
+        /** MAC-only barrier + per-Set order: the relaxed graph the
+         * list scheduler pipelines across rounds under. */
+        Pipelined,
+    };
+
     /**
+     * Track one round block under Policy::RoundOrder.
+     *
      * @param code  the full program's instruction queue (dependency
      *              tags index into it); must outlive the scoreboard
      * @param begin first instruction of the tracked block
@@ -44,6 +69,14 @@ class Scoreboard
      */
     Scoreboard(const std::vector<Instr> &code, size_t begin,
                size_t end);
+
+    /**
+     * Track a whole program.  Policy::Pipelined uses the program's
+     * round spans for the MAC-only barrier metadata (previous-round
+     * boundaries and round RETUNEs); @p prog must outlive the
+     * scoreboard.
+     */
+    Scoreboard(const Program &prog, Policy policy);
 
     /** Pending with all hazards resolved? */
     bool issuable(size_t i) const;
@@ -74,12 +107,40 @@ class Scoreboard
         Completed = 2,
     };
 
+    /** Per-Set issue bookkeeping (indexed by Set id). */
+    struct Lane
+    {
+        /** Issued-but-not-completed instructions of the Set. */
+        int inFlight = 0;
+        /** The Set's block instructions in program order. */
+        std::vector<int32_t> members;
+        /** members[0..donePrefix) are all completed. */
+        size_t donePrefix = 0;
+    };
+
+    void init();
     bool depDone(int dep) const;
 
     const std::vector<Instr> *code;
+    Policy policy = Policy::RoundOrder;
     size_t blockBegin;
     size_t blockEnd;
     std::vector<State> state;
+    std::vector<Lane> lanes;
+    /** Completed instructions per round id. */
+    std::vector<long> roundCompleted;
+    /** Per block instruction: same-round instructions before it
+     * (meaningful for BARRIERs only). */
+    std::vector<int32_t> barrierNeed;
+    /** Per round: previous round's boundary instruction, -1 at the
+     * program head (Policy::Pipelined). */
+    std::vector<int32_t> prevBoundary;
+    /** Per round: the round's RETUNE, -1 if none
+     * (Policy::Pipelined). */
+    std::vector<int32_t> roundRetune;
+    /** Per block instruction: the previous RETUNE of the program,
+     * -1 if none (meaningful for RETUNEs, Policy::Pipelined). */
+    std::vector<int32_t> prevRetune;
     long pending = 0;
     long done = 0;
 };

@@ -171,12 +171,21 @@ RequestExecutor::run(const CompiledModel &compiled, uint64_t seed,
                    compiled.modelName,
                    " but its artifact carries no lowered program");
         const isa::EngineReport er = engine->run(
-            *compiled.program, compiled.stream, seed, carry);
+            *compiled.program, compiled.stream, seed, carry,
+            nullptr, compiled.schedule.get());
         out.run = er.run;
         out.overlapUs = er.tailIdleNs / 1000.0 / workScale;
+        // Scheduled artifacts are billed their cost-modelled
+        // makespan (loads/retunes charged at instruction grain,
+        // pipelining credited); plain ISA keeps the physics wall.
+        out.serviceNs = compiled.schedule ? er.scheduledMakespanNs
+                                          : er.run.wallTimeNs;
+        out.scheduleSavedUs =
+            er.scheduleSavedNs / 1000.0 / workScale;
     } else {
         out.run = runtime->run(compiled.rounds, compiled.stream,
                                seed, carry);
+        out.serviceNs = out.run.wallTimeNs;
     }
     return out;
 }

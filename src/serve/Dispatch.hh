@@ -184,6 +184,18 @@ struct ExecResult
      * 0 on the round-level path (the round runtime cannot see it).
      */
     double overlapUs = 0.0;
+    /**
+     * Effective service wall of the request [ns, workScale-sized
+     * like run.wallTimeNs]: run.wallTimeNs on both default paths,
+     * the cost-modelled scheduled makespan when the artifact carries
+     * an isaSchedule Schedule (per-round load/retune costs charged
+     * minus what the pipeliner hides).  The serving engines charge
+     * chips this, not run.wallTimeNs.
+     */
+    double serviceNs = 0.0;
+    /** Scheduled-vs-in-order makespan saving [us, full-inference
+     * scale]; 0 unless the artifact was compiled with isaSchedule. */
+    double scheduleSavedUs = 0.0;
 };
 
 /**

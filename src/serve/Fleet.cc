@@ -253,10 +253,12 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
         if (cost.modelSwitch)
             ++usage.modelSwitches;
         rep.reloadOverlapSavedUs += cost.overlapSavedUs;
+        rep.scheduleSavedUs +=
+            executed[q.request.id].scheduleSavedUs;
 
         const auto &run = executed[q.request.id].run;
         const double service_us =
-            run.wallTimeNs / 1000.0 / work_scale;
+            executed[q.request.id].serviceNs / 1000.0 / work_scale;
 
         const double finish =
             now + cost.reloadUs + cost.retuneUs + service_us;

@@ -55,6 +55,12 @@ ModelCache::key(const std::string &model, const AimOptions &opts)
            << ",tdt=" << opts.transientDtNs;
     os << ",bits=" << opts.bits << ",work=" << opts.workScale
        << ",seed=" << opts.seed << ",isa=" << opts.useIsa;
+    // Scheduling knobs shape the artifact (instruction costs + the
+    // attached Schedule) only when the scheduler is on; same gating
+    // rationale as the transient knobs above.
+    if (opts.isaSchedule)
+        os << ",sched=1,slw=" << opts.isaLoadUsPerMword
+           << ",srt=" << opts.isaRetuneUs;
     return os.str();
 }
 

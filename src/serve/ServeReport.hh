@@ -47,6 +47,9 @@ struct ServeReport
     /** Reload time hidden under trailing compute on model switches
      * [us] (ISA path only; 0 on the round-level path). */
     double reloadOverlapSavedUs = 0.0;
+    /** Scheduled-vs-in-order makespan savings summed over requests
+     * [us] (isaSchedule artifacts only; 0 otherwise). */
+    double scheduleSavedUs = 0.0;
     /** Requests served. */
     long requests = 0;
     /** First arrival to last completion [us]. */

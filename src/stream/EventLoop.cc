@@ -222,7 +222,7 @@ EventLoop::run(serve::ModelCache &cache)
     std::map<long, serve::ExecResult> ready;
     std::map<long, shard::ShardReport> shard_ready;
     // Sampled-service pools, keyed by model.
-    std::map<std::string, std::vector<sim::RunReport>> samples;
+    std::map<std::string, std::vector<serve::ExecResult>> samples;
     // Per-chip electrical state (transientCarry).
     std::vector<std::unique_ptr<power::IrState>> carry(
         static_cast<size_t>(fcfg.chips));
@@ -293,11 +293,11 @@ EventLoop::run(serve::ModelCache &cache)
     const auto model_samples =
         [&](const std::string &model,
             const CompiledModel &compiled)
-        -> const std::vector<sim::RunReport> & {
+        -> const std::vector<serve::ExecResult> & {
         const auto it = samples.find(model);
         if (it != samples.end())
             return it->second;
-        std::vector<sim::RunReport> v(
+        std::vector<serve::ExecResult> v(
             static_cast<size_t>(scfg.serviceSamples));
         const uint64_t tag = modelTag(model);
         exec.parallelFor(scfg.serviceSamples, [&](long k) {
@@ -307,8 +307,7 @@ EventLoop::run(serve::ModelCache &cache)
                              .next();
             if (s == 0)
                 s = 1;
-            v[static_cast<size_t>(k)] =
-                executor.run(compiled, s).run;
+            v[static_cast<size_t>(k)] = executor.run(compiled, s);
         });
         return samples.emplace(model, std::move(v)).first->second;
     };
@@ -428,21 +427,23 @@ EventLoop::run(serve::ModelCache &cache)
                     *b.compiled, request_seed(id),
                     &carry[static_cast<size_t>(c)]);
                 service_us =
-                    res.run.wallTimeNs / 1000.0 / work_scale;
+                    res.serviceNs / 1000.0 / work_scale;
                 rep.totalMacs += res.run.totalMacs / work_scale;
                 rep.irFailures += res.run.failures;
                 rep.stallWindows += res.run.stallWindows;
+                rep.scheduleSavedUs += res.scheduleSavedUs;
                 tail_overlap = res.overlapUs;
             } else if (scfg.serviceSamples > 0) {
                 const auto &pool_reports =
                     model_samples(b.request.model, *b.compiled);
-                const auto &run = pool_reports[static_cast<size_t>(
+                const auto &res = pool_reports[static_cast<size_t>(
                     request_seed(id) %
                     static_cast<uint64_t>(scfg.serviceSamples))];
-                service_us = run.wallTimeNs / 1000.0 / work_scale;
-                rep.totalMacs += run.totalMacs / work_scale;
-                rep.irFailures += run.failures;
-                rep.stallWindows += run.stallWindows;
+                service_us = res.serviceNs / 1000.0 / work_scale;
+                rep.totalMacs += res.run.totalMacs / work_scale;
+                rep.irFailures += res.run.failures;
+                rep.stallWindows += res.run.stallWindows;
+                rep.scheduleSavedUs += res.scheduleSavedUs;
                 tail_overlap = 0.0;
             } else {
                 const auto it = ready.find(id);
@@ -453,10 +454,11 @@ EventLoop::run(serve::ModelCache &cache)
                 const auto res = std::move(it->second);
                 ready.erase(it);
                 service_us =
-                    res.run.wallTimeNs / 1000.0 / work_scale;
+                    res.serviceNs / 1000.0 / work_scale;
                 rep.totalMacs += res.run.totalMacs / work_scale;
                 rep.irFailures += res.run.failures;
                 rep.stallWindows += res.run.stallWindows;
+                rep.scheduleSavedUs += res.scheduleSavedUs;
                 tail_overlap = res.overlapUs;
             }
             cursor += service_us;

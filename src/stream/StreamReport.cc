@@ -95,6 +95,13 @@ StreamReport::render() const
                       "across model switches\n",
                       reloadOverlapSavedUs);
         os << line;
+        if (scheduleSavedUs > 0.0) {
+            std::snprintf(line, sizeof(line),
+                          "isa scheduler: %.1f us makespan saved "
+                          "vs in-order issue\n",
+                          scheduleSavedUs);
+            os << line;
+        }
     }
 
     util::Table t("per-chip usage");

@@ -84,6 +84,9 @@ struct StreamReport
     /** Reload time hidden under trailing compute on model switches
      * [us] (ISA path only; 0 on the round-level path). */
     double reloadOverlapSavedUs = 0.0;
+    /** Scheduled-vs-in-order makespan savings summed over requests
+     * [us] (isaSchedule artifacts only; 0 otherwise). */
+    double scheduleSavedUs = 0.0;
 
     /** Arrivals generated (admitted + shed). */
     long arrivals = 0;

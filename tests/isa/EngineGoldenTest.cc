@@ -199,8 +199,10 @@ TEST(IsaEngineGolden, AccountingAndTraceAreConsistent)
     const long lines =
         static_cast<long>(std::count(text.begin(), text.end(), '\n'));
     EXPECT_EQ(lines, 1 + 2 * er.decoded);
-    EXPECT_EQ(text.rfind("instr,op,set,round,window,t_ns,event", 0),
-              0u);
+    EXPECT_EQ(
+        text.rfind("instr,op,set,round,window,t_ns,slot,clk_ns,event",
+                   0),
+        0u);
 }
 
 TEST(IsaEngineGolden, EngineIsDeterministicAcrossRuns)
