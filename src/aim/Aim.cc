@@ -73,20 +73,28 @@ validateOptions(const AimOptions &opts)
                 "the group frequency), got ",
                 opts.transientDtNs);
     }
-    if (opts.isaSchedule) {
-        if (!opts.useIsa)
-            return "isaSchedule requires useIsa (the scheduler "
-                   "reorders the lowered instruction program)";
-        if (opts.isaLoadUsPerMword < 0.0)
-            return util::detail::concat(
-                "isaLoadUsPerMword must be non-negative, got ",
-                opts.isaLoadUsPerMword);
-        if (opts.isaRetuneUs < 0.0)
-            return util::detail::concat(
-                "isaRetuneUs must be non-negative, got ",
-                opts.isaRetuneUs);
-    }
+    if (opts.isaSchedule && !opts.useIsa)
+        return "isaSchedule requires useIsa (the scheduler "
+               "reorders the lowered instruction program)";
+    // Negative isaLoadUsPerMword / isaRetuneUs are the "derive from
+    // the serving layer" sentinel, not an error: compiles resolve
+    // them through resolvedIsa*() and the serving engines overwrite
+    // them with their FleetConfig reload/retune calibration.
     return {};
+}
+
+double
+resolvedIsaLoadUsPerMword(const AimOptions &opts)
+{
+    return opts.isaLoadUsPerMword >= 0.0 ? opts.isaLoadUsPerMword
+                                         : kDefaultIsaLoadUsPerMword;
+}
+
+double
+resolvedIsaRetuneUs(const AimOptions &opts)
+{
+    return opts.isaRetuneUs >= 0.0 ? opts.isaRetuneUs
+                                   : kDefaultIsaRetuneUs;
 }
 
 sim::RunConfig
@@ -231,8 +239,8 @@ AimPipeline::compile(const workload::ModelSpec &model,
             // serving layer's reload/retune charges at instruction
             // grain.
             lopts.loadNsPerWord =
-                opts.isaLoadUsPerMword * 1000.0 / 1e6;
-            lopts.retuneNs = opts.isaRetuneUs * 1000.0;
+                resolvedIsaLoadUsPerMword(opts) * 1000.0 / 1e6;
+            lopts.retuneNs = resolvedIsaRetuneUs(opts) * 1000.0;
         }
         auto program = std::make_shared<isa::Program>(
             isa::lower(out.rounds, cfg, lopts));

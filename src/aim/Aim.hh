@@ -108,13 +108,25 @@ struct AimOptions
      * (ServeReport/StreamReport::scheduleSavedUs).
      */
     bool isaSchedule = false;
-    /** LOAD_WEIGHT streaming cost [us per 1e6 weight words] of the
-     * isaSchedule timing model (the instruction-grain analogue of
-     * serve::FleetConfig::reloadUsPerMweight). */
-    double isaLoadUsPerMword = 8.0;
-    /** RETUNE V-f settling cost [us] of the isaSchedule timing model
-     * (the analogue of serve::FleetConfig::retuneUsPerStep). */
-    double isaRetuneUs = 0.5;
+    /**
+     * LOAD_WEIGHT streaming cost [us per 1e6 weight words] of the
+     * isaSchedule timing model -- the instruction-grain share of the
+     * *same* link the serving layer prices whole-model reloads on
+     * (serve::FleetConfig::reloadUsPerMweight; 1 Mword of INT8
+     * weights == 1 Mweight element, so the units line up 1:1).
+     * Negative = derive (the default): the serving engines copy
+     * their FleetConfig::reloadUsPerMweight in, and standalone
+     * compiles fall back to kDefaultIsaLoadUsPerMword -- one link
+     * speed, one source of truth.  Explicitly non-negative values
+     * are an expert override and are keyed/charged verbatim.
+     */
+    double isaLoadUsPerMword = -1.0;
+    /**
+     * RETUNE V-f settling cost [us] of the isaSchedule timing model
+     * (the analogue of serve::FleetConfig::retuneUsPerStep).
+     * Negative = derive, exactly like isaLoadUsPerMword.
+     */
+    double isaRetuneUs = -1.0;
     /** Quantization bit width. */
     int bits = 8;
     /** Fraction of the full inference workload simulated. */
@@ -125,6 +137,19 @@ struct AimOptions
     /** The conventional chip: no AIM component active. */
     static AimOptions dvfsBaseline();
 };
+
+/** Shared reload-link default [us per Mweight/Mword]: the single
+ * number behind both FleetConfig::reloadUsPerMweight and the
+ * isaSchedule load cost when neither is set explicitly. */
+inline constexpr double kDefaultIsaLoadUsPerMword = 8.0;
+/** Shared retune default [us per step / per RETUNE]. */
+inline constexpr double kDefaultIsaRetuneUs = 0.5;
+
+/** The load cost an option set actually compiles/keys under: the
+ * explicit value when non-negative, else the shared default. */
+double resolvedIsaLoadUsPerMword(const AimOptions &opts);
+/** The retune cost an option set actually compiles/keys under. */
+double resolvedIsaRetuneUs(const AimOptions &opts);
 
 /**
  * Check an option set for values the models cannot represent.

@@ -47,11 +47,16 @@ struct LowerOptions
     bool emitRetune = false;
     /** LOAD_WEIGHT cost per weight word [ns] -- the per-Set share of
      * serve/Dispatch's reloadUsPerMweight pulled down to instruction
-     * grain.  0 keeps loads zero-latency (the default in-order
+     * grain.  Units: AimPipeline::compile derives this as
+     * resolvedIsaLoadUsPerMword(opts) * 1000 / 1e6 (us/Mword ->
+     * ns/word; one INT8 weight word == one weight element, so the
+     * link speed is shared with FleetConfig::reloadUsPerMweight
+     * 1:1).  0 keeps loads zero-latency (the default in-order
      * bit-identity path). */
     double loadNsPerWord = 0.0;
     /** RETUNE cost [ns] -- the V-f settling time serve/Dispatch
-     * charges per booster step.  0 keeps retunes zero-latency. */
+     * charges per booster step (resolvedIsaRetuneUs(opts) * 1000).
+     * 0 keeps retunes zero-latency. */
     double retuneNs = 0.0;
 };
 

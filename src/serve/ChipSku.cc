@@ -1,0 +1,76 @@
+#include "serve/ChipSku.hh"
+
+namespace aim::serve
+{
+
+ChipSku
+bigSku()
+{
+    ChipSku sku;
+    sku.name = "big";
+    return sku;
+}
+
+ChipSku
+smallSku()
+{
+    ChipSku sku;
+    sku.name = "small";
+    // A quarter of the groups: 4 x 4 = 16 macros, 512 Mweight.
+    sku.pim.groups = 4;
+    sku.cal.peakTops = 64.0;
+    sku.pdn.name = "small-nominal";
+    sku.costPerHour = 0.35;
+    return sku;
+}
+
+ChipSku
+xlSku()
+{
+    ChipSku sku;
+    sku.name = "xl";
+    // Double macros per group: 8 x 16 = 128 macros, 4096 Mweight.
+    sku.pim.macrosPerGroup = 8;
+    sku.cal.peakTops = 512.0;
+    sku.pdn.name = "xl-decapped";
+    sku.pdn.decapScale = 1.5;
+    sku.costPerHour = 2.2;
+    return sku;
+}
+
+std::string
+validateChipSku(const ChipSku &sku)
+{
+    if (sku.name.empty())
+        return "ChipSku::name must be non-empty";
+    if (sku.pim.groups <= 0 || sku.pim.macrosPerGroup <= 0)
+        return "ChipSku '" + sku.name +
+               "': pim geometry must be positive";
+    if (sku.pim.rows <= 0 || sku.pim.banks <= 0)
+        return "ChipSku '" + sku.name +
+               "': pim rows/banks must be positive";
+    if (sku.weightBufMweightPerMacro <= 0.0)
+        return "ChipSku '" + sku.name +
+               "': weightBufMweightPerMacro must be positive";
+    if (sku.costPerHour <= 0.0)
+        return "ChipSku '" + sku.name +
+               "': costPerHour must be positive";
+    if (sku.cal.peakTops <= 0.0)
+        return "ChipSku '" + sku.name +
+               "': calibration peakTops must be positive";
+    if (sku.pdn.decapScale <= 0.0 || sku.pdn.bumpScale <= 0.0)
+        return "ChipSku '" + sku.name +
+               "': PDN corner scales must be positive";
+    return "";
+}
+
+sim::RunConfig
+runConfigForSku(const AimOptions &opts, const ChipSku &sku)
+{
+    sim::RunConfig rcfg = runConfigFor(opts);
+    rcfg.transientDecapNf *= sku.pdn.decapScale;
+    rcfg.transientBumpPh *= sku.pdn.bumpScale;
+    return rcfg;
+}
+
+} // namespace aim::serve

@@ -49,6 +49,70 @@ class Engine;
 namespace aim::serve
 {
 
+/**
+ * The SKU structure of a fleet as the dispatch layer consumes it:
+ * which capability class each chip belongs to and what that class
+ * can hold.  A "class" is an index into FleetConfig::skus; a
+ * homogeneous (SKU-less) fleet collapses to one class of unbounded
+ * capacity, so every capability check is vacuously true and legacy
+ * behavior is bit-identical.
+ */
+class FleetSkus
+{
+  public:
+    explicit FleetSkus(const FleetConfig &fcfg);
+
+    /** SKU table configured (capability checks active)? */
+    bool heterogeneous() const { return !skus.empty(); }
+
+    /** Capability classes (1 for a homogeneous fleet). */
+    int classes() const
+    {
+        return heterogeneous() ? static_cast<int>(skus.size()) : 1;
+    }
+
+    /** Class of chip @p c (0 on a homogeneous fleet). */
+    int classOf(int c) const
+    {
+        return heterogeneous() ? assignment[static_cast<size_t>(c)]
+                               : 0;
+    }
+
+    /** SKU of class @p cls; nullptr on a homogeneous fleet. */
+    const ChipSku *sku(int cls) const
+    {
+        return heterogeneous() ? &skus[static_cast<size_t>(cls)]
+                               : nullptr;
+    }
+
+    /** Weight capacity of class @p cls [Mweight]; +inf when
+     * homogeneous (everything fits, as before SKUs existed). */
+    double capacity(int cls) const;
+
+    /** Can class @p cls hold a model of @p mweight Mweight? */
+    bool fits(int cls, double mweight) const
+    {
+        return mweight <= capacity(cls);
+    }
+
+    /**
+     * Member classes a gang of @p gangChips chips occupies, in slot
+     * order: the classes of the @p gangChips most-capable chips that
+     * can hold @p shareMweight per member (capacity descending, chip
+     * id ascending -- slot 0 gets the biggest part, which is also how
+     * the capacity-aware partitioner sizes stage 0).  Empty when
+     * fewer than @p gangChips chips are capable, or -- homogeneous --
+     * a vector of zeros (every chip qualifies).
+     */
+    std::vector<int> gangSlotClasses(int gangChips,
+                                     double shareMweight) const;
+
+  private:
+    std::vector<ChipSku> skus;
+    std::vector<int> assignment;
+    int chips = 0;
+};
+
 /** One chip's dispatch state inside a fleet. */
 struct ChipSlot
 {
@@ -110,9 +174,50 @@ class ChipPool
     /**
      * The @p gangChips earliest-free active chips, sorted by
      * (freeAtUs, id) -- the members a gang request acquires
-     * atomically.  Fatal when fewer active chips exist.
+     * atomically.  Returns an EMPTY vector when fewer active chips
+     * exist (e.g. the autoscaler shrank the pool below the gang
+     * size); callers reactivate chips and retry, or fail loudly.
+     * Historically this asserted, which crashed the streaming loop
+     * whenever a shrink raced a gang arrival.
      */
     std::vector<int> acquireGang(int gangChips) const;
+
+    /**
+     * Class-aware gang acquisition: member j must be an active chip
+     * of class slotClasses[j], each slot taking the earliest-free
+     * (ties -> lowest id) not-yet-taken chip of its class.  On a
+     * homogeneous fleet (all classes 0, classOf defaulted) this
+     * selects exactly acquireGang(slotClasses.size()).  Empty when
+     * any slot cannot be filled from the active pool.
+     */
+    std::vector<int>
+    acquireGang(const std::vector<int> &slotClasses) const;
+
+    /** Per-chip capability class (FleetSkus::classOf); defaults to
+     * all zeros.  Size must match the pool. */
+    void setClassOf(std::vector<int> classes);
+
+    /** Class of chip @p c. */
+    int classOf(int c) const
+    {
+        return classes.empty() ? 0
+                               : classes[static_cast<size_t>(c)];
+    }
+
+    /**
+     * Per-class minimum active counts deactivateOne must preserve
+     * (the capability-aware analogue of its count floor): gangs need
+     * their slot classes active no matter what the autoscaler wants.
+     * Empty (default) = no class floors.
+     */
+    void setClassFloor(std::vector<int> floor);
+
+    /** Active chips of class @p cls. */
+    int activeCountOfClass(int cls) const;
+
+    /** Activate the lowest-id inactive chip whose class is in
+     * @p slotClasses; false when none exists. */
+    bool activateOneOfClasses(const std::vector<int> &slotClasses);
 
     /** Dispatchable chips. */
     int activeCount() const;
@@ -128,13 +233,16 @@ class ChipPool
     bool activateOne();
 
     /**
-     * Deactivate the highest-id active chip, refusing to go below
-     * @p minActive; false when already at the floor.
+     * Deactivate the highest-id active chip whose class floor
+     * (setClassFloor) permits it, refusing to go below @p minActive
+     * chips overall; false when nothing can be shut down.
      */
     bool deactivateOne(int minActive);
 
   private:
     std::vector<ChipSlot> slots;
+    std::vector<int> classes;
+    std::vector<int> classFloor;
 };
 
 /** Serving-cost outcome of placing a request on a chip. */
@@ -215,6 +323,10 @@ class RequestExecutor
     RequestExecutor(const pim::PimConfig &cfg,
                     const power::Calibration &cal,
                     const AimOptions &options);
+
+    /** SKU-chip executor: the SKU's geometry and calibration, with
+     * its PDN corner applied to the runtime (runConfigForSku). */
+    RequestExecutor(const ChipSku &sku, const AimOptions &options);
     ~RequestExecutor();
 
     /**
@@ -259,7 +371,11 @@ class ArtifactMeta
     /**
      * Resolve @p request into a QueuedRequest: artifact from
      * @p cache (compiled on first use), gang routing per the fleet's
-     * GangSpecs, memoized scheduling keys.
+     * GangSpecs, memoized scheduling keys.  On a heterogeneous fleet
+     * single-chip artifacts compile per fitting SKU class
+     * (QueuedRequest::compiledByClass) and gang artifacts compile
+     * against their slot SKUs; a model that fits no configured SKU
+     * is fatal (the trace cannot be served).
      */
     QueuedRequest annotate(const Request &request, ModelCache &cache);
 
@@ -269,8 +385,18 @@ class ArtifactMeta
     /** Slot layout of a gang artifact annotated earlier. */
     const GangSlots &gangSlots(const shard::ShardedModel *m) const;
 
+    /**
+     * Member classes of a gang artifact, in slot order (empty on a
+     * homogeneous fleet: class-blind count acquisition applies).
+     */
+    const std::vector<int> &
+    gangClasses(const shard::ShardedModel *m) const;
+
     /** Gang rule of @p model, or nullptr when it serves single-chip. */
     const GangSpec *gangSpec(const std::string &model) const;
+
+    /** The fleet's SKU structure. */
+    const FleetSkus &fleetSkus() const { return skus; }
 
   private:
     struct ArtifactInfo
@@ -284,13 +410,20 @@ class ArtifactMeta
         double estServiceUs = 0.0;
         int safeLevel = 100;
         GangSlots slots;
+        std::vector<int> slotClasses;
     };
 
     const FleetConfig *fcfg;
     power::Calibration cal;
     power::VfTable table;
+    FleetSkus skus;
+    /** Per-class V-f tables of a heterogeneous fleet (safe-level
+     * derivation); empty when homogeneous. */
+    std::vector<power::VfTable> classTable;
     std::map<std::string, const GangSpec *> gangOf;
     std::map<std::string, double> reloadByModel;
+    /** Weight footprint per model [Mweight] (capability checks). */
+    std::map<std::string, double> mweightByModel;
     std::map<const CompiledModel *, ArtifactInfo> artifactInfo;
     std::map<const shard::ShardedModel *, GangInfo> gangInfo;
 };

@@ -9,6 +9,7 @@
 #include "util/Logging.hh"
 #include "util/Rng.hh"
 #include "util/Stats.hh"
+#include "workload/ModelZoo.hh"
 
 namespace aim::serve
 {
@@ -39,6 +40,35 @@ validateFleetConfig(const FleetConfig &fcfg)
         shard::validateInterconnectConfig(fcfg.interconnect);
     if (!link.empty())
         return util::detail::concat("interconnect: ", link);
+    if (fcfg.skus.empty() && !fcfg.skuOf.empty())
+        return util::detail::concat(
+            "skuOf assigns SKUs but the SKU table is empty: clear "
+            "skuOf or configure skus");
+    if (!fcfg.skus.empty()) {
+        std::set<std::string> sku_names;
+        for (const auto &sku : fcfg.skus) {
+            const std::string bad = validateChipSku(sku);
+            if (!bad.empty())
+                return bad;
+            if (!sku_names.insert(sku.name).second)
+                return util::detail::concat(
+                    "duplicate SKU name '", sku.name,
+                    "': every SKU needs a distinct name (they key "
+                    "compiled artifacts)");
+        }
+        if (fcfg.skuOf.size() != static_cast<size_t>(fcfg.chips))
+            return util::detail::concat(
+                "skuOf must assign a SKU to each of the ",
+                fcfg.chips, " chips, got ", fcfg.skuOf.size(),
+                " entries");
+        for (const int idx : fcfg.skuOf)
+            if (idx < 0 ||
+                idx >= static_cast<int>(fcfg.skus.size()))
+                return util::detail::concat(
+                    "skuOf entry ", idx,
+                    " is outside the SKU table [0, ",
+                    fcfg.skus.size(), ")");
+    }
     std::set<std::string> seen;
     for (const auto &gang : fcfg.gangs) {
         if (gang.model.empty())
@@ -56,6 +86,31 @@ validateFleetConfig(const FleetConfig &fcfg)
                 "gang '", gang.model, "' needs ",
                 gang.partition.chips, " chips but the fleet has ",
                 fcfg.chips);
+        // On a heterogeneous fleet the raw chip count is not
+        // enough: each member must *hold* its weight share, so the
+        // gang needs that many chips of sufficient capacity.
+        // (Unknown model names are left for annotate to report.)
+        if (!fcfg.skus.empty()) {
+            workload::ModelSpec spec;
+            if (workload::findModelByName(gang.model, spec)) {
+                const double share = spec.totalWeights() / 1e6 /
+                                     gang.partition.chips;
+                int capable = 0;
+                for (const int idx : fcfg.skuOf)
+                    if (share <=
+                        fcfg.skus[static_cast<size_t>(idx)]
+                            .capacityMweight())
+                        ++capable;
+                if (capable < gang.partition.chips)
+                    return util::detail::concat(
+                        "gang '", gang.model, "' needs ",
+                        gang.partition.chips,
+                        " chips able to hold ~", share,
+                        " Mweight per member but only ", capable,
+                        " of the fleet's ", fcfg.chips,
+                        " chips have the capacity");
+            }
+        }
         if (gang.microBatches < 1)
             return util::detail::concat(
                 "gang '", gang.model,
@@ -72,6 +127,14 @@ Fleet::Fleet(const pim::PimConfig &cfg, const power::Calibration &cal,
     const std::string problem = validateFleetConfig(fcfg);
     if (!problem.empty())
         aim_fatal("invalid FleetConfig: ", problem);
+    // Resolve the "derive" sentinel: the fleet's whole-model reload
+    // pricing is the single source of truth for the instruction-grain
+    // costs (see FleetConfig::reloadUsPerMweight).
+    if (this->fcfg.options.isaLoadUsPerMword < 0.0)
+        this->fcfg.options.isaLoadUsPerMword =
+            this->fcfg.reloadUsPerMweight;
+    if (this->fcfg.options.isaRetuneUs < 0.0)
+        this->fcfg.options.isaRetuneUs = this->fcfg.retuneUsPerStep;
 }
 
 ServeReport
@@ -108,14 +171,50 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
         annotated.push_back(meta.annotate(request, cache));
     }
 
-    // The modelled chips are identical and the executor is const and
-    // stateless across calls, so one instance executes every request
-    // (through sim::Runtime, or the ISA engine when the options say
-    // useIsa); the per-chip state below is purely the queueing
-    // simulation's.  The RunConfig seed is irrelevant: every run
-    // gets a per-request seed.
-    const RequestExecutor executor(cfg, cal, fcfg.options);
+    // Chips of one SKU class are identical and the executors are
+    // const and stateless across calls, so one instance per class
+    // executes every request (through sim::Runtime, or the ISA
+    // engine when the options say useIsa); the per-chip state below
+    // is purely the queueing simulation's.  A homogeneous fleet has
+    // exactly one class -- the constructor (cfg, cal) pair -- and
+    // takes the same code path as before SKUs existed.  The
+    // RunConfig seed is irrelevant: every run gets a per-request
+    // seed.
+    const FleetSkus &skus = meta.fleetSkus();
+    const bool hetero = skus.heterogeneous();
+    const int nclasses = skus.classes();
+    std::vector<std::unique_ptr<const RequestExecutor>> executors;
+    if (hetero)
+        for (int cls = 0; cls < nclasses; ++cls)
+            executors.push_back(
+                std::make_unique<const RequestExecutor>(
+                    *skus.sku(cls), fcfg.options));
+    else
+        executors.push_back(std::make_unique<const RequestExecutor>(
+            cfg, cal, fcfg.options));
     ChipPool chips(fcfg.chips);
+    if (hetero) {
+        std::vector<int> chip_class(
+            static_cast<size_t>(fcfg.chips));
+        for (int c = 0; c < fcfg.chips; ++c)
+            chip_class[static_cast<size_t>(c)] = skus.classOf(c);
+        chips.setClassOf(std::move(chip_class));
+        // A model may fit a *configured* SKU that no chip actually
+        // instantiates; that trace is unservable -- fail loudly
+        // before the dispatch loop deadlocks on it.
+        for (const auto &q : annotated) {
+            if (q.sharded)
+                continue;
+            bool anywhere = false;
+            for (int c = 0; c < fcfg.chips && !anywhere; ++c)
+                anywhere =
+                    skus.fits(skus.classOf(c), q.requiredMweight);
+            if (!anywhere)
+                aim_fatal("model '", q.request.model, "' (",
+                          q.requiredMweight,
+                          " Mweight) fits no chip of the fleet");
+        }
+    }
 
     // Per-request runtime seeds keyed by id (not by chip), so every
     // policy sees identical chip noise for the same request.
@@ -138,7 +237,8 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
     // every core busy across requests.  threads = 1 runs the same
     // loop inline: the N-thread report is bit-identical to it.
     exec::ExecPool pool(fcfg.threads == 0 ? -1 : fcfg.threads);
-    std::vector<ExecResult> executed(trace.size());
+    std::vector<std::vector<ExecResult>> executed(
+        executors.size(), std::vector<ExecResult>(trace.size()));
     std::vector<shard::ShardReport> shard_executed(trace.size());
     pool.parallelFor(
         static_cast<long>(annotated.size()), [&](long i) {
@@ -152,11 +252,43 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
                 scfg.interconnect = fcfg.interconnect;
                 const shard::ShardedRuntime sharded_rt(cfg, cal,
                                                        scfg);
-                shard_executed[id] = sharded_rt.execute(
-                    *q.sharded, request_seed[id]);
+                if (hetero) {
+                    // Each stage simulates on the chip of the SKU
+                    // class its member slot routes to.
+                    std::vector<shard::StageEnv> envs;
+                    const auto &slot_classes =
+                        meta.gangClasses(q.sharded.get());
+                    size_t slot = 0;
+                    for (const auto &stage :
+                         q.sharded->plan.stages) {
+                        const ChipSku &sku =
+                            *skus.sku(slot_classes[slot]);
+                        envs.push_back(
+                            {sku.pim, sku.cal,
+                             runConfigForSku(fcfg.options, sku)});
+                        slot += static_cast<size_t>(stage.ways);
+                    }
+                    shard_executed[id] = sharded_rt.execute(
+                        *q.sharded, request_seed[id], &envs);
+                } else {
+                    shard_executed[id] = sharded_rt.execute(
+                        *q.sharded, request_seed[id]);
+                }
+            } else if (hetero) {
+                // One run per SKU class that can host the model:
+                // the dispatch replay below consumes the one of the
+                // chip the request actually lands on.
+                for (int cls = 0; cls < nclasses; ++cls)
+                    if (q.compiledByClass[static_cast<size_t>(cls)])
+                        executed[static_cast<size_t>(cls)][id] =
+                            executors[static_cast<size_t>(cls)]
+                                ->run(*q.compiledByClass
+                                           [static_cast<size_t>(
+                                               cls)],
+                                      request_seed[id]);
             } else {
-                executed[id] =
-                    executor.run(*q.compiled, request_seed[id]);
+                executed[0][id] = executors[0]->run(
+                    *q.compiled, request_seed[id]);
             }
         });
 
@@ -169,22 +301,51 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
     // advance its clock to the earliest unserved arrival (if it is
     // idle) and let the policy pick among the requests that have
     // actually arrived by then -- the dispatcher never sees the
-    // future, and nothing starts before it arrives.
+    // future, and nothing starts before it arrives.  On a
+    // heterogeneous fleet a chip only sees requests its SKU can hold
+    // (gangs stay visible everywhere: gang acquisition routes the
+    // members itself), so the chip/instant selection minimizes over
+    // per-chip eligible work; with every request eligible everywhere
+    // that reduces exactly to earliestFree() + the global earliest
+    // arrival, i.e. the legacy homogeneous loop bit-for-bit.
+    const auto eligible = [&](const QueuedRequest &q, int c) {
+        if (!hetero || q.sharded)
+            return true;
+        return skus.fits(chips.classOf(c), q.requiredMweight);
+    };
     std::vector<QueuedRequest> pending;
     size_t next_arrival = 0;
     double last_completion = 0.0;
     for (long served = 0; served < rep.requests; ++served) {
-        const int c = chips.earliestFree();
-        double now = chips.slot(c).freeAtUs;
-        double earliest_work = 1e300;
-        for (const auto &p : pending)
-            earliest_work =
-                std::min(earliest_work, p.request.arrivalUs);
-        if (next_arrival < annotated.size())
-            earliest_work =
-                std::min(earliest_work,
-                         annotated[next_arrival].request.arrivalUs);
-        now = std::max(now, earliest_work);
+        int c = -1;
+        double now = 0.0, c_free = 0.0;
+        for (int i = 0; i < chips.size(); ++i) {
+            double earliest_work = 1e300;
+            for (const auto &p : pending)
+                if (eligible(p, i))
+                    earliest_work = std::min(
+                        earliest_work, p.request.arrivalUs);
+            for (size_t a = next_arrival; a < annotated.size(); ++a)
+                if (eligible(annotated[a], i)) {
+                    earliest_work =
+                        std::min(earliest_work,
+                                 annotated[a].request.arrivalUs);
+                    break;
+                }
+            if (earliest_work >= 1e300)
+                continue; // nothing this chip could ever take
+            const double free_at =
+                chips.slot(i).freeAtUs;
+            const double t = std::max(free_at, earliest_work);
+            if (c < 0 || t < now ||
+                (t == now && free_at < c_free)) {
+                c = i;
+                now = t;
+                c_free = free_at;
+            }
+        }
+        aim_assert(c >= 0, "no chip can take any remaining request "
+                   "(capability deadlock)");
         while (next_arrival < annotated.size() &&
                annotated[next_arrival].request.arrivalUs <= now)
             pending.push_back(annotated[next_arrival++]);
@@ -193,10 +354,12 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
         ctx.chip = c;
         ctx.residentModel = chips.slot(c).resident;
         ctx.safeLevel = chips.slot(c).safeLevel;
+        ctx.skuClass = chips.classOf(c);
         std::vector<QueuedRequest> arrived;
         std::vector<size_t> arrived_idx;
         for (size_t i = 0; i < pending.size(); ++i)
-            if (pending[i].request.arrivalUs <= now) {
+            if (pending[i].request.arrivalUs <= now &&
+                eligible(pending[i], c)) {
                 arrived.push_back(pending[i]);
                 arrived_idx.push_back(i);
             }
@@ -209,9 +372,19 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
             // Gang dispatch: acquire the gangChips earliest-free
             // chips (non-backfilling -- members already free wait
             // for the last one) and hold all of them for the
-            // pipeline makespan.
+            // pipeline makespan.  Heterogeneous gangs acquire by
+            // slot class so each stage lands on a chip that holds
+            // its share.
             const auto &slots = meta.gangSlots(q.sharded.get());
-            const auto member = chips.acquireGang(q.gangChips);
+            const auto member =
+                hetero ? chips.acquireGang(
+                             meta.gangClasses(q.sharded.get()))
+                       : chips.acquireGang(q.gangChips);
+            aim_assert(!member.empty(),
+                       "fleet gang acquisition failed for '",
+                       q.request.model,
+                       "' (validateFleetConfig should have rejected "
+                       "this fleet)");
             double start = now;
             for (int m : member)
                 start = std::max(start, chips.slot(m).freeAtUs);
@@ -246,26 +419,34 @@ Fleet::serve(const std::vector<Request> &trace, ModelCache &cache)
 
         auto &chip = chips.slot(c);
         auto &usage = rep.chips[c];
+        const int cls = chips.classOf(c);
+        const int safe_level =
+            hetero ? q.safeLevelByClass[static_cast<size_t>(cls)]
+                   : q.safeLevel;
+        if (hetero && !skus.fits(cls, q.requiredMweight))
+            ++rep.placementViolations;
+        const ExecResult &er =
+            executed[hetero ? static_cast<size_t>(cls) : 0]
+                    [static_cast<size_t>(q.request.id)];
         const DispatchCost cost = dispatchCost(
-            chip, q.request.model, q.safeLevel,
+            chip, q.request.model, safe_level,
             meta.reloadUs(q.request.model), fcfg.options.useBooster,
             cal.levelStepPct, fcfg.retuneUsPerStep, chip.overlapUs);
         if (cost.modelSwitch)
             ++usage.modelSwitches;
         rep.reloadOverlapSavedUs += cost.overlapSavedUs;
-        rep.scheduleSavedUs +=
-            executed[q.request.id].scheduleSavedUs;
+        rep.scheduleSavedUs += er.scheduleSavedUs;
 
-        const auto &run = executed[q.request.id].run;
+        const auto &run = er.run;
         const double service_us =
-            executed[q.request.id].serviceNs / 1000.0 / work_scale;
+            er.serviceNs / 1000.0 / work_scale;
 
         const double finish =
             now + cost.reloadUs + cost.retuneUs + service_us;
         chip.freeAtUs = finish;
         chip.resident = q.request.model;
-        chip.safeLevel = q.safeLevel;
-        chip.overlapUs = executed[q.request.id].overlapUs;
+        chip.safeLevel = safe_level;
+        chip.overlapUs = er.overlapUs;
         last_completion = std::max(last_completion, finish);
 
         usage.busyUs += service_us;

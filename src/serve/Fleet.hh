@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "aim/Aim.hh"
+#include "serve/ChipSku.hh"
 #include "serve/ModelCache.hh"
 #include "serve/Scheduler.hh"
 #include "serve/ServeReport.hh"
@@ -97,6 +98,12 @@ struct FleetConfig
     /**
      * Macro weight reload cost per million weight elements [us]
      * (default ~ 8-bit weights over a ~100 GB/s on-package link).
+     * Single source of truth for the reload link: when
+     * options.isaLoadUsPerMword / isaRetuneUs carry their negative
+     * "derive" sentinel, the serving engines copy this value (and
+     * retuneUsPerStep) into the options at construction, so the
+     * instruction-grain costs and the whole-model dispatch costs
+     * price the same link.
      */
     double reloadUsPerMweight = 8.0;
     /** Booster V-f retune cost per safe-level step [us]. */
@@ -105,6 +112,22 @@ struct FleetConfig
     std::vector<GangSpec> gangs;
     /** Chip-to-chip link calibration for gang-dispatched models. */
     shard::InterconnectConfig interconnect;
+    /**
+     * Chip SKU table of a heterogeneous fleet.  Empty (the default)
+     * = homogeneous legacy fleet: every chip is the (cfg, cal) pair
+     * the engine was constructed with, and behavior is bit-identical
+     * to pre-SKU fleets.  Non-empty: every chip is an instance of
+     * one of these SKUs per `skuOf`, artifacts compile per SKU, and
+     * dispatch is capability-aware (a model only lands on a chip
+     * whose SKU capacity holds its weights).
+     */
+    std::vector<ChipSku> skus;
+    /**
+     * Per-chip SKU assignment: skuOf[c] indexes `skus`.  Must have
+     * exactly `chips` entries when `skus` is non-empty, and must be
+     * empty when it is.
+     */
+    std::vector<int> skuOf;
 };
 
 /**
@@ -114,9 +137,13 @@ struct FleetConfig
  *         of the first problem found: non-positive chips, negative
  *         threads, invalid AimOptions / interconnect calibration, a
  *         gang whose size exceeds the fleet or whose partition /
- *         micro-batch shape is invalid, or duplicate gang models.
- *         The Fleet constructor calls this and aim_fatal on a
- *         non-empty result.
+ *         micro-batch shape is invalid, duplicate gang models, an
+ *         invalid or inconsistent SKU table (bad ChipSku, skuOf
+ *         size/range mismatch, duplicate SKU names), or -- on a
+ *         heterogeneous fleet -- a gang whose size exceeds the
+ *         number of chips *capable* of holding its per-member weight
+ *         share.  The Fleet constructor calls this and aim_fatal on
+ *         a non-empty result.
  */
 std::string validateFleetConfig(const FleetConfig &fcfg);
 
@@ -124,6 +151,14 @@ std::string validateFleetConfig(const FleetConfig &fcfg);
 class Fleet
 {
   public:
+    /**
+     * Fatal on an invalid @p fcfg.  The stored config resolves the
+     * negative "derive" sentinel of options.isaLoadUsPerMword /
+     * isaRetuneUs from reloadUsPerMweight / retuneUsPerStep (see
+     * FleetConfig::reloadUsPerMweight); config() returns the
+     * resolved values.  On a heterogeneous fleet (fcfg.skus set)
+     * @p cfg and @p cal are ignored in favour of the per-chip SKUs.
+     */
     Fleet(const pim::PimConfig &cfg, const power::Calibration &cal,
           const FleetConfig &fcfg);
 

@@ -58,9 +58,30 @@ ModelCache::key(const std::string &model, const AimOptions &opts)
     // Scheduling knobs shape the artifact (instruction costs + the
     // attached Schedule) only when the scheduler is on; same gating
     // rationale as the transient knobs above.
+    // Keyed through the resolved values so the "derive" sentinel and
+    // an explicit default-valued knob -- which compile byte-identical
+    // programs -- share one artifact instead of aliasing into two.
     if (opts.isaSchedule)
-        os << ",sched=1,slw=" << opts.isaLoadUsPerMword
-           << ",srt=" << opts.isaRetuneUs;
+        os << ",sched=1,slw=" << resolvedIsaLoadUsPerMword(opts)
+           << ",srt=" << resolvedIsaRetuneUs(opts);
+    return os.str();
+}
+
+std::string
+ModelCache::skuKey(const ChipSku &sku)
+{
+    // SKU identity for artifact sharing: name + geometry + the
+    // electricals that shape compilation or execution.  Two SKUs
+    // that differ anywhere here never share an artifact.
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << "|sku|" << sku.name << ",g=" << sku.pim.groups
+       << ",mpg=" << sku.pim.macrosPerGroup
+       << ",rows=" << sku.pim.rows << ",banks=" << sku.pim.banks
+       << ",wbuf=" << sku.weightBufMweightPerMacro
+       << ",tops=" << sku.cal.peakTops
+       << ",dsc=" << sku.pdn.decapScale
+       << ",bsc=" << sku.pdn.bumpScale;
     return os.str();
 }
 
@@ -76,6 +97,15 @@ ModelCache::shardedKey(const std::string &model,
        << ",tsf=" << pcfg.tensorSplitFactor
        << ",ways=" << pcfg.maxTensorWays
        << ",aff=" << pcfg.rtogAffinityWeight;
+    // Capacity-aware plans depend on the member capacities; keying
+    // them keeps a uniform and a weighted plan of the same shape
+    // from aliasing.  Legacy (empty) prints nothing, preserving
+    // every pre-capacity key byte-for-byte.
+    if (!pcfg.memberCapacity.empty()) {
+        os << ",cap=";
+        for (size_t i = 0; i < pcfg.memberCapacity.size(); ++i)
+            os << (i ? ";" : "") << pcfg.memberCapacity[i];
+    }
     return os.str();
 }
 
@@ -124,6 +154,46 @@ ModelCache::getSharded(const std::string &model,
                                opts, pcfg));
                })
         .sharded;
+}
+
+std::shared_ptr<const CompiledModel>
+ModelCache::get(const std::string &model, const AimOptions &opts,
+                const ChipSku &sku)
+{
+    return lookup(key(model, opts) + skuKey(sku), [&](Entry &entry) {
+        // Compiled against the SKU's own chip, not the constructor
+        // pipeline's: a small bin tiles into different rounds than
+        // the big part.
+        const AimPipeline sku_pipe(sku.pim, sku.cal);
+        entry.plain = std::make_shared<const CompiledModel>(
+            sku_pipe.compile(workload::modelByName(model), opts));
+    }).plain;
+}
+
+std::shared_ptr<const shard::ShardedModel>
+ModelCache::getSharded(const std::string &model,
+                       const AimOptions &opts,
+                       const shard::PartitionConfig &pcfg,
+                       const std::vector<ChipSku> &slotSkus)
+{
+    std::string k = shardedKey(model, opts, pcfg) + "|slots|";
+    for (size_t i = 0; i < slotSkus.size(); ++i)
+        k += (i ? "," : "") + slotSkus[i].name;
+    return lookup(k, [&](Entry &entry) {
+        std::vector<pim::PimConfig> slot_pim;
+        std::vector<power::Calibration> slot_cal;
+        slot_pim.reserve(slotSkus.size());
+        slot_cal.reserve(slotSkus.size());
+        for (const auto &sku : slotSkus) {
+            slot_pim.push_back(sku.pim);
+            slot_cal.push_back(sku.cal);
+        }
+        entry.sharded =
+            std::make_shared<const shard::ShardedModel>(
+                shard::compileShardedSlots(
+                    workload::modelByName(model), opts, pcfg,
+                    slot_pim, slot_cal));
+    }).sharded;
 }
 
 void

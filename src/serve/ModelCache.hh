@@ -21,8 +21,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "aim/Aim.hh"
+#include "serve/ChipSku.hh"
 #include "shard/Partitioner.hh"
 #include "shard/ShardedRuntime.hh"
 
@@ -59,9 +61,36 @@ class ModelCache
     getSharded(const std::string &model, const AimOptions &opts,
                const shard::PartitionConfig &pcfg);
 
+    /**
+     * Per-SKU artifact of a heterogeneous fleet: compiled with the
+     * SKU's geometry and calibration instead of the constructor
+     * pipeline's, keyed additionally on the SKU identity (skuKey),
+     * so the same model on two SKUs yields two distinct artifacts
+     * that never alias.
+     */
+    std::shared_ptr<const CompiledModel>
+    get(const std::string &model, const AimOptions &opts,
+        const ChipSku &sku);
+
+    /**
+     * Per-SKU sharded artifact: each pipeline stage compiles with
+     * the SKU of its member slot (@p slotSkus, one entry per slot of
+     * the plan; tensor-parallel stages use their first slot's).
+     * Keyed on the partition (including its memberCapacity) plus the
+     * slot SKU names.
+     */
+    std::shared_ptr<const shard::ShardedModel>
+    getSharded(const std::string &model, const AimOptions &opts,
+               const shard::PartitionConfig &pcfg,
+               const std::vector<ChipSku> &slotSkus);
+
     /** Cache key of a (model, options) combination. */
     static std::string key(const std::string &model,
                            const AimOptions &opts);
+
+    /** Key suffix identifying a SKU: name, geometry, weight-buffer
+     * depth, headline calibration and PDN corner. */
+    static std::string skuKey(const ChipSku &sku);
 
     /** Cache key of a sharded (model, options, partition) combo. */
     static std::string shardedKey(const std::string &model,

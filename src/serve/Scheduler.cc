@@ -73,9 +73,16 @@ struct IrRank
 IrRank
 irRank(const QueuedRequest &q, const ChipContext &chip)
 {
+    // On a heterogeneous fleet the level the chip would park at is
+    // the one of the artifact compiled for *its* SKU class.
+    const int level =
+        q.safeLevelByClass.empty()
+            ? q.safeLevel
+            : q.safeLevelByClass[static_cast<size_t>(
+                  chip.skuClass)];
     IrRank r;
     r.reload = q.request.model == chip.residentModel ? 0 : 1;
-    r.levelDist = std::abs(q.safeLevel - chip.safeLevel);
+    r.levelDist = std::abs(level - chip.safeLevel);
     r.arrivalUs = q.request.arrivalUs;
     return r;
 }

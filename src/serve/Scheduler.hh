@@ -73,8 +73,23 @@ struct QueuedRequest
     /** Predicted full-inference service time [us] (SJF key). */
     double estServiceUs = 0.0;
     /** Safe Rtog level of the artifact's worst layer [%] (gangs:
-     * worst stage). */
+     * worst stage; heterogeneous fleets: the reference class's --
+     * see safeLevelByClass). */
     int safeLevel = 100;
+    /**
+     * Heterogeneous fleets only: one artifact per SKU class the
+     * model fits (null where it does not), indexed by class.  Empty
+     * on a homogeneous fleet -- `compiled` is the single artifact.
+     */
+    std::vector<std::shared_ptr<const CompiledModel>>
+        compiledByClass;
+    /** Per-class safe levels matching compiledByClass (100 where
+     * the model does not fit).  Empty on a homogeneous fleet. */
+    std::vector<int> safeLevelByClass;
+    /** Weight footprint the hosting chip must hold [Mweight]
+     * (gangs: the per-member share).  Capability-aware placement
+     * compares this against the chip SKU's capacityMweight(). */
+    double requiredMweight = 0.0;
 };
 
 /** What a policy may know about the chip asking for work. */
@@ -85,6 +100,9 @@ struct ChipContext
     std::string residentModel;
     /** Safe level the chip's booster is currently tuned for [%]. */
     int safeLevel = 100;
+    /** SKU class of the chip (0 on a homogeneous fleet); selects
+     * the candidate's per-class safe level in the IR-aware rank. */
+    int skuClass = 0;
 };
 
 /**

@@ -68,6 +68,10 @@ struct ServeReport
     long stallWindows = 0;
     /** Requests dispatched to multi-chip gangs (sharded models). */
     long gangDispatches = 0;
+    /** Requests placed on a chip whose SKU cannot hold their model
+     * (always 0 when capability-aware placement works; the
+     * heterogeneous-fleet test suites assert on it). */
+    long placementViolations = 0;
     /** ModelCache lookups served from the cache during this run. */
     long cacheHits = 0;
     /** ModelCache lookups that compiled a new artifact. */

@@ -27,6 +27,19 @@ validatePartitionConfig(const PartitionConfig &cfg)
         return util::detail::concat(
             "rtogAffinityWeight must be non-negative, got ",
             cfg.rtogAffinityWeight);
+    if (!cfg.memberCapacity.empty()) {
+        if (cfg.memberCapacity.size() !=
+            static_cast<size_t>(cfg.chips))
+            return util::detail::concat(
+                "memberCapacity must be empty or have one entry per "
+                "chip (",
+                cfg.chips, "), got ", cfg.memberCapacity.size());
+        for (const double cap : cfg.memberCapacity)
+            if (!(cap > 0.0))
+                return util::detail::concat(
+                    "memberCapacity entries must be positive, got ",
+                    cap);
+    }
     return {};
 }
 
@@ -108,15 +121,27 @@ rangeCost(const std::vector<const workload::LayerSpec *> &layers,
 
 /**
  * Min-max contiguous partition of @p layers into @p k ranges.
+ * Range j's cost is its MAC cost divided by rangeCapacity[j] (empty
+ * = uniform capacity 1.0, which divides out exactly and keeps the
+ * legacy plan bit-identical): a range on a big member may carry
+ * proportionally more MACs before it becomes the pipeline
+ * bottleneck, which is measured in *time per capacity unit*.
  * Returns the k+1 cut positions (first 0, last layers.size()).
  */
 std::vector<size_t>
 minMaxPartition(const std::vector<const workload::LayerSpec *> &layers,
-                size_t k, double affinity)
+                size_t k, double affinity,
+                const std::vector<double> &rangeCapacity)
 {
     const size_t n = layers.size();
     aim_assert(k >= 1 && k <= n, "partition arity out of range: ", k,
                " ranges over ", n, " layers");
+    aim_assert(rangeCapacity.empty() || rangeCapacity.size() == k,
+               "range capacities must match the arity: ",
+               rangeCapacity.size(), " for ", k);
+    const auto capOf = [&](size_t j) {
+        return rangeCapacity.empty() ? 1.0 : rangeCapacity[j];
+    };
     constexpr double inf = std::numeric_limits<double>::infinity();
     // best[j][b]: minimal worst-range cost splitting [0, b) into j+1
     // ranges; cut[j][b]: position of the last cut achieving it.
@@ -125,13 +150,13 @@ minMaxPartition(const std::vector<const workload::LayerSpec *> &layers,
     std::vector<std::vector<size_t>> cut(
         k, std::vector<size_t>(n + 1, 0));
     for (size_t b = 1; b <= n; ++b)
-        best[0][b] = rangeCost(layers, 0, b, affinity);
+        best[0][b] = rangeCost(layers, 0, b, affinity) / capOf(0);
     for (size_t j = 1; j < k; ++j)
         for (size_t b = j + 1; b <= n; ++b)
             for (size_t a = j; a < b; ++a) {
-                const double worst =
-                    std::max(best[j - 1][a],
-                             rangeCost(layers, a, b, affinity));
+                const double worst = std::max(
+                    best[j - 1][a],
+                    rangeCost(layers, a, b, affinity) / capOf(j));
                 if (worst < best[j][b]) {
                     best[j][b] = worst;
                     cut[j][b] = a;
@@ -310,21 +335,34 @@ Partitioner::partition(const workload::ModelSpec &model) const
         stage.mixedLevels = has[0] && has[1];
         plan.stages.push_back(std::move(stage));
     };
+    // Slot cursor into memberCapacity: stages consume member slots
+    // in emission order, a TP stage taking `ways` consecutive slots.
+    size_t slot = 0;
     for (size_t j = 0; j < items.size(); ++j) {
         const Item &item = items[j];
         if (item.tensorParallel) {
             pushStage(item.first, item.last, item.ways);
+            slot += static_cast<size_t>(item.ways);
             continue;
         }
         std::vector<const workload::LayerSpec *> layers;
         layers.reserve(item.last - item.first);
         for (size_t i = item.first; i < item.last; ++i)
             layers.push_back(&model.layers[i]);
-        const auto cuts = minMaxPartition(layers, stagesOf[j],
-                                          cfg.rtogAffinityWeight);
+        std::vector<double> caps;
+        if (!cfg.memberCapacity.empty() &&
+            slot + stagesOf[j] <= cfg.memberCapacity.size())
+            caps.assign(cfg.memberCapacity.begin() +
+                            static_cast<std::ptrdiff_t>(slot),
+                        cfg.memberCapacity.begin() +
+                            static_cast<std::ptrdiff_t>(slot +
+                                                        stagesOf[j]));
+        const auto cuts = minMaxPartition(
+            layers, stagesOf[j], cfg.rtogAffinityWeight, caps);
         for (size_t s = 0; s + 1 < cuts.size(); ++s)
             pushStage(item.first + cuts[s], item.first + cuts[s + 1],
                       1);
+        slot += stagesOf[j];
     }
     aim_assert(plan.totalChips() <= cfg.chips,
                "plan uses ", plan.totalChips(), " chips over budget ",

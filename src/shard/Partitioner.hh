@@ -56,6 +56,18 @@ struct PartitionConfig
      * safe level) operators.  0 disables the affinity term.
      */
     double rtogAffinityWeight = 0.15;
+    /**
+     * Relative capacity of each member slot (heterogeneous gangs:
+     * the per-slot SKU weight capacity in Mweight).  Empty (the
+     * default) = uniform members, bit-identical to the
+     * pre-capacity partitioner; otherwise exactly `chips` positive
+     * entries.  The pipeline DP divides a stage's cost by its
+     * slot's capacity, so bigger parts receive proportionally
+     * bigger stages.  Slots are consumed in stage order
+     * (tensor-parallel stages take `ways` consecutive slots and use
+     * their first).
+     */
+    std::vector<double> memberCapacity;
 };
 
 /**

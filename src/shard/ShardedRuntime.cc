@@ -51,6 +51,35 @@ compileSharded(const AimPipeline &pipe,
     return out;
 }
 
+ShardedModel
+compileShardedSlots(const workload::ModelSpec &model,
+                    const AimOptions &opts,
+                    const PartitionConfig &pcfg,
+                    const std::vector<pim::PimConfig> &slotPim,
+                    const std::vector<power::Calibration> &slotCal)
+{
+    aim_assert(slotPim.size() == slotCal.size(),
+               "slot geometry/calibration lists disagree: ",
+               slotPim.size(), " vs ", slotCal.size());
+    Partitioner partitioner(pcfg);
+    ShardedModel out;
+    out.plan = partitioner.partition(model);
+    out.options = opts;
+    aim_assert(static_cast<size_t>(out.plan.totalChips()) <=
+                   slotPim.size(),
+               "plan occupies ", out.plan.totalChips(),
+               " slots but only ", slotPim.size(),
+               " slot environments were supplied");
+    out.stages.reserve(out.plan.stages.size());
+    size_t slot = 0;
+    for (const auto &stage : out.plan.stages) {
+        const AimPipeline pipe(slotPim[slot], slotCal[slot]);
+        out.stages.push_back(pipe.compile(stage.subModel, opts));
+        slot += static_cast<size_t>(stage.ways);
+    }
+    return out;
+}
+
 ShardedRuntime::ShardedRuntime(const pim::PimConfig &cfg,
                                const power::Calibration &cal,
                                const ShardRuntimeConfig &rcfg)
@@ -65,9 +94,20 @@ ShardReport
 ShardedRuntime::execute(const ShardedModel &sharded,
                         uint64_t seed) const
 {
+    return execute(sharded, seed, nullptr);
+}
+
+ShardReport
+ShardedRuntime::execute(const ShardedModel &sharded, uint64_t seed,
+                        const std::vector<StageEnv> *stageEnvs) const
+{
     const int S = static_cast<int>(sharded.stages.size());
     const int M = rcfg.microBatches;
     aim_assert(S >= 1, "sharded model has no stages");
+    aim_assert(!stageEnvs ||
+                   static_cast<int>(stageEnvs->size()) == S,
+               "stage environments must match the stage count: ",
+               stageEnvs ? stageEnvs->size() : 0, " for ", S);
 
     ShardReport rep;
     rep.modelName = sharded.plan.modelName;
@@ -85,21 +125,35 @@ ShardedRuntime::execute(const ShardedModel &sharded,
     std::vector<std::vector<sim::Round>> microRounds(
         static_cast<size_t>(S));
     for (int s = 0; s < S; ++s) {
+        const long floor =
+            (stageEnvs ? (*stageEnvs)[static_cast<size_t>(s)].cfg
+                       : cfg)
+                .macsPerMacroPerPass();
         microRounds[static_cast<size_t>(s)] =
             sharded.stages[static_cast<size_t>(s)].rounds;
         if (M > 1)
             for (auto &round : microRounds[static_cast<size_t>(s)])
                 for (auto &task : round.tasks)
-                    task.macs = std::max<long>(
-                        task.macs / M, cfg.macsPerMacroPerPass());
+                    task.macs =
+                        std::max<long>(task.macs / M, floor);
     }
 
     // Execute the (stage, micro-batch) grid.  Each cell is a pure
     // function of (stage artifact, index-derived seed): which worker
     // computes it cannot change its bits, so the pipeline replay
-    // below is deterministic at any thread count.
-    const sim::RunConfig runcfg = runConfigFor(sharded.options);
-    const sim::Runtime runtime(cfg, cal, runcfg);
+    // below is deterministic at any thread count.  With stage
+    // environments every stage simulates on its member's chip; the
+    // homogeneous path keeps one shared runtime (byte-identical to
+    // the pre-SKU flow).
+    std::vector<sim::Runtime> stageRt;
+    if (stageEnvs) {
+        stageRt.reserve(static_cast<size_t>(S));
+        for (const auto &env : *stageEnvs)
+            stageRt.emplace_back(env.cfg, env.cal, env.rcfg);
+    } else {
+        stageRt.emplace_back(cfg, cal,
+                             runConfigFor(sharded.options));
+    }
     std::vector<sim::RunReport> grid(
         static_cast<size_t>(S) * static_cast<size_t>(M));
     exec::ExecPool pool(rcfg.threads == 0 ? -1 : rcfg.threads);
@@ -109,6 +163,8 @@ ShardedRuntime::execute(const ShardedModel &sharded,
             uint64_t cell = exec::ExecPool::taskSeed(seed, i);
             if (cell == 0)
                 cell = 1;
+            const sim::Runtime &runtime =
+                stageRt[stageEnvs ? static_cast<size_t>(s) : 0];
             grid[static_cast<size_t>(i)] = runtime.run(
                 microRounds[static_cast<size_t>(s)],
                 sharded.stages[static_cast<size_t>(s)].stream, cell);

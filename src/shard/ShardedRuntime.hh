@@ -82,6 +82,36 @@ ShardedModel compileSharded(const AimPipeline &pipe,
                             const AimOptions &opts,
                             const PartitionConfig &pcfg);
 
+/**
+ * Heterogeneous-gang compile: partition @p model under @p pcfg, then
+ * compile each stage against the chip geometry and calibration of the
+ * member slot hosting it (@p slotPim / @p slotCal, one entry per
+ * member slot in stage order; a tensor-parallel stage occupies `ways`
+ * consecutive slots and compiles against its first).  With identical
+ * entries everywhere this reduces to compileSharded.  Pure in all
+ * arguments: cache freely (serve::ModelCache keys it on the slot SKU
+ * names).
+ */
+ShardedModel
+compileShardedSlots(const workload::ModelSpec &model,
+                    const AimOptions &opts,
+                    const PartitionConfig &pcfg,
+                    const std::vector<pim::PimConfig> &slotPim,
+                    const std::vector<power::Calibration> &slotCal);
+
+/**
+ * Per-stage execution environment of a heterogeneous gang: the chip
+ * geometry, calibration and (PDN-corner-scaled) run config of the
+ * member hosting the stage.  One entry per stage -- tensor-parallel
+ * stages use their first member slot's environment for every slice.
+ */
+struct StageEnv
+{
+    pim::PimConfig cfg;
+    power::Calibration cal;
+    sim::RunConfig rcfg;
+};
+
 /** Everything one sharded execution produces. */
 struct ShardReport
 {
@@ -140,6 +170,15 @@ class ShardedRuntime
      */
     ShardReport execute(const ShardedModel &sharded,
                         uint64_t seed) const;
+
+    /**
+     * Heterogeneous-gang variant: each stage simulates on the chip
+     * environment of its member slot (@p stageEnvs, one entry per
+     * stage).  nullptr falls back to the constructor environment for
+     * every stage -- byte-identical to the two-argument overload.
+     */
+    ShardReport execute(const ShardedModel &sharded, uint64_t seed,
+                        const std::vector<StageEnv> *stageEnvs) const;
 
     const ShardRuntimeConfig &config() const { return rcfg; }
 

@@ -53,6 +53,7 @@ RuntimeEnv::RuntimeEnv(const pim::PimConfig &cfg,
     bcfg.macrosPerGroup = cfg.macrosPerGroup;
     bcfg.transientDecapNf = rcfg.transientDecapNf;
     bcfg.transientDtNs = rcfg.transientDtNs;
+    bcfg.transientBumpPh = rcfg.transientBumpPh;
     bcfg.windowCycles = cfg.inputBits;
     backend = power::makeIrBackend(bcfg, cal);
 }

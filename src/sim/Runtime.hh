@@ -63,6 +63,10 @@ struct RunConfig
     /** Implicit-Euler step per window of the Transient backend
      * [ns]. */
     double transientDtNs = 2.0;
+    /** Series bump/package loop inductance of the Transient backend
+     * [pH]; scaled by a chip SKU's PDN corner (serve::PdnCorner) to
+     * model parts with different power-delivery networks. */
+    double transientBumpPh = 200.0;
 };
 
 /** Aggregated outcome of a run. */

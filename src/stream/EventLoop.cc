@@ -13,6 +13,7 @@
 #include "util/Logging.hh"
 #include "util/Rng.hh"
 #include "util/Stats.hh"
+#include "workload/ModelZoo.hh"
 
 namespace aim::stream
 {
@@ -161,6 +162,14 @@ EventLoop::EventLoop(const pim::PimConfig &cfg,
     const std::string problem = validateStreamConfig(scfg);
     if (!problem.empty())
         aim_fatal("invalid StreamConfig: ", problem);
+    // Resolve the "derive" sentinel exactly like serve::Fleet: the
+    // fleet's whole-model reload pricing is the single source of
+    // truth for the instruction-grain costs.
+    serve::FleetConfig &fleet = this->scfg.fleet;
+    if (fleet.options.isaLoadUsPerMword < 0.0)
+        fleet.options.isaLoadUsPerMword = fleet.reloadUsPerMweight;
+    if (fleet.options.isaRetuneUs < 0.0)
+        fleet.options.isaRetuneUs = fleet.retuneUsPerStep;
 }
 
 StreamReport
@@ -184,9 +193,24 @@ EventLoop::run(serve::ModelCache &cache)
 
     TraceSource source(scfg.trace);
     serve::ArtifactMeta meta(fcfg, cal);
+    const serve::FleetSkus &skus = meta.fleetSkus();
+    const bool hetero = skus.heterogeneous();
+    const int nclasses = skus.classes();
     serve::ChipPool pool(fcfg.chips);
     const serve::Scheduler sched(fcfg.policy);
-    const serve::RequestExecutor executor(cfg, cal, fcfg.options);
+    // One executor per SKU class; a homogeneous fleet has exactly
+    // one -- the constructor (cfg, cal) pair, the legacy path.
+    std::vector<std::unique_ptr<const serve::RequestExecutor>>
+        executors;
+    if (hetero)
+        for (int cls = 0; cls < nclasses; ++cls)
+            executors.push_back(
+                std::make_unique<const serve::RequestExecutor>(
+                    *skus.sku(cls), fcfg.options));
+    else
+        executors.push_back(
+            std::make_unique<const serve::RequestExecutor>(
+                cfg, cal, fcfg.options));
     exec::ExecPool exec(fcfg.threads == 0 ? -1 : fcfg.threads);
     Autoscaler scaler(scfg.autoscaler);
     AdmissionController admission(scfg.admission);
@@ -201,7 +225,39 @@ EventLoop::run(serve::ModelCache &cache)
     for (const auto &gang : fcfg.gangs)
         min_active = std::max(min_active, gang.partition.chips);
     min_active = std::min(min_active, fcfg.chips);
-    // An autoscaled run starts at the floor and earns its chips.
+    if (hetero) {
+        std::vector<int> chip_class(
+            static_cast<size_t>(fcfg.chips));
+        for (int c = 0; c < fcfg.chips; ++c)
+            chip_class[static_cast<size_t>(c)] = skus.classOf(c);
+        pool.setClassOf(std::move(chip_class));
+        // The count floor above is capability-blind: on a mixed
+        // fleet it can be satisfied entirely by chips too small to
+        // host a gang member, leaving acquireGang nothing to take.
+        // Per-class floors keep each gang's slot classes active.
+        std::vector<int> class_floor(static_cast<size_t>(nclasses),
+                                     0);
+        for (const auto &gang : fcfg.gangs) {
+            workload::ModelSpec spec;
+            if (!workload::findModelByName(gang.model, spec))
+                continue;
+            const double share = spec.totalWeights() / 1e6 /
+                                 gang.partition.chips;
+            std::vector<int> need(static_cast<size_t>(nclasses),
+                                  0);
+            for (const int cls : skus.gangSlotClasses(
+                     gang.partition.chips, share))
+                ++need[static_cast<size_t>(cls)];
+            for (int cls = 0; cls < nclasses; ++cls)
+                class_floor[static_cast<size_t>(cls)] = std::max(
+                    class_floor[static_cast<size_t>(cls)],
+                    need[static_cast<size_t>(cls)]);
+        }
+        pool.setClassFloor(std::move(class_floor));
+    }
+    // An autoscaled run starts at the floor and earns its chips
+    // (deactivateOne respects the per-class floors, so a mixed
+    // fleet keeps its gang-capable chips up).
     if (scfg.autoscaler.enabled)
         while (pool.activeCount() > min_active &&
                pool.deactivateOne(min_active))
@@ -216,13 +272,17 @@ EventLoop::run(serve::ModelCache &cache)
         return s != 0 ? s : 1;
     };
 
-    // Exact-service memoization: reports land keyed by id when the
-    // batch prefetch executes them and are consumed (erased) at
-    // dispatch, so the map never outgrows the pending queue.
-    std::map<long, serve::ExecResult> ready;
+    // Exact-service memoization: reports land keyed by (id, SKU
+    // class) when the batch prefetch executes them and are consumed
+    // (erased) at dispatch, so the map never outgrows the pending
+    // queue times the class count.  Homogeneous fleets always key
+    // class 0 -- one report per id, exactly as before.
+    std::map<std::pair<long, int>, serve::ExecResult> ready;
     std::map<long, shard::ShardReport> shard_ready;
-    // Sampled-service pools, keyed by model.
-    std::map<std::string, std::vector<serve::ExecResult>> samples;
+    // Sampled-service pools, keyed by (model, SKU class).
+    std::map<std::pair<std::string, int>,
+             std::vector<serve::ExecResult>>
+        samples;
     // Per-chip electrical state (transientCarry).
     std::vector<std::unique_ptr<power::IrState>> carry(
         static_cast<size_t>(fcfg.chips));
@@ -250,17 +310,51 @@ EventLoop::run(serve::ModelCache &cache)
         return sc;
     };
 
+    // Per-stage chip environments of a heterogeneous gang artifact
+    // (each stage simulates on its member slot's SKU).
+    const auto gang_envs = [&](const serve::QueuedRequest &q) {
+        std::vector<shard::StageEnv> envs;
+        const auto &slot_classes =
+            meta.gangClasses(q.sharded.get());
+        size_t slot = 0;
+        for (const auto &stage : q.sharded->plan.stages) {
+            const serve::ChipSku &sku = *skus.sku(
+                slot_classes[slot]);
+            envs.push_back({sku.pim, sku.cal,
+                            serve::runConfigForSku(fcfg.options,
+                                                   sku)});
+            slot += static_cast<size_t>(stage.ways);
+        }
+        return envs;
+    };
+
     // Execute every pending request that lacks a memoized report,
     // concurrently on the pool.  Reports are pure functions of
     // (artifact, id-keyed seed), so neither the thread count nor the
-    // prefetch batching changes a single bit of them.
+    // prefetch batching changes a single bit of them.  Heterogeneous
+    // single-chip requests prefetch one report per SKU class that
+    // can host them (the dispatcher consumes the landing chip's).
     const auto prefetch = [&]() {
-        std::vector<const serve::QueuedRequest *> todo;
+        struct Job
+        {
+            const serve::QueuedRequest *q;
+            int cls;
+        };
+        std::vector<Job> todo;
         for (const auto &q : pending) {
             const long id = q.request.id;
-            if (q.sharded ? !shard_ready.count(id)
-                          : !ready.count(id))
-                todo.push_back(&q);
+            if (q.sharded) {
+                if (!shard_ready.count(id))
+                    todo.push_back({&q, 0});
+            } else if (hetero) {
+                for (int cls = 0; cls < nclasses; ++cls)
+                    if (q.compiledByClass[static_cast<size_t>(
+                            cls)] &&
+                        !ready.count({id, cls}))
+                        todo.push_back({&q, cls});
+            } else if (!ready.count({id, 0})) {
+                todo.push_back({&q, 0});
+            }
         }
         if (todo.empty())
             return;
@@ -268,38 +362,58 @@ EventLoop::run(serve::ModelCache &cache)
         std::vector<shard::ShardReport> shard_runs(todo.size());
         exec.parallelFor(
             static_cast<long>(todo.size()), [&](long i) {
-                const auto &q = *todo[static_cast<size_t>(i)];
+                const auto &job = todo[static_cast<size_t>(i)];
+                const auto &q = *job.q;
                 const long id = q.request.id;
                 if (q.sharded) {
                     const shard::ShardedRuntime rt(
                         cfg, cal, shard_config(q.request.model));
-                    shard_runs[static_cast<size_t>(i)] =
-                        rt.execute(*q.sharded, request_seed(id));
+                    if (hetero) {
+                        const auto envs = gang_envs(q);
+                        shard_runs[static_cast<size_t>(i)] =
+                            rt.execute(*q.sharded,
+                                       request_seed(id), &envs);
+                    } else {
+                        shard_runs[static_cast<size_t>(i)] =
+                            rt.execute(*q.sharded,
+                                       request_seed(id));
+                    }
                 } else {
-                    runs[static_cast<size_t>(i)] = executor.run(
-                        *q.compiled, request_seed(id));
+                    const CompiledModel &compiled =
+                        hetero ? *q.compiledByClass
+                                      [static_cast<size_t>(
+                                          job.cls)]
+                               : *q.compiled;
+                    runs[static_cast<size_t>(i)] =
+                        executors[static_cast<size_t>(job.cls)]
+                            ->run(compiled, request_seed(id));
                 }
             });
         for (size_t i = 0; i < todo.size(); ++i) {
-            const long id = todo[i]->request.id;
-            if (todo[i]->sharded)
+            const long id = todo[i].q->request.id;
+            if (todo[i].q->sharded)
                 shard_ready[id] = std::move(shard_runs[i]);
             else
-                ready[id] = std::move(runs[i]);
+                ready[{id, todo[i].cls}] = std::move(runs[i]);
         }
     };
 
-    // K id-seeded reports per model, built once on first need.
+    // K id-seeded reports per (model, SKU class), built once on
+    // first need.  The homogeneous tag and seed stream are exactly
+    // the legacy per-model ones.
     const auto model_samples =
         [&](const std::string &model,
-            const CompiledModel &compiled)
+            const CompiledModel &compiled, int cls)
         -> const std::vector<serve::ExecResult> & {
-        const auto it = samples.find(model);
+        const auto key = std::make_pair(model, cls);
+        const auto it = samples.find(key);
         if (it != samples.end())
             return it->second;
         std::vector<serve::ExecResult> v(
             static_cast<size_t>(scfg.serviceSamples));
-        const uint64_t tag = modelTag(model);
+        const uint64_t tag =
+            hetero ? modelTag(model + "|" + skus.sku(cls)->name)
+                   : modelTag(model);
         exec.parallelFor(scfg.serviceSamples, [&](long k) {
             uint64_t s = seeder.fork(0x5a3d17)
                              .fork(tag)
@@ -307,9 +421,11 @@ EventLoop::run(serve::ModelCache &cache)
                              .next();
             if (s == 0)
                 s = 1;
-            v[static_cast<size_t>(k)] = executor.run(compiled, s);
+            v[static_cast<size_t>(k)] =
+                executors[static_cast<size_t>(cls)]->run(compiled,
+                                                         s);
         });
-        return samples.emplace(model, std::move(v)).first->second;
+        return samples.emplace(key, std::move(v)).first->second;
     };
 
     // Record one finished request at dispatch time (the values are
@@ -329,15 +445,40 @@ EventLoop::run(serve::ModelCache &cache)
                         latency_us});
     };
 
+    // Can chip c's SKU hold request q?  Gangs stay visible on every
+    // chip: gang acquisition routes the members itself.
+    const auto eligible = [&](const serve::QueuedRequest &q,
+                              int c) {
+        if (!hetero || q.sharded)
+            return true;
+        return skus.fits(pool.classOf(c), q.requiredMweight);
+    };
+
     // Dispatch one request (and, with batching, its same-model
     // followers) on chip c at time now.  The arithmetic is the
-    // Fleet replay's, via the shared serve/Dispatch layer.
-    const auto dispatch_one = [&](int c, double now) {
+    // Fleet replay's, via the shared serve/Dispatch layer.  Returns
+    // false when nothing in the queue is eligible for this chip.
+    const auto dispatch_one = [&](int c, double now) -> bool {
         serve::ChipContext ctx;
         ctx.chip = c;
         ctx.residentModel = pool.slot(c).resident;
         ctx.safeLevel = pool.slot(c).safeLevel;
-        const size_t idx = sched.pick(pending, ctx);
+        ctx.skuClass = pool.classOf(c);
+        size_t idx = 0;
+        if (hetero) {
+            std::vector<serve::QueuedRequest> view;
+            std::vector<size_t> view_idx;
+            for (size_t i = 0; i < pending.size(); ++i)
+                if (eligible(pending[i], c)) {
+                    view.push_back(pending[i]);
+                    view_idx.push_back(i);
+                }
+            if (view.empty())
+                return false;
+            idx = view_idx[sched.pick(view, ctx)];
+        } else {
+            idx = sched.pick(pending, ctx);
+        }
         if (exact_service)
             prefetch();
         const serve::QueuedRequest q = pending[idx];
@@ -346,7 +487,27 @@ EventLoop::run(serve::ModelCache &cache)
 
         if (q.sharded) {
             const auto &slots = meta.gangSlots(q.sharded.get());
-            const auto member = pool.acquireGang(q.gangChips);
+            const std::vector<int> slot_classes =
+                hetero ? meta.gangClasses(q.sharded.get())
+                       : std::vector<int>(
+                             static_cast<size_t>(q.gangChips), 0);
+            auto member = pool.acquireGang(slot_classes);
+            // The autoscaler may have shrunk the pool below the
+            // gang's needs between arrivals (on a mixed fleet the
+            // capability-blind count floor can be satisfied by
+            // chips too small to host a member).  Reactivate
+            // capable chips on demand instead of crashing the loop.
+            while (member.empty() &&
+                   pool.activateOneOfClasses(slot_classes)) {
+                ++rep.gangReactivations;
+                member = pool.acquireGang(slot_classes);
+            }
+            aim_assert(!member.empty(),
+                       "gang for '", q.request.model,
+                       "' cannot acquire ", q.gangChips,
+                       " capable chips even with every chip active "
+                       "(validateFleetConfig should have rejected "
+                       "this fleet)");
             double start = now;
             for (int m : member)
                 start = std::max(start, pool.slot(m).freeAtUs);
@@ -359,8 +520,15 @@ EventLoop::run(serve::ModelCache &cache)
             } else {
                 const shard::ShardedRuntime rt(
                     cfg, cal, shard_config(q.request.model));
-                srep = rt.execute(*q.sharded,
-                                  request_seed(q.request.id));
+                if (hetero) {
+                    const auto envs = gang_envs(q);
+                    srep = rt.execute(*q.sharded,
+                                      request_seed(q.request.id),
+                                      &envs);
+                } else {
+                    srep = rt.execute(*q.sharded,
+                                      request_seed(q.request.id));
+                }
             }
             const double service = srep.makespanUs / work_scale;
             const double prep = serve::prepareGangMembers(
@@ -376,13 +544,19 @@ EventLoop::run(serve::ModelCache &cache)
             ++rep.gangDispatches;
             account(q.request, start - q.request.arrivalUs,
                     finish - q.request.arrivalUs, finish);
-            return;
+            return true;
         }
 
         auto &chip = pool.slot(c);
         auto &usage = rep.chips[static_cast<size_t>(c)];
+        const int cls = pool.classOf(c);
+        const int safe_level =
+            hetero ? q.safeLevelByClass[static_cast<size_t>(cls)]
+                   : q.safeLevel;
+        if (hetero && !skus.fits(cls, q.requiredMweight))
+            ++rep.placementViolations;
         const serve::DispatchCost cost = serve::dispatchCost(
-            chip, q.request.model, q.safeLevel,
+            chip, q.request.model, safe_level,
             meta.reloadUs(q.request.model), fcfg.options.useBooster,
             cal.levelStepPct, fcfg.retuneUsPerStep, chip.overlapUs);
         if (cost.modelSwitch)
@@ -421,11 +595,19 @@ EventLoop::run(serve::ModelCache &cache)
         double tail_overlap = 0.0;
         for (const auto &b : batch) {
             const long id = b.request.id;
+            // The artifact the chip actually executes: its own SKU
+            // class's on a heterogeneous fleet (batch followers
+            // share the leader's model, hence its eligibility).
+            const CompiledModel &compiled =
+                hetero
+                    ? *b.compiledByClass[static_cast<size_t>(cls)]
+                    : *b.compiled;
             double service_us = 0.0;
             if (scfg.transientCarry) {
-                const auto res = executor.run(
-                    *b.compiled, request_seed(id),
-                    &carry[static_cast<size_t>(c)]);
+                const auto res =
+                    executors[static_cast<size_t>(cls)]->run(
+                        compiled, request_seed(id),
+                        &carry[static_cast<size_t>(c)]);
                 service_us =
                     res.serviceNs / 1000.0 / work_scale;
                 rep.totalMacs += res.run.totalMacs / work_scale;
@@ -434,8 +616,8 @@ EventLoop::run(serve::ModelCache &cache)
                 rep.scheduleSavedUs += res.scheduleSavedUs;
                 tail_overlap = res.overlapUs;
             } else if (scfg.serviceSamples > 0) {
-                const auto &pool_reports =
-                    model_samples(b.request.model, *b.compiled);
+                const auto &pool_reports = model_samples(
+                    b.request.model, compiled, cls);
                 const auto &res = pool_reports[static_cast<size_t>(
                     request_seed(id) %
                     static_cast<uint64_t>(scfg.serviceSamples))];
@@ -446,7 +628,7 @@ EventLoop::run(serve::ModelCache &cache)
                 rep.scheduleSavedUs += res.scheduleSavedUs;
                 tail_overlap = 0.0;
             } else {
-                const auto it = ready.find(id);
+                const auto it = ready.find({id, cls});
                 aim_assert(it != ready.end(),
                            "request ", id,
                            " dispatched without a prefetched "
@@ -469,16 +651,43 @@ EventLoop::run(serve::ModelCache &cache)
         }
         chip.freeAtUs = cursor;
         chip.resident = q.request.model;
-        chip.safeLevel = q.safeLevel;
+        chip.safeLevel = safe_level;
         chip.overlapUs = tail_overlap;
+        return true;
     };
 
     const auto dispatch_all = [&](double now) {
         while (!pending.empty()) {
-            const int c = pool.freeChipAt(now);
-            if (c < 0)
+            if (!hetero) {
+                const int c = pool.freeChipAt(now);
+                if (c < 0 || !dispatch_one(c, now))
+                    break;
+                continue;
+            }
+            // A free chip may have no eligible work while another
+            // does: try free chips in (freeAtUs, id) order until one
+            // dispatches, and stop when none can.
+            std::vector<int> free_chips;
+            for (int i = 0; i < pool.size(); ++i)
+                if (pool.slot(i).active &&
+                    pool.slot(i).freeAtUs <= now)
+                    free_chips.push_back(i);
+            std::sort(free_chips.begin(), free_chips.end(),
+                      [&](int a, int b) {
+                          const double fa = pool.slot(a).freeAtUs;
+                          const double fb = pool.slot(b).freeAtUs;
+                          if (fa != fb)
+                              return fa < fb;
+                          return a < b;
+                      });
+            bool dispatched = false;
+            for (const int c : free_chips)
+                if (dispatch_one(c, now)) {
+                    dispatched = true;
+                    break;
+                }
+            if (!dispatched)
                 break;
-            dispatch_one(c, now);
         }
     };
 

@@ -108,6 +108,14 @@ struct StreamReport
     long stallWindows = 0;
     /** Requests dispatched to multi-chip gangs. */
     long gangDispatches = 0;
+    /** Requests placed on a chip whose SKU cannot hold their model
+     * (always 0 when capability-aware placement works; the
+     * heterogeneous-fleet test suites assert on it). */
+    long placementViolations = 0;
+    /** Chips reactivated on demand because a gang arrived while the
+     * autoscaler had shrunk its capable chips below the gang size
+     * (the recovery path of the acquireGang crash fix). */
+    long gangReactivations = 0;
     /** Requests co-dispatched behind a batch leader (dynamic
      * batching; they paid no reload). */
     long batchedRequests = 0;

@@ -419,11 +419,21 @@ allModels(bool includeLarge)
 ModelSpec
 modelByName(const std::string &name)
 {
+    ModelSpec spec;
+    if (!findModelByName(name, spec))
+        aim_fatal("unknown model '", name, "'");
+    return spec;
+}
+
+bool
+findModelByName(const std::string &name, ModelSpec &out)
+{
     for (auto &m : allModels(true))
-        if (m.name == name)
-            return m;
-    aim_fatal("unknown model '", name, "'");
-    return {};
+        if (m.name == name) {
+            out = std::move(m);
+            return true;
+        }
+    return false;
 }
 
 } // namespace aim::workload

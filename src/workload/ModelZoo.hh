@@ -138,6 +138,13 @@ std::vector<ModelSpec> allModels(bool includeLarge = false);
  * models; fatal when unknown. */
 ModelSpec modelByName(const std::string &name);
 
+/**
+ * Non-fatal lookup: fill @p out and return true when @p name is a
+ * zoo model, false otherwise.  Validation layers use this to report
+ * a human-readable problem instead of crashing mid-check.
+ */
+bool findModelByName(const std::string &name, ModelSpec &out);
+
 } // namespace aim::workload
 
 #endif // AIM_WORKLOAD_MODELZOO_HH

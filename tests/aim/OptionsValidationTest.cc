@@ -103,6 +103,26 @@ TEST(OptionsValidation, PipelineRefusesInvalidOptions)
     EXPECT_DEATH(pipe.compile(model, o), "workScale");
 }
 
+TEST(OptionsValidation, AcceptsIsaCostSentinels)
+{
+    // Negative isaLoadUsPerMword / isaRetuneUs are the "derive from
+    // the fleet's reload link" sentinel (the AimOptions default),
+    // not an error.  The resolvers supply the shared defaults so
+    // standalone compiles and sentinel-keyed cache entries agree.
+    AimOptions o;
+    EXPECT_LT(o.isaLoadUsPerMword, 0.0);
+    EXPECT_LT(o.isaRetuneUs, 0.0);
+    EXPECT_TRUE(validateOptions(o).empty());
+    EXPECT_EQ(resolvedIsaLoadUsPerMword(o),
+              kDefaultIsaLoadUsPerMword);
+    EXPECT_EQ(resolvedIsaRetuneUs(o), kDefaultIsaRetuneUs);
+    o.isaLoadUsPerMword = 12.0;
+    o.isaRetuneUs = 1.5;
+    EXPECT_TRUE(validateOptions(o).empty());
+    EXPECT_EQ(resolvedIsaLoadUsPerMword(o), 12.0);
+    EXPECT_EQ(resolvedIsaRetuneUs(o), 1.5);
+}
+
 TEST(OptionsValidation, RejectsUnknownIrBackend)
 {
     aim::AimOptions opts;

@@ -313,11 +313,20 @@ TEST(IsaSchedule, ValidateOptionsGatesTheKnobs)
         << "isaSchedule without useIsa must be rejected";
     opts.useIsa = true;
     EXPECT_TRUE(validateOptions(opts).empty());
+    // Negative cost knobs are the "derive from the fleet" sentinel,
+    // not an error: validation accepts them and the resolvers fall
+    // back to the documented defaults.
     opts.isaLoadUsPerMword = -1.0;
-    EXPECT_FALSE(validateOptions(opts).empty());
-    opts.isaLoadUsPerMword = 8.0;
     opts.isaRetuneUs = -0.1;
-    EXPECT_FALSE(validateOptions(opts).empty());
+    EXPECT_TRUE(validateOptions(opts).empty());
+    EXPECT_EQ(resolvedIsaLoadUsPerMword(opts), kDefaultIsaLoadUsPerMword);
+    EXPECT_EQ(resolvedIsaRetuneUs(opts), kDefaultIsaRetuneUs);
+    // Explicit values win over the sentinel fallback.
+    opts.isaLoadUsPerMword = 3.5;
+    opts.isaRetuneUs = 0.25;
+    EXPECT_TRUE(validateOptions(opts).empty());
+    EXPECT_EQ(resolvedIsaLoadUsPerMword(opts), 3.5);
+    EXPECT_EQ(resolvedIsaRetuneUs(opts), 0.25);
 }
 
 serve::FleetConfig

@@ -117,6 +117,74 @@ TEST(FleetConfigValidation, RejectsBadGangShape)
               std::string::npos);
 }
 
+TEST(FleetConfigValidation, RejectsInconsistentSkuTable)
+{
+    // skuOf without a table.
+    auto f = valid();
+    f.skuOf = {0, 0, 0, 0};
+    EXPECT_NE(validateFleetConfig(f).find("SKU table is empty"),
+              std::string::npos);
+    // Table without a full per-chip assignment.
+    f = valid();
+    f.skus = {bigSku(), smallSku()};
+    f.skuOf = {0, 1};
+    const auto msg = validateFleetConfig(f);
+    EXPECT_NE(msg.find("skuOf"), std::string::npos);
+    EXPECT_NE(msg.find("4"), std::string::npos);
+    // Assignment indexing outside the table.
+    f.skuOf = {0, 1, 2, 0};
+    EXPECT_NE(validateFleetConfig(f).find("skuOf"),
+              std::string::npos);
+    // Duplicate SKU names would alias cache keys.
+    f.skus = {bigSku(), bigSku()};
+    f.skuOf = {0, 1, 0, 1};
+    EXPECT_NE(validateFleetConfig(f).find("duplicate"),
+              std::string::npos);
+    // A well-formed heterogeneous fleet passes.
+    f.skus = {bigSku(), smallSku()};
+    f.skuOf = {0, 0, 1, 1};
+    EXPECT_TRUE(validateFleetConfig(f).empty());
+}
+
+TEST(FleetConfigValidation, RejectsInvalidSkuInTable)
+{
+    auto f = valid();
+    auto bad = bigSku();
+    bad.weightBufMweightPerMacro = 0.0;
+    f.skus = {bad};
+    f.skuOf = {0, 0, 0, 0};
+    EXPECT_NE(
+        validateFleetConfig(f).find("weightBufMweightPerMacro"),
+        std::string::npos);
+    bad = bigSku();
+    bad.pdn.decapScale = -1.0;
+    f.skus = {bad};
+    EXPECT_NE(validateFleetConfig(f).find("PDN corner"),
+              std::string::npos);
+}
+
+TEST(FleetConfigValidation, RejectsGangExceedingCapableChips)
+{
+    // Llama3-8B over 4 members needs ~1749 Mweight per chip; only
+    // the two big chips of this mixed fleet can hold that, so a
+    // fleet-sized gang must be rejected even though chips >= 4.
+    auto f = valid();
+    f.skus = {bigSku(), smallSku()};
+    f.skuOf = {0, 0, 1, 1};
+    f.gangs = {gang("Llama3-8B", 4)};
+    const auto msg = validateFleetConfig(f);
+    EXPECT_NE(msg.find("Llama3-8B"), std::string::npos);
+    EXPECT_NE(msg.find("capacity"), std::string::npos);
+    // Shrinking the gang to the capable chips is accepted... but
+    // 8B over 2 members (~3498 Mweight each) outgrows even the big
+    // part, so it is still rejected.
+    f.gangs = {gang("Llama3-8B", 2)};
+    EXPECT_FALSE(validateFleetConfig(f).empty());
+    // A model whose share fits the big chips passes at gang size 2.
+    f.gangs = {gang("Llama3", 2)};
+    EXPECT_TRUE(validateFleetConfig(f).empty());
+}
+
 TEST(FleetConfigValidation, ConstructorRefusesInvalidConfig)
 {
     pim::PimConfig cfg;
